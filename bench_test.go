@@ -1,0 +1,178 @@
+// Benchmarks regenerating every table and figure of the evaluation
+// (one per experiment, run at a reduced scale so `go test -bench=.`
+// finishes in minutes), plus micro-benchmarks of the hot paths the T2
+// scalability table rests on.
+//
+// Shape, not absolute numbers, is the reproduction target; run
+// `go run ./cmd/experiments -exp all -scale medium` for the real tables.
+package adprefetch_test
+
+import (
+	"testing"
+	"time"
+
+	adprefetch "repro"
+	"repro/internal/auction"
+	"repro/internal/overbook"
+	"repro/internal/predict"
+	"repro/internal/radio"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// benchScale is smaller than experiments.Small so every figure can run
+// inside a benchmark iteration.
+func benchScale() adprefetch.Scale {
+	s := adprefetch.ScaleSmall()
+	s.Users = 30
+	s.Days = 6
+	s.WarmupDays = 3
+	return s
+}
+
+// runExperiment is the shared driver: regenerate one table per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := adprefetch.RunExperiment(id, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1AdEnergyShare(b *testing.B)  { runExperiment(b, "t1") }
+func BenchmarkFigure1TailEnergy(b *testing.B)    { runExperiment(b, "f1") }
+func BenchmarkFigure2TraceStats(b *testing.B)    { runExperiment(b, "f2") }
+func BenchmarkFigure3Predictors(b *testing.B)    { runExperiment(b, "f3") }
+func BenchmarkFigure4Percentile(b *testing.B)    { runExperiment(b, "f4") }
+func BenchmarkFigure5SLA(b *testing.B)           { runExperiment(b, "f5") }
+func BenchmarkFigure6RevenueLoss(b *testing.B)   { runExperiment(b, "f6") }
+func BenchmarkFigure7EnergySavings(b *testing.B) { runExperiment(b, "f7") }
+func BenchmarkFigure8Tradeoff(b *testing.B)      { runExperiment(b, "f8") }
+func BenchmarkFigure9Deadline(b *testing.B)      { runExperiment(b, "f9") }
+func BenchmarkTable2Throughput(b *testing.B)     { runExperiment(b, "t2") }
+
+// Extension experiments (see DESIGN.md §4).
+func BenchmarkExtPerUserDistribution(b *testing.B) { runExperiment(b, "x1") }
+func BenchmarkExtRadioGenerality(b *testing.B)     { runExperiment(b, "x2") }
+func BenchmarkExtRobustness(b *testing.B)          { runExperiment(b, "x3") }
+func BenchmarkExtRegularity(b *testing.B)          { runExperiment(b, "x4") }
+func BenchmarkExtFACHAblation(b *testing.B)        { runExperiment(b, "x5") }
+func BenchmarkExtAuctionFidelity(b *testing.B)     { runExperiment(b, "x6") }
+func BenchmarkExtMixedConnectivity(b *testing.B)   { runExperiment(b, "x7") }
+func BenchmarkExtShardScaling(b *testing.B)        { runExperiment(b, "x8") }
+
+// ---------------------------------------------------------------------
+// Hot-path micro-benchmarks (the substance behind Table 2).
+
+func BenchmarkRadioTransfer(b *testing.B) {
+	r := radio.New(radio.Profile3G())
+	at := simclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end := r.Transfer(at, 2048, "ads")
+		at = end.Add(3 * time.Second)
+	}
+}
+
+func BenchmarkAuctionSellSlot(b *testing.B) {
+	demand := auction.DefaultDemand()
+	demand.BudgetImpressions = int64(b.N) + 1000
+	ex, err := auction.NewExchange(demand.Generate(simclock.NewRand(1)), 0.0001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sold := ex.SellSlots(simclock.Time(i), 1, nil, time.Hour); len(sold) == 0 {
+			b.Fatal("demand exhausted")
+		}
+	}
+}
+
+func BenchmarkAuctionBillingCycle(b *testing.B) {
+	demand := auction.DefaultDemand()
+	demand.BudgetImpressions = int64(b.N) + 1000
+	ex, err := auction.NewExchange(demand.Generate(simclock.NewRand(1)), 0.0001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sold := ex.SellSlots(simclock.Time(i), 1, nil, time.Hour)
+		if err := ex.RecordDisplay(sold[0].ID, sold[0].SoldAt.Add(time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerPlanOne(b *testing.B) {
+	r := simclock.NewRand(1)
+	cands := make([]*overbook.Candidate, 200)
+	for i := range cands {
+		cands[i] = &overbook.Candidate{
+			Client:         i,
+			PredictedSlots: 1 + 10*r.Float64(),
+			ExpectedSlots:  1 + 8*r.Float64(),
+			NoShowProb:     0.05 + 0.4*r.Float64(),
+		}
+	}
+	cfg := overbook.DefaultConfig()
+	cfg.CacheCap = 1 << 30
+	p, err := overbook.NewPlanner(cfg, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PlanOne()
+	}
+}
+
+func BenchmarkPredictorObservePredict(b *testing.B) {
+	p := predict.NewPercentileHistogram(0.9)
+	r := simclock.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		per := predict.Period{Index: i, OfDay: i % 6, Weekend: i%7 >= 5}
+		p.Observe(per, r.Poisson(5))
+		if est := p.Predict(per); est.Slots < 0 {
+			b.Fatal("negative estimate")
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Users = 50
+	cfg.Days = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	cfg := adprefetch.DefaultSimConfig(adprefetch.ModePredictive)
+	cfg.TraceCfg.Users = 30
+	cfg.TraceCfg.Days = 6
+	cfg.WarmupDays = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := adprefetch.RunSimulation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.AdEnergyPerUserDay(), "adJ/user/day")
+			b.ReportMetric(100*res.Ledger.ViolationRate(), "SLAviol%")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command adserverd runs the prefetching ad server as an HTTP service:
+// auctions, admission control, overbooked replication, claims and
+// billing behind the JSON protocol in internal/transport. Devices (see
+// transport.Device, or examples/httpdemo) speak to it with bundle
+// fetches, slot observations, display reports and on-demand requests.
+//
+// Example:
+//
+//	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adserverd: ")
+
+	var (
+		addr      = flag.String("addr", ":8480", "listen address")
+		clients   = flag.Int("clients", 100, "client id space (0..N-1)")
+		period    = flag.Duration("period", 4*time.Hour, "prefetch period")
+		campaigns = flag.Int("campaigns", 40, "synthetic campaign count")
+		cpm       = flag.Float64("cpm", 1.0, "median campaign CPM in USD")
+		reserve   = flag.Float64("reserve", 0.0002, "per-impression reserve price in USD")
+		pctile    = flag.Float64("percentile", 0.9, "client forecast percentile")
+		seed      = flag.Int64("seed", 1, "demand generation seed")
+		statePath = flag.String("state", "", "predictor-state file: loaded at startup, saved on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	demand := auction.DefaultDemand()
+	demand.Campaigns = *campaigns
+	demand.CPMMedianUSD = *cpm
+	ex, err := auction.NewExchange(demand.Generate(simclock.NewRand(*seed)), *reserve)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := adserver.DefaultConfig()
+	cfg.Period = *period
+	ids := make([]int, *clients)
+	for i := range ids {
+		ids[i] = i
+	}
+	srv, err := adserver.New(cfg, ex, ids, func(int) predict.Predictor {
+		return predict.NewPercentileHistogram(*pctile)
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *statePath != "" {
+		f, err := os.Open(*statePath)
+		switch {
+		case err == nil:
+			loadErr := srv.LoadPredictors(f)
+			f.Close()
+			if loadErr != nil {
+				log.Fatal(loadErr)
+			}
+			fmt.Printf("adserverd: restored predictor state from %s\n", *statePath)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to restore.
+		default:
+			log.Fatal(err)
+		}
+		// Persist the learned state on shutdown.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			f, err := os.Create(*statePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := srv.SavePredictors(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("adserverd: saved predictor state to %s\n", *statePath)
+			os.Exit(0)
+		}()
+	}
+
+	fmt.Printf("adserverd: %d clients, %d campaigns, period %v, listening on %s\n",
+		*clients, *campaigns, *period, *addr)
+	log.Fatal(http.ListenAndServe(*addr, transport.NewServer(srv).Handler()))
+}

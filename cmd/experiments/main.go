@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -exp f7                 # the headline energy figure
+//	experiments -exp all -scale medium
+//	experiments -exp t1 -scale full     # paper-scale measurement study
+//	experiments -exp f5 -csv            # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	adprefetch "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp    = flag.String("exp", "all", `experiment id (e.g. "t1", "f7") or "all"`)
+		scale  = flag.String("scale", "small", "run scale: small | medium | full")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir = flag.String("o", "", "also write one CSV file per experiment into this directory")
+		plot   = flag.Bool("plot", false, "also render the first numeric column as an ASCII bar chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range adprefetch.Experiments() {
+			fmt.Printf("%-4s %s\n", id, adprefetch.DescribeExperiment(id))
+		}
+		return
+	}
+
+	var s adprefetch.Scale
+	switch *scale {
+	case "small":
+		s = adprefetch.ScaleSmall()
+	case "medium":
+		s = adprefetch.ScaleMedium()
+	case "full":
+		s = adprefetch.ScaleFull()
+	default:
+		log.Fatalf("unknown scale %q (want small|medium|full)", *scale)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = adprefetch.Experiments()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := adprefetch.RunExperiment(id, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Print(tbl.String())
+			fmt.Printf("(%s, scale %s: %d users x %d days, %v)\n\n",
+				id, *scale, s.Users, s.Days, time.Since(start).Round(time.Millisecond))
+		}
+		if *plot {
+			if chart, ok := adprefetch.PlotTable(tbl, 48); ok {
+				fmt.Println(chart)
+			}
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.csv", id, *scale))
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command tracegen synthesizes a smartphone usage-trace population and
+// writes it as JSON-lines (the format cmd/adsim -trace consumes), or
+// prints its characterization.
+//
+// Examples:
+//
+//	tracegen -users 1738 -days 28 -o traces.jsonl
+//	tracegen -users 300 -days 14 -stats          # print the F2 table only
+//	tracegen -in traces.jsonl -stats             # characterize an existing file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	adprefetch "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		users      = flag.Int("users", 1738, "population size")
+		days       = flag.Int("days", 28, "trace span in days")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		regularity = flag.Float64("regularity", 0.7, "day-over-day self-similarity in [0,1]")
+		out        = flag.String("o", "", "output file (default stdout)")
+		in         = flag.String("in", "", "characterize this existing trace instead of generating")
+		stats      = flag.Bool("stats", false, "print the characterization table instead of the trace")
+		asCSV      = flag.Bool("csv", false, "write flat session CSV instead of JSON-lines")
+	)
+	flag.Parse()
+
+	var pop *adprefetch.Population
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		p, err := adprefetch.ReadTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pop = p
+	} else {
+		cfg := adprefetch.DefaultTraceConfig()
+		cfg.Users = *users
+		cfg.Days = *days
+		cfg.Seed = *seed
+		cfg.Regularity = *regularity
+		p, err := adprefetch.GenerateTrace(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pop = p
+	}
+
+	if *stats {
+		tbl := adprefetch.CharacterizeTrace(pop, adprefetch.DefaultCatalog(), adprefetch.SlotRefreshDefault)
+		fmt.Print(tbl.String())
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	write := adprefetch.WriteTrace
+	if *asCSV {
+		write = adprefetch.WriteTraceCSV
+	}
+	if err := write(w, pop); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d users, %d sessions, %d days\n",
+		len(pop.Users), pop.TotalSessions(), pop.Days())
+}

@@ -1,0 +1,690 @@
+// Package adserver implements the server side of the prefetching ad
+// architecture. Once per prefetch period it collects every client's
+// slot forecast, decides how much inventory is safe to sell (admission
+// control), sells it in the exchange, replicates each sold impression
+// across clients per the overbooking model, and hands back per-client
+// prefetch bundles. At display time it routes impression reports to the
+// exchange for billing, tracks claims so replicas can be cancelled, and
+// closes each period by training the per-client predictors and sweeping
+// expired impressions.
+package adserver
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/overbook"
+	"repro/internal/predict"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Config holds the server policy knobs.
+type Config struct {
+	// Period is the prefetch window length.
+	Period time.Duration
+
+	// AdDeadline caps how long a sold impression may wait before
+	// display; zero means DeadlineFactor periods.
+	AdDeadline time.Duration
+
+	// DeadlineFactor sizes the default deadline as a multiple of the
+	// period when AdDeadline is zero (values > 1 grant a grace window
+	// past the period boundary; 0 means exactly one period).
+	DeadlineFactor float64
+
+	// ReportLatency is the delay between a client displaying an ad and
+	// the server learning about it (report batching / push channel).
+	ReportLatency time.Duration
+
+	// SyncDelay is the further delay until *other* clients learn that an
+	// impression was claimed and stop displaying their replicas. Racing
+	// displays inside this window are the system's revenue loss.
+	SyncDelay time.Duration
+
+	// Overbook is the replication/admission policy.
+	Overbook overbook.Config
+
+	// TopUpCap bounds how many open impressions a rescue contact may
+	// carry back to the client's cache in one batch (0 disables top-up).
+	// Since the client is already talking to the server — with a warm
+	// radio — handing it more of the at-risk inventory is nearly free
+	// and dynamically reassigns supply toward clients that are actually
+	// active.
+	TopUpCap int
+}
+
+// DefaultConfig returns the evaluation's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Period:        4 * time.Hour,
+		ReportLatency: 5 * time.Second,
+		// Cancellations ride the push-notification channel, so replicas
+		// learn about claims within seconds; every second of this window
+		// is revenue given away to racing replicas (F6 sweeps it up to
+		// hours).
+		SyncDelay: 15 * time.Second,
+		Overbook:  overbook.DefaultConfig(),
+		TopUpCap:  8,
+		// Sold impressions may roll past the period boundary: the grace
+		// half-period lets the next period's early slots absorb the tail
+		// of the previous period's obligations.
+		DeadlineFactor: 1.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Period <= 0:
+		return fmt.Errorf("adserver: Period must be positive, got %v", c.Period)
+	case c.AdDeadline < 0 || c.ReportLatency < 0 || c.SyncDelay < 0:
+		return fmt.Errorf("adserver: negative delay parameter")
+	case c.TopUpCap < 0:
+		return fmt.Errorf("adserver: negative TopUpCap")
+	case c.DeadlineFactor < 0:
+		return fmt.Errorf("adserver: negative DeadlineFactor")
+	}
+	return c.Overbook.Validate()
+}
+
+// Deadline returns the effective display deadline for sold impressions.
+func (c Config) Deadline() time.Duration {
+	if c.AdDeadline > 0 {
+		return c.AdDeadline
+	}
+	if c.DeadlineFactor > 0 {
+		return time.Duration(c.DeadlineFactor * float64(c.Period))
+	}
+	return c.Period
+}
+
+// Bundle is one client's prefetch assignment for a period.
+type Bundle struct {
+	Client int
+	Ads    []client.CachedAd
+}
+
+// PeriodStats summarizes one StartPeriod round.
+type PeriodStats struct {
+	PredictedSlots float64 // aggregate point forecast
+	Admitted       int     // impressions offered for sale
+	Sold           int     // impressions actually sold
+	Placed         int     // impressions with at least one replica
+	Replicas       int     // total replicas across clients
+}
+
+// MeanK returns replicas per placed impression.
+func (s PeriodStats) MeanK() float64 {
+	if s.Placed == 0 {
+		return 0
+	}
+	return float64(s.Replicas) / float64(s.Placed)
+}
+
+// Server is the ad server. Not safe for concurrent use; the simulator
+// is single-threaded.
+type Server struct {
+	cfg Config
+	ex  *auction.Exchange
+
+	clientIDs  []int
+	predictors map[int]predict.Predictor
+	hints      func(clientID int) []trace.Category
+
+	// claims maps a displayed impression to the instant the *server*
+	// learned of the display (display time + ReportLatency).
+	claims map[auction.ImpressionID]simclock.Time
+
+	// slot counts observed during the current period, for training.
+	slotCounts map[int]int
+
+	// replicaHolders is kept for introspection and tests.
+	replicaHolders map[auction.ImpressionID][]int
+
+	// pending orders open prefetch-sold impressions by deadline so that
+	// on-demand fallback requests can rescue the most at-risk impression
+	// instead of selling fresh inventory while sold ads expire.
+	pending pendingHeap
+
+	// curPeriod is the period most recently opened by StartPeriod; the
+	// top-up path sizes batches against its forecasts.
+	curPeriod predict.Period
+
+	// rescueCursor rotates top-up hand-outs across the pending set so
+	// concurrent rescuers do not all duplicate the same impressions.
+	rescueCursor int
+
+	// impCampaign remembers which campaign bought each open impression,
+	// for frequency-cap enforcement.
+	impCampaign map[auction.ImpressionID]auction.CampaignID
+
+	// freqCount counts ads of one campaign routed to one client on one
+	// day (assigned replicas, top-ups, rescues and on-demand sales all
+	// count — conservative enforcement, since the exchange cannot know
+	// which assigned replicas will actually display).
+	freqCount map[freqKey]int
+
+	// Streaming ops metrics: relative aggregate forecast error per
+	// period, tracked in O(1) memory (P² estimators) so a long-lived
+	// server can report forecast health without unbounded state.
+	lastForecast float64
+	rounds       int64
+	errP50       *metrics.P2Quantile
+	errP95       *metrics.P2Quantile
+}
+
+// OpsStats is a monitoring snapshot of the server's forecast health.
+type OpsStats struct {
+	Rounds         int64   `json:"rounds"`
+	ForecastErrP50 float64 `json:"forecast_err_p50"` // |predicted-actual|/actual, median
+	ForecastErrP95 float64 `json:"forecast_err_p95"`
+}
+
+// Ops returns the server's streaming monitoring snapshot.
+func (s *Server) Ops() OpsStats {
+	out := OpsStats{Rounds: s.rounds}
+	if s.rounds > 0 {
+		out.ForecastErrP50 = s.errP50.Value()
+		out.ForecastErrP95 = s.errP95.Value()
+	}
+	return out
+}
+
+// freqKey identifies a (client, campaign, day) frequency bucket.
+type freqKey struct {
+	client   int
+	campaign auction.CampaignID
+	day      int
+}
+
+// underCap reports whether routing one more ad of the campaign to the
+// client on the given day respects the campaign's frequency cap.
+func (s *Server) underCap(clientID int, campaign auction.CampaignID, day int) bool {
+	c, ok := s.ex.Campaign(campaign)
+	if !ok || c.FreqCapPerUserDay <= 0 {
+		return true
+	}
+	return s.freqCount[freqKey{clientID, campaign, day}] < c.FreqCapPerUserDay
+}
+
+func (s *Server) countCap(clientID int, campaign auction.CampaignID, day int) {
+	c, ok := s.ex.Campaign(campaign)
+	if !ok || c.FreqCapPerUserDay <= 0 {
+		return
+	}
+	s.freqCount[freqKey{clientID, campaign, day}]++
+}
+
+// pendingImp is one unclaimed sold impression awaiting display.
+type pendingImp struct {
+	id       auction.ImpressionID
+	deadline simclock.Time
+}
+
+type pendingHeap []pendingImp
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].id < h[j].id
+}
+func (h pendingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x any)   { *h = append(*h, x.(pendingImp)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// New creates a server over the given exchange and client set.
+// mkPredictor builds one predictor per client; hints (optional) supplies
+// per-client category context offered to the exchange.
+func New(cfg Config, ex *auction.Exchange, clientIDs []int,
+	mkPredictor func(clientID int) predict.Predictor,
+	hints func(clientID int) []trace.Category) (*Server, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ex == nil {
+		return nil, fmt.Errorf("adserver: nil exchange")
+	}
+	if mkPredictor == nil {
+		return nil, fmt.Errorf("adserver: nil predictor factory")
+	}
+	p50, err := metrics.NewP2Quantile(0.5)
+	if err != nil {
+		return nil, err
+	}
+	p95, err := metrics.NewP2Quantile(0.95)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:            cfg,
+		ex:             ex,
+		errP50:         p50,
+		errP95:         p95,
+		clientIDs:      append([]int(nil), clientIDs...),
+		predictors:     make(map[int]predict.Predictor, len(clientIDs)),
+		hints:          hints,
+		claims:         make(map[auction.ImpressionID]simclock.Time),
+		slotCounts:     make(map[int]int),
+		replicaHolders: make(map[auction.ImpressionID][]int),
+		impCampaign:    make(map[auction.ImpressionID]auction.CampaignID),
+		freqCount:      make(map[freqKey]int),
+	}
+	sort.Ints(s.clientIDs)
+	for _, id := range s.clientIDs {
+		s.predictors[id] = mkPredictor(id)
+	}
+	return s, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Exchange returns the underlying exchange (for ledger inspection).
+func (s *Server) Exchange() *auction.Exchange { return s.ex }
+
+// Predictor returns the predictor of one client (nil if unknown),
+// so tests and the simulator can inspect forecasts.
+func (s *Server) Predictor(clientID int) predict.Predictor { return s.predictors[clientID] }
+
+// StartPeriod runs the prefetch round for the period beginning at now:
+// forecast, admission, sale, replication, bundling. Clients with empty
+// bundles are omitted from the result.
+func (s *Server) StartPeriod(now simclock.Time, p predict.Period) ([]Bundle, PeriodStats) {
+	var stats PeriodStats
+	s.curPeriod = p
+	defer func() { s.lastForecast = stats.PredictedSlots }()
+
+	cands := make([]*overbook.Candidate, 0, len(s.clientIDs))
+	for _, id := range s.clientIDs {
+		pred := s.predictors[id]
+		est := pred.Predict(p)
+		stats.PredictedSlots += est.Slots
+		cand := &overbook.Candidate{
+			Client:         id,
+			PredictedSlots: est.Slots,
+			ExpectedSlots:  est.Mean,
+			VarSlots:       est.Var,
+			NoShowProb:     est.NoShowProb,
+		}
+		if dist, ok := pred.(predict.Distribution); ok {
+			cand.ShortfallProb = func(rank int) float64 { return dist.ProbAtMost(p, rank) }
+		}
+		cands = append(cands, cand)
+	}
+
+	admitted := overbook.AdmissionCount(candValues(cands), s.cfg.Overbook)
+	stats.Admitted = admitted
+	if admitted == 0 {
+		return nil, stats
+	}
+
+	sold := s.ex.SellSlots(now, admitted, s.aggregateHints(), s.cfg.Deadline())
+	stats.Sold = len(sold)
+	if len(sold) == 0 {
+		return nil, stats
+	}
+
+	planner, err := overbook.NewPlanner(s.cfg.Overbook, cands)
+	if err != nil {
+		// Config was validated at construction; a failure here is a bug.
+		panic(err)
+	}
+	day := now.DayIndex()
+	bundles := make(map[int]*Bundle)
+	for _, imp := range sold {
+		heap.Push(&s.pending, pendingImp{id: imp.ID, deadline: imp.Deadline})
+		s.impCampaign[imp.ID] = imp.Campaign
+		holders, _ := planner.PlanOne()
+		// Frequency caps: drop holders already saturated with this
+		// campaign today.
+		kept := holders[:0]
+		for _, c := range holders {
+			if s.underCap(c, imp.Campaign, day) {
+				kept = append(kept, c)
+				s.countCap(c, imp.Campaign, day)
+			}
+		}
+		holders = kept
+		if len(holders) == 0 {
+			continue // no capacity anywhere; will expire as a violation
+		}
+		stats.Placed++
+		stats.Replicas += len(holders)
+		s.replicaHolders[imp.ID] = holders
+		for _, c := range holders {
+			b, ok := bundles[c]
+			if !ok {
+				b = &Bundle{Client: c}
+				bundles[c] = b
+			}
+			b.Ads = append(b.Ads, client.CachedAd{
+				ID:       imp.ID,
+				Deadline: imp.Deadline,
+				Tie:      displayTie(c, imp.ID),
+			})
+		}
+	}
+
+	out := make([]Bundle, 0, len(bundles))
+	for _, b := range bundles {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out, stats
+}
+
+func candValues(cands []*overbook.Candidate) []overbook.Candidate {
+	out := make([]overbook.Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = *c
+	}
+	return out
+}
+
+// aggregateHints unions all clients' category hints (prefetched
+// inventory is sold against the population's category mix, since the
+// exact app a predicted slot will open in is unknown).
+func (s *Server) aggregateHints() []trace.Category {
+	if s.hints == nil {
+		return nil
+	}
+	seen := map[trace.Category]bool{}
+	var out []trace.Category
+	for _, id := range s.clientIDs {
+		for _, c := range s.hints(id) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObserveSlot records that a client's ad slot fired (for end-of-period
+// predictor training).
+func (s *Server) ObserveSlot(clientID int) { s.slotCounts[clientID]++ }
+
+// ReportDisplay processes a display report: the first report of an
+// impression records the claim (other replicas become cancellable once
+// ReportLatency + SyncDelay elapse) and the exchange bills or counts a
+// free show as appropriate.
+func (s *Server) ReportDisplay(id auction.ImpressionID, displayAt simclock.Time) error {
+	if _, claimed := s.claims[id]; !claimed {
+		s.claims[id] = displayAt.Add(s.cfg.ReportLatency)
+	}
+	return s.ex.RecordDisplay(id, displayAt)
+}
+
+// CancellationKnown reports whether a client checking at instant at
+// already knows impression id was claimed elsewhere: the claim must
+// have reached the server and then propagated for SyncDelay.
+func (s *Server) CancellationKnown(id auction.ImpressionID, at simclock.Time) bool {
+	learned, ok := s.claims[id]
+	if !ok {
+		return false
+	}
+	return !learned.Add(s.cfg.SyncDelay).After(at)
+}
+
+// RescueOpen serves the most urgent open (sold, unclaimed, unexpired)
+// prefetch impression to an on-demand request: the slot's eyeballs go to
+// an obligation the exchange has already sold rather than to fresh
+// inventory, which is what keeps the SLA violation rate down to the
+// aggregate supply shortfall. The impression is billed at now and its
+// replicas become cancellable immediately (the server itself served it,
+// so there is no report latency). ok is false when nothing is pending.
+func (s *Server) RescueOpen(now simclock.Time, clientID int) (auction.ImpressionID, bool) {
+	day := now.DayIndex()
+	// Skimmed entries that are valid but frequency-capped for this
+	// client are pushed back after the scan.
+	var skipped []pendingImp
+	defer func() {
+		for _, e := range skipped {
+			heap.Push(&s.pending, e)
+		}
+	}()
+	for len(s.pending) > 0 {
+		top := s.pending[0]
+		if _, claimed := s.claims[top.id]; claimed {
+			heap.Pop(&s.pending)
+			continue
+		}
+		if now.After(top.deadline) {
+			heap.Pop(&s.pending) // expired; the sweep will record it
+			continue
+		}
+		if !s.underCap(clientID, s.impCampaign[top.id], day) {
+			skipped = append(skipped, heap.Pop(&s.pending).(pendingImp))
+			continue
+		}
+		heap.Pop(&s.pending)
+		s.claims[top.id] = now
+		s.countCap(clientID, s.impCampaign[top.id], day)
+		if err := s.ex.RecordDisplay(top.id, now); err != nil {
+			// The impression was open per our bookkeeping; a failure here
+			// is a bug, not an environmental condition.
+			panic(err)
+		}
+		return top.id, true
+	}
+	return 0, false
+}
+
+// TopUp returns up to TopUpCap open impressions for the client to carry
+// home in its cache, sized by the client's remaining forecast slots for
+// the current period. The impressions stay in the pending set — they are
+// extra replicas, still rescuable elsewhere; the claim protocol dedups.
+//
+// Impressions with few outstanding replicas are preferred: handing out a
+// copy of an ad that is already widely cached mostly creates duplicate
+// displays (revenue loss), while a copy of a thinly-replicated ad
+// genuinely improves its odds.
+func (s *Server) TopUp(now simclock.Time, clientID int) []client.CachedAd {
+	if s.cfg.TopUpCap <= 0 || len(s.pending) == 0 {
+		return nil
+	}
+	pred, ok := s.predictors[clientID]
+	if !ok {
+		return nil
+	}
+	est := pred.Predict(s.curPeriod)
+	want := int(est.Slots) - s.slotCounts[clientID]
+	if want > s.cfg.TopUpCap {
+		want = s.cfg.TopUpCap
+	}
+	if want <= 0 {
+		return nil
+	}
+	out := make([]client.CachedAd, 0, want)
+	n := len(s.pending)
+	day := now.DayIndex()
+	take := func(maxHolders int) {
+		for i := 0; i < n && len(out) < want; i++ {
+			e := s.pending[(s.rescueCursor+i)%n]
+			if _, claimed := s.claims[e.id]; claimed {
+				continue
+			}
+			if now.After(e.deadline) {
+				continue
+			}
+			if len(s.replicaHolders[e.id]) > maxHolders {
+				continue
+			}
+			if !s.underCap(clientID, s.impCampaign[e.id], day) {
+				continue
+			}
+			dup := false
+			for _, ad := range out {
+				if ad.ID == e.id {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			s.countCap(clientID, s.impCampaign[e.id], day)
+			out = append(out, client.CachedAd{
+				ID:       e.id,
+				Deadline: e.deadline,
+				Tie:      displayTie(clientID, e.id),
+			})
+		}
+	}
+	take(0) // unplaced impressions are pure wins: no replica can race them
+	if len(out) < want {
+		take(1) // then thinly-replicated ones
+	}
+	if len(out) < want {
+		take(1 << 30)
+	}
+	s.rescueCursor = (s.rescueCursor + want) % max(n, 1)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OnDemandSell runs the status-quo RTB path: sell one slot with the
+// given category hints and bill it immediately (the ad is fetched and
+// displayed in-line). Frequency-capped campaigns do not bid for clients
+// they have saturated today. ok is false when no campaign bid.
+func (s *Server) OnDemandSell(now simclock.Time, clientID int, hints []trace.Category) (auction.Impression, bool) {
+	day := now.DayIndex()
+	sold := s.ex.SellSlotsFiltered(now, 1, hints, s.cfg.Deadline(), func(c auction.CampaignID) bool {
+		return s.underCap(clientID, c, day)
+	})
+	if len(sold) == 0 {
+		return auction.Impression{}, false
+	}
+	s.countCap(clientID, sold[0].Campaign, day)
+	if err := s.ex.RecordDisplay(sold[0].ID, now); err != nil {
+		panic(err) // impression was just created; failure is a bug
+	}
+	return sold[0], true
+}
+
+// EndPeriod closes the period that just elapsed: trains every client's
+// predictor on the observed slot counts, resets the counters, and
+// sweeps expired impressions in the exchange. It returns the number of
+// impressions that expired (SLA violations this period).
+func (s *Server) EndPeriod(now simclock.Time, p predict.Period) int {
+	if s.lastForecast > 0 {
+		actual := 0
+		for _, n := range s.slotCounts {
+			actual += n
+		}
+		if actual > 0 {
+			relErr := (s.lastForecast - float64(actual)) / float64(actual)
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			s.errP50.Add(relErr)
+			s.errP95.Add(relErr)
+			s.rounds++
+		}
+		s.lastForecast = 0
+	}
+	for _, id := range s.clientIDs {
+		s.predictors[id].Observe(p, s.slotCounts[id])
+	}
+	for k := range s.slotCounts {
+		delete(s.slotCounts, k)
+	}
+	return s.ex.SweepExpired(now)
+}
+
+// displayTie returns the per-(client, impression) display-order key
+// that decorrelates replica positions across clients.
+func displayTie(clientID int, imp auction.ImpressionID) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	u, v := uint64(clientID), uint64(imp)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+		buf[8+i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// predictorState is the wire form of one client's persisted predictor.
+type predictorState struct {
+	Client int             `json:"client"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// SavePredictors persists every snapshot-capable predictor's learned
+// state as JSON. The usage histories are the server's only long-lived
+// state; in-flight auctions are transactional and a restart forfeits at
+// most the current period.
+func (s *Server) SavePredictors(w io.Writer) error {
+	var states []predictorState
+	for _, id := range s.clientIDs {
+		snap, ok := s.predictors[id].(predict.Snapshotter)
+		if !ok {
+			continue
+		}
+		data, err := snap.Snapshot()
+		if err != nil {
+			return fmt.Errorf("adserver: snapshotting client %d: %w", id, err)
+		}
+		states = append(states, predictorState{Client: id, Data: data})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(states)
+}
+
+// LoadPredictors restores predictor state saved by SavePredictors.
+// Clients present in the snapshot but unknown to this server are
+// skipped (the fleet may have churned between runs); known clients with
+// non-snapshot predictors are skipped too.
+func (s *Server) LoadPredictors(r io.Reader) error {
+	var states []predictorState
+	if err := json.NewDecoder(r).Decode(&states); err != nil {
+		return fmt.Errorf("adserver: decoding predictor snapshot: %w", err)
+	}
+	for _, st := range states {
+		pred, ok := s.predictors[st.Client]
+		if !ok {
+			continue
+		}
+		snap, ok := pred.(predict.Snapshotter)
+		if !ok {
+			continue
+		}
+		if err := snap.Restore(st.Data); err != nil {
+			return fmt.Errorf("adserver: restoring client %d: %w", st.Client, err)
+		}
+	}
+	return nil
+}
+
+// ReplicaHolders returns the clients an impression was assigned to.
+func (s *Server) ReplicaHolders(id auction.ImpressionID) []int {
+	return append([]int(nil), s.replicaHolders[id]...)
+}

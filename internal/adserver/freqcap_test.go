@@ -1,0 +1,151 @@
+package adserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/simclock"
+)
+
+// cappedExchange has one high-bidding capped campaign and one uncapped
+// backfill campaign.
+func cappedExchange(t *testing.T, cap int) *auction.Exchange {
+	t.Helper()
+	ex, err := auction.NewExchange([]auction.Campaign{
+		{ID: 0, Name: "capped", BidCPM: 5000, BudgetUSD: 1e6, FreqCapPerUserDay: cap},
+		{ID: 1, Name: "backfill", BidCPM: 1000, BudgetUSD: 1e6},
+	}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestOnDemandRespectsFreqCap(t *testing.T) {
+	ex := cappedExchange(t, 2)
+	s, _ := newServer(t, DefaultConfig(), ex, 1, predict.Estimate{})
+	for i := 0; i < 5; i++ {
+		imp, ok := s.OnDemandSell(simclock.Time(i)*simclock.Minute, 0, nil)
+		if !ok {
+			t.Fatalf("sale %d failed", i)
+		}
+		if i < 2 && imp.Campaign != 0 {
+			t.Fatalf("sale %d: want capped campaign to win, got %d", i, imp.Campaign)
+		}
+		if i >= 2 && imp.Campaign != 1 {
+			t.Fatalf("sale %d: capped campaign exceeded its cap", i)
+		}
+	}
+	// A different client still gets the capped campaign.
+	s2, _ := newServer(t, DefaultConfig(), cappedExchange(t, 2), 2, predict.Estimate{})
+	s2.OnDemandSell(0, 0, nil)
+	s2.OnDemandSell(simclock.Minute, 0, nil)
+	imp, ok := s2.OnDemandSell(2*simclock.Minute, 1, nil)
+	if !ok || imp.Campaign != 0 {
+		t.Fatalf("cap must be per-user: %+v ok=%v", imp, ok)
+	}
+}
+
+func TestFreqCapResetsNextDay(t *testing.T) {
+	ex := cappedExchange(t, 1)
+	s, _ := newServer(t, DefaultConfig(), ex, 1, predict.Estimate{})
+	imp, _ := s.OnDemandSell(0, 0, nil)
+	if imp.Campaign != 0 {
+		t.Fatalf("first sale %+v", imp)
+	}
+	imp, _ = s.OnDemandSell(simclock.Hour, 0, nil)
+	if imp.Campaign != 1 {
+		t.Fatalf("same-day second sale should fall to backfill: %+v", imp)
+	}
+	imp, _ = s.OnDemandSell(simclock.Day+simclock.Hour, 0, nil)
+	if imp.Campaign != 0 {
+		t.Fatalf("cap should reset next day: %+v", imp)
+	}
+}
+
+func TestAssignmentRespectsFreqCap(t *testing.T) {
+	// One client, capped campaign wins every auction; with cap 2 the
+	// client's bundle holds at most 2 of its ads per day.
+	cfg := DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	ex := cappedExchange(t, 2)
+	s, _ := newServer(t, cfg, ex, 1, predict.Estimate{Slots: 6, Mean: 6, NoShowProb: 0.1})
+	bundles, stats := s.StartPeriod(0, predict.Period{})
+	if stats.Sold < 4 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("bundles %v", bundles)
+	}
+	capped := 0
+	for _, ad := range bundles[0].Ads {
+		c, ok := ex.CampaignOf(ad.ID)
+		if !ok {
+			t.Fatalf("unknown impression %d", ad.ID)
+		}
+		if c == 0 {
+			capped++
+		}
+	}
+	if capped > 2 {
+		t.Fatalf("bundle carries %d capped-campaign ads, cap is 2", capped)
+	}
+	// Unassignable capped impressions remain open for other days/clients,
+	// so Placed < Sold here.
+	if stats.Placed >= stats.Sold {
+		t.Fatalf("expected some unplaced capped impressions: %+v", stats)
+	}
+}
+
+func TestRescueRespectsFreqCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	ex := cappedExchange(t, 1)
+	s, _ := newServer(t, cfg, ex, 1, predict.Estimate{Slots: 4, Mean: 4, NoShowProb: 0.1})
+	_, stats := s.StartPeriod(0, predict.Period{})
+	if stats.Sold < 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// The bundle already consumed the cap for campaign 0; rescuing must
+	// only ever hand campaign-0 ads up to the cap — since assignment
+	// already used it, every rescue for this client must be backfill.
+	for i := 0; i < 2; i++ {
+		id, ok := s.RescueOpen(simclock.Time(i+1)*simclock.Minute, 0)
+		if !ok {
+			break
+		}
+		if c, _ := ex.CampaignOf(id); c == 0 {
+			t.Fatalf("rescue %d violated the frequency cap", i)
+		}
+	}
+}
+
+func TestTopUpRespectsFreqCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.TopUpCap = 8
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	cfg.Overbook.CacheCap = 1 // force most impressions to stay unplaced
+	ex := cappedExchange(t, 1)
+	s, _ := newServer(t, cfg, ex, 1, predict.Estimate{Slots: 6, Mean: 6, NoShowProb: 0.1})
+	s.StartPeriod(0, predict.Period{})
+	ads := s.TopUp(simclock.Minute, 0)
+	capped := 0
+	for _, ad := range ads {
+		if c, _ := ex.CampaignOf(ad.ID); c == 0 {
+			capped++
+		}
+	}
+	// The single allowed capped ad went to the bundle (CacheCap 1), so
+	// top-up may carry none.
+	if capped > 0 {
+		t.Fatalf("top-up carried %d capped ads beyond the cap", capped)
+	}
+}

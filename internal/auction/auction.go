@@ -1,0 +1,382 @@
+// Package auction implements the ad-exchange substrate: advertisers run
+// campaigns with bids, budgets, impression goals, and targeting; display
+// opportunities ("slots") are sold through sealed-bid second-price
+// auctions; and a ledger tracks what is billed versus given away.
+//
+// The paper's architectural point is that modern ad systems sell each
+// slot through a real-time auction at display time, which is exactly
+// what prefetching breaks. This exchange therefore supports selling
+// slots *before* they exist (the ad server offers predicted future
+// inventory) and bills at display-confirmation time, so the revenue
+// consequences of prediction error and replication are accounted
+// faithfully: an impression displayed by more than one replica is paid
+// only once, and an impression never displayed before its deadline is an
+// SLA violation that releases its budget commitment.
+package auction
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// AdvertiserID identifies a bidder.
+type AdvertiserID int
+
+// CampaignID identifies a campaign within an exchange.
+type CampaignID int
+
+// ImpressionID identifies one sold impression.
+type ImpressionID int64
+
+// Campaign is an advertiser's standing order for impressions.
+type Campaign struct {
+	ID         CampaignID
+	Advertiser AdvertiserID
+	Name       string
+
+	// BidCPM is the bid per thousand impressions (USD). Per-impression
+	// willingness to pay is BidCPM/1000.
+	BidCPM float64
+
+	// BudgetUSD caps total spend; the campaign stops bidding once its
+	// committed spend reaches the budget.
+	BudgetUSD float64
+
+	// Goal caps total impressions purchased (0 = unlimited).
+	Goal int64
+
+	// Deadline is the display SLA the advertiser buys: a sold impression
+	// must be shown within this long or it counts as a violation.
+	Deadline time.Duration
+
+	// Categories restricts the app categories this campaign will buy
+	// (empty = run of network).
+	Categories []trace.Category
+
+	// FreqCapPerUserDay caps how many impressions of this campaign one
+	// user may see per day (0 = uncapped). The exchange itself cannot
+	// enforce it — it does not know which user a prefetched slot will
+	// materialize on — so the ad server enforces it at replica
+	// assignment and on-demand sale time via SellSlots' allow filter.
+	FreqCapPerUserDay int
+}
+
+// perImp returns the campaign's per-impression bid.
+func (c Campaign) perImp() float64 { return c.BidCPM / 1000 }
+
+// matches reports whether the campaign may buy a slot offered with the
+// given category hints (nil hints = untargetable inventory, which only
+// run-of-network campaigns buy).
+func (c Campaign) matches(hints []trace.Category) bool {
+	if len(c.Categories) == 0 {
+		return true
+	}
+	for _, h := range hints {
+		for _, want := range c.Categories {
+			if h == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Impression is one sold display obligation.
+type Impression struct {
+	ID       ImpressionID
+	Campaign CampaignID
+	PriceUSD float64 // second-price outcome, per impression
+	SoldAt   simclock.Time
+	Deadline simclock.Time // display SLA expiry
+}
+
+// Ledger aggregates the money and SLA outcomes of an exchange.
+type Ledger struct {
+	Sold         int64
+	BilledUSD    float64
+	Billed       int64   // impressions billed (displayed at least once in time)
+	FreeUSD      float64 // value of duplicate displays given away (revenue loss)
+	FreeShows    int64   // duplicate display count
+	Violations   int64   // sold impressions never displayed in time
+	ViolatedUSD  float64 // their released value
+	PotentialUSD float64 // total value sold (billed + violated upper bound)
+}
+
+// RevenueLossFrac returns the paper's revenue-loss metric: the value of
+// free (duplicate) impressions relative to billed revenue.
+func (l Ledger) RevenueLossFrac() float64 {
+	if l.BilledUSD == 0 {
+		return 0
+	}
+	return l.FreeUSD / l.BilledUSD
+}
+
+// ViolationRate returns violated impressions / sold impressions.
+func (l Ledger) ViolationRate() float64 {
+	if l.Sold == 0 {
+		return 0
+	}
+	return float64(l.Violations) / float64(l.Sold)
+}
+
+// campaignState tracks the mutable side of a campaign.
+type campaignState struct {
+	c            Campaign
+	soldCount    int64
+	committedUSD float64
+	billedUSD    float64
+	billedCount  int64
+}
+
+// remainingImps returns how many more impressions the campaign can buy.
+func (s *campaignState) canBuy() bool {
+	if s.c.Goal > 0 && s.soldCount >= s.c.Goal {
+		return false
+	}
+	return s.committedUSD+s.c.perImp() <= s.c.BudgetUSD+1e-12
+}
+
+// Exchange runs auctions over a fixed campaign set. Not safe for
+// concurrent use; the simulator is single-threaded.
+type Exchange struct {
+	states  map[CampaignID]*campaignState
+	order   []CampaignID // deterministic iteration order
+	reserve float64      // reserve price per impression
+	nextID  ImpressionID
+	ledger  Ledger
+	open    map[ImpressionID]*Impression // sold, not yet settled
+	settled map[ImpressionID]bool        // billed or violated; extra shows are free
+
+	// settledPrice remembers prices of settled impressions so late
+	// duplicate displays can still be valued as revenue loss.
+	settledPrice map[ImpressionID]float64
+}
+
+// NewExchange creates an exchange over the campaign set with the given
+// per-impression reserve price. Campaign IDs must be unique.
+func NewExchange(campaigns []Campaign, reserveUSD float64) (*Exchange, error) {
+	if reserveUSD < 0 {
+		return nil, fmt.Errorf("auction: negative reserve %v", reserveUSD)
+	}
+	e := &Exchange{
+		states:  make(map[CampaignID]*campaignState, len(campaigns)),
+		reserve: reserveUSD,
+		open:    make(map[ImpressionID]*Impression),
+		settled: make(map[ImpressionID]bool),
+	}
+	for _, c := range campaigns {
+		if _, dup := e.states[c.ID]; dup {
+			return nil, fmt.Errorf("auction: duplicate campaign id %d", c.ID)
+		}
+		if c.BidCPM < 0 || c.BudgetUSD < 0 || c.Goal < 0 || c.Deadline < 0 {
+			return nil, fmt.Errorf("auction: campaign %d has negative parameters", c.ID)
+		}
+		e.states[c.ID] = &campaignState{c: c}
+		e.order = append(e.order, c.ID)
+	}
+	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+	return e, nil
+}
+
+// Ledger returns a copy of the current ledger.
+func (e *Exchange) Ledger() Ledger { return e.ledger }
+
+// Open returns the number of sold-but-unsettled impressions.
+func (e *Exchange) Open() int { return len(e.open) }
+
+// CampaignSpend returns (billed, committed) dollars for one campaign.
+func (e *Exchange) CampaignSpend(id CampaignID) (billed, committed float64, err error) {
+	s, ok := e.states[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("auction: unknown campaign %d", id)
+	}
+	return s.billedUSD, s.committedUSD, nil
+}
+
+// CampaignSold returns impressions sold to one campaign.
+func (e *Exchange) CampaignSold(id CampaignID) (int64, error) {
+	s, ok := e.states[id]
+	if !ok {
+		return 0, fmt.Errorf("auction: unknown campaign %d", id)
+	}
+	return s.soldCount, nil
+}
+
+// SellSlots auctions up to n slots at instant now, offered with the
+// given category hints (nil = untargetable predicted inventory). Each
+// slot runs an independent sealed-bid second-price auction among
+// eligible campaigns; the price is the max of the runner-up bid and the
+// reserve. Slots that attract no bid at or above reserve go unsold, and
+// selling stops early once demand is exhausted.
+//
+// deadlineCap, if positive, tightens every sold impression's deadline to
+// at most that duration (the server may need ads displayable within the
+// prefetch window regardless of what the campaign bought).
+func (e *Exchange) SellSlots(now simclock.Time, n int, hints []trace.Category, deadlineCap time.Duration) []Impression {
+	return e.SellSlotsFiltered(now, n, hints, deadlineCap, nil)
+}
+
+// SellSlotsFiltered is SellSlots with an additional per-slot eligibility
+// filter: campaigns for which allow returns false do not bid. The ad
+// server uses it to enforce per-user frequency caps, which only it can
+// evaluate.
+func (e *Exchange) SellSlotsFiltered(now simclock.Time, n int, hints []trace.Category,
+	deadlineCap time.Duration, allow func(CampaignID) bool) []Impression {
+	var sold []Impression
+	for i := 0; i < n; i++ {
+		imp, ok := e.sellOne(now, hints, deadlineCap, allow)
+		if !ok {
+			break
+		}
+		sold = append(sold, imp)
+	}
+	return sold
+}
+
+func (e *Exchange) sellOne(now simclock.Time, hints []trace.Category, deadlineCap time.Duration, allow func(CampaignID) bool) (Impression, bool) {
+	var best, second *campaignState
+	for _, id := range e.order {
+		s := e.states[id]
+		if !s.canBuy() || !s.c.matches(hints) || s.c.perImp() < e.reserve {
+			continue
+		}
+		if allow != nil && !allow(id) {
+			continue
+		}
+		switch {
+		case best == nil || s.c.perImp() > best.c.perImp():
+			second = best
+			best = s
+		case second == nil || s.c.perImp() > second.c.perImp():
+			second = s
+		}
+	}
+	if best == nil {
+		return Impression{}, false
+	}
+	price := e.reserve
+	if second != nil && second.c.perImp() > price {
+		price = second.c.perImp()
+	}
+	deadline := best.c.Deadline
+	if deadlineCap > 0 && (deadline == 0 || deadline > deadlineCap) {
+		deadline = deadlineCap
+	}
+	e.nextID++
+	imp := Impression{
+		ID:       e.nextID,
+		Campaign: best.c.ID,
+		PriceUSD: price,
+		SoldAt:   now,
+		Deadline: now.Add(deadline),
+	}
+	best.soldCount++
+	best.committedUSD += price
+	e.ledger.Sold++
+	e.ledger.PotentialUSD += price
+	stored := imp
+	e.open[imp.ID] = &stored
+	return imp, true
+}
+
+// RecordDisplay reports that a replica displayed impression id at
+// instant at. The first in-deadline display bills the advertiser; any
+// further display (racing replicas, or a display after settlement) is a
+// free impression counted as revenue loss. A first display *after* the
+// deadline is both a violation (settled by RecordExpiry) and a free
+// show. Unknown impressions error.
+func (e *Exchange) RecordDisplay(id ImpressionID, at simclock.Time) error {
+	imp, openOK := e.open[id]
+	if !openOK {
+		if e.settled[id] {
+			// Late duplicate from a replica that didn't hear the news.
+			e.ledger.FreeShows++
+			// Value: we no longer know the price cheaply unless we keep it;
+			// see settledPrice map below.
+			e.ledger.FreeUSD += e.settledPrice[id]
+			return nil
+		}
+		return fmt.Errorf("auction: display report for unknown impression %d", id)
+	}
+	if at.After(imp.Deadline) {
+		// Too late to bill; the violation is recorded at expiry sweep,
+		// but the eyeballs were given away for free.
+		e.ledger.FreeShows++
+		e.ledger.FreeUSD += imp.PriceUSD
+		return nil
+	}
+	s := e.states[imp.Campaign]
+	s.billedUSD += imp.PriceUSD
+	s.billedCount++
+	e.ledger.Billed++
+	e.ledger.BilledUSD += imp.PriceUSD
+	e.settle(id, imp.PriceUSD)
+	return nil
+}
+
+// RecordExpiry reports that impression id passed its deadline without a
+// billed display: an SLA violation. Its budget commitment is released.
+// Expiring an already-settled impression is a no-op so sweeps can be
+// idempotent.
+func (e *Exchange) RecordExpiry(id ImpressionID) {
+	imp, ok := e.open[id]
+	if !ok {
+		return
+	}
+	s := e.states[imp.Campaign]
+	s.committedUSD -= imp.PriceUSD
+	if s.c.Goal > 0 {
+		s.soldCount-- // the unfilled slot returns to the goal
+	}
+	e.ledger.Violations++
+	e.ledger.ViolatedUSD += imp.PriceUSD
+	e.settle(id, imp.PriceUSD)
+}
+
+// Campaign returns a campaign's definition by id.
+func (e *Exchange) Campaign(id CampaignID) (Campaign, bool) {
+	s, ok := e.states[id]
+	if !ok {
+		return Campaign{}, false
+	}
+	return s.c, true
+}
+
+// CampaignOf returns the campaign that bought an impression (ok=false
+// for unknown or already-settled impressions whose record was dropped).
+func (e *Exchange) CampaignOf(id ImpressionID) (CampaignID, bool) {
+	if imp, ok := e.open[id]; ok {
+		return imp.Campaign, true
+	}
+	return 0, false
+}
+
+// SweepExpired records an SLA violation for every open impression whose
+// deadline has passed. It returns the number of impressions expired.
+// Iteration is sorted so ledger arithmetic stays deterministic.
+func (e *Exchange) SweepExpired(now simclock.Time) int {
+	var ids []ImpressionID
+	for id, imp := range e.open {
+		if now.After(imp.Deadline) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e.RecordExpiry(id)
+	}
+	return len(ids)
+}
+
+func (e *Exchange) settle(id ImpressionID, price float64) {
+	delete(e.open, id)
+	e.settled[id] = true
+	if e.settledPrice == nil {
+		e.settledPrice = make(map[ImpressionID]float64)
+	}
+	e.settledPrice[id] = price
+}

@@ -1,0 +1,373 @@
+package auction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func twoCampaigns() []Campaign {
+	return []Campaign{
+		{ID: 0, Name: "hi", BidCPM: 2000, BudgetUSD: 1000, Deadline: time.Hour}, // $2/imp
+		{ID: 1, Name: "lo", BidCPM: 1000, BudgetUSD: 1000, Deadline: time.Hour}, // $1/imp
+	}
+}
+
+func TestSecondPricePricing(t *testing.T) {
+	e, err := NewExchange(twoCampaigns(), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sold := e.SellSlots(0, 1, nil, 0)
+	if len(sold) != 1 {
+		t.Fatalf("sold %d", len(sold))
+	}
+	imp := sold[0]
+	if imp.Campaign != 0 {
+		t.Fatalf("winner %d, want highest bidder 0", imp.Campaign)
+	}
+	if imp.PriceUSD != 1.0 {
+		t.Fatalf("price %v, want runner-up bid 1.0", imp.PriceUSD)
+	}
+	if imp.Deadline != simclock.Time(time.Hour) {
+		t.Fatalf("deadline %v", imp.Deadline)
+	}
+}
+
+func TestReservePriceFloorsAndFilters(t *testing.T) {
+	e, err := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 2000, BudgetUSD: 100, Deadline: time.Hour},
+	}, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sold := e.SellSlots(0, 1, nil, 0)
+	if len(sold) != 1 || sold[0].PriceUSD != 0.50 {
+		t.Fatalf("lone bidder should pay reserve: %+v", sold)
+	}
+	// A bidder below reserve cannot buy.
+	e2, _ := NewExchange([]Campaign{{ID: 0, BidCPM: 100, BudgetUSD: 100}}, 0.50)
+	if sold := e2.SellSlots(0, 1, nil, 0); len(sold) != 0 {
+		t.Fatalf("below-reserve bid bought a slot: %+v", sold)
+	}
+}
+
+func TestBudgetExhaustionStopsSales(t *testing.T) {
+	e, err := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 1000, BudgetUSD: 2.5, Deadline: time.Hour}, // $1/imp, budget 2.5
+	}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sold := e.SellSlots(0, 10, nil, 0)
+	if len(sold) != 2 {
+		t.Fatalf("sold %d impressions on a $2.5 budget at $1 reserve", len(sold))
+	}
+}
+
+func TestGoalCapsSales(t *testing.T) {
+	e, err := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 1000, BudgetUSD: 1000, Goal: 3, Deadline: time.Hour},
+	}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sold := e.SellSlots(0, 10, nil, 0); len(sold) != 3 {
+		t.Fatalf("sold %d, want goal 3", len(sold))
+	}
+	// Expiring releases the slot back to the goal.
+	e.RecordExpiry(1)
+	if sold := e.SellSlots(simclock.Hour*2, 10, nil, 0); len(sold) != 1 {
+		t.Fatalf("after expiry, sold %d, want 1", len(sold))
+	}
+}
+
+func TestTargeting(t *testing.T) {
+	e, err := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 5000, BudgetUSD: 100, Categories: []trace.Category{trace.CatGame}, Deadline: time.Hour},
+		{ID: 1, BidCPM: 1000, BudgetUSD: 100, Deadline: time.Hour},
+	}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untargetable inventory: only the run-of-network campaign buys.
+	sold := e.SellSlots(0, 1, nil, 0)
+	if len(sold) != 1 || sold[0].Campaign != 1 {
+		t.Fatalf("untargetable slot: %+v", sold)
+	}
+	// Game inventory: the targeted campaign wins and pays the runner-up.
+	sold = e.SellSlots(0, 1, []trace.Category{trace.CatGame}, 0)
+	if len(sold) != 1 || sold[0].Campaign != 0 || sold[0].PriceUSD != 1.0 {
+		t.Fatalf("game slot: %+v", sold)
+	}
+	// Social inventory: targeted campaign ineligible.
+	sold = e.SellSlots(0, 1, []trace.Category{trace.CatSocial}, 0)
+	if len(sold) != 1 || sold[0].Campaign != 1 {
+		t.Fatalf("social slot: %+v", sold)
+	}
+}
+
+func TestDeadlineCap(t *testing.T) {
+	e, _ := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 1000, BudgetUSD: 100, Deadline: 24 * time.Hour},
+	}, 0.1)
+	sold := e.SellSlots(0, 1, nil, time.Hour)
+	if sold[0].Deadline != simclock.Time(time.Hour) {
+		t.Fatalf("cap not applied: %v", sold[0].Deadline)
+	}
+	// Campaigns with zero deadline accept the cap as their deadline.
+	e2, _ := NewExchange([]Campaign{{ID: 0, BidCPM: 1000, BudgetUSD: 100}}, 0.1)
+	sold = e2.SellSlots(0, 1, nil, 2*time.Hour)
+	if sold[0].Deadline != simclock.Time(2*time.Hour) {
+		t.Fatalf("zero deadline should adopt cap: %v", sold[0].Deadline)
+	}
+}
+
+func TestBillingLifecycle(t *testing.T) {
+	e, _ := NewExchange(twoCampaigns(), 0.1)
+	sold := e.SellSlots(0, 2, nil, 0)
+	if len(sold) != 2 {
+		t.Fatalf("sold %d", len(sold))
+	}
+	// First display in time: billed.
+	if err := e.RecordDisplay(sold[0].ID, simclock.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	l := e.Ledger()
+	if l.Billed != 1 || math.Abs(l.BilledUSD-sold[0].PriceUSD) > 1e-12 {
+		t.Fatalf("ledger after billing: %+v", l)
+	}
+	// Duplicate display of the same impression: free show, same value.
+	if err := e.RecordDisplay(sold[0].ID, simclock.At(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	l = e.Ledger()
+	if l.FreeShows != 1 || math.Abs(l.FreeUSD-sold[0].PriceUSD) > 1e-12 {
+		t.Fatalf("duplicate not counted free: %+v", l)
+	}
+	if math.Abs(l.RevenueLossFrac()-1.0) > 1e-12 {
+		t.Fatalf("revenue loss frac: %v", l.RevenueLossFrac())
+	}
+	// Second impression expires unseen: violation, budget released.
+	e.RecordExpiry(sold[1].ID)
+	l = e.Ledger()
+	if l.Violations != 1 || math.Abs(l.ViolatedUSD-sold[1].PriceUSD) > 1e-12 {
+		t.Fatalf("violation not recorded: %+v", l)
+	}
+	if got := l.ViolationRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("violation rate %v", got)
+	}
+	if e.Open() != 0 {
+		t.Fatalf("open=%d", e.Open())
+	}
+	billed, committed, err := e.CampaignSpend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Winner was campaign 0 both times (budget deep enough); one billed,
+	// one released.
+	if billed <= 0 || committed < billed-1e-9 {
+		t.Fatalf("spend: billed=%v committed=%v", billed, committed)
+	}
+}
+
+func TestLateDisplayIsFreeNotBilled(t *testing.T) {
+	e, _ := NewExchange([]Campaign{
+		{ID: 0, BidCPM: 1000, BudgetUSD: 100, Deadline: time.Minute},
+	}, 0.1)
+	sold := e.SellSlots(0, 1, nil, 0)
+	if err := e.RecordDisplay(sold[0].ID, simclock.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	l := e.Ledger()
+	if l.Billed != 0 || l.FreeShows != 1 {
+		t.Fatalf("late display: %+v", l)
+	}
+	// Sweep then settles the violation.
+	e.RecordExpiry(sold[0].ID)
+	if e.Ledger().Violations != 1 {
+		t.Fatal("expiry after late display should record violation")
+	}
+	// A further duplicate display after settlement is still free.
+	if err := e.RecordDisplay(sold[0].ID, simclock.At(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Ledger().FreeShows != 2 {
+		t.Fatalf("free shows %d", e.Ledger().FreeShows)
+	}
+}
+
+func TestRecordDisplayUnknown(t *testing.T) {
+	e, _ := NewExchange(twoCampaigns(), 0.1)
+	if err := e.RecordDisplay(999, 0); err == nil {
+		t.Fatal("unknown impression should error")
+	}
+}
+
+func TestRecordExpiryIdempotent(t *testing.T) {
+	e, _ := NewExchange(twoCampaigns(), 0.1)
+	sold := e.SellSlots(0, 1, nil, 0)
+	e.RecordExpiry(sold[0].ID)
+	e.RecordExpiry(sold[0].ID)
+	if e.Ledger().Violations != 1 {
+		t.Fatalf("violations %d", e.Ledger().Violations)
+	}
+}
+
+func TestNewExchangeValidation(t *testing.T) {
+	if _, err := NewExchange([]Campaign{{ID: 0}, {ID: 0}}, 0); err == nil {
+		t.Fatal("duplicate ids should error")
+	}
+	if _, err := NewExchange([]Campaign{{ID: 0, BidCPM: -1}}, 0); err == nil {
+		t.Fatal("negative bid should error")
+	}
+	if _, err := NewExchange(nil, -1); err == nil {
+		t.Fatal("negative reserve should error")
+	}
+	if _, err := e0(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func e0() (*Exchange, error) { return NewExchange(nil, 0) }
+
+func TestEmptyExchangeSellsNothing(t *testing.T) {
+	e, _ := e0()
+	if sold := e.SellSlots(0, 5, nil, 0); len(sold) != 0 {
+		t.Fatalf("sold %d from empty exchange", len(sold))
+	}
+}
+
+func TestCampaignQueriesUnknown(t *testing.T) {
+	e, _ := e0()
+	if _, _, err := e.CampaignSpend(7); err == nil {
+		t.Fatal("unknown campaign spend should error")
+	}
+	if _, err := e.CampaignSold(7); err == nil {
+		t.Fatal("unknown campaign sold should error")
+	}
+}
+
+// Property: second-price invariant — price never exceeds the winner's
+// bid and never falls below reserve; committed spend never exceeds
+// budget; ledger conservation Sold = Billed + Violations + Open.
+func TestAuctionInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nSlots uint8) bool {
+		r := simclock.NewRand(seed)
+		d := DefaultDemand()
+		d.Campaigns = 8
+		d.BudgetImpressions = int64(r.Intn(50) + 1)
+		d.Deadline = time.Hour
+		camps := d.Generate(r)
+		e, err := NewExchange(camps, 0.05)
+		if err != nil {
+			return false
+		}
+		byID := map[CampaignID]Campaign{}
+		for _, c := range camps {
+			byID[c.ID] = c
+		}
+		sold := e.SellSlots(0, int(nSlots), nil, 0)
+		for _, imp := range sold {
+			c := byID[imp.Campaign]
+			if imp.PriceUSD > c.perImp()+1e-12 || imp.PriceUSD < 0.05-1e-12 {
+				return false
+			}
+		}
+		// Randomly display or expire.
+		for _, imp := range sold {
+			if r.Bernoulli(0.6) {
+				if err := e.RecordDisplay(imp.ID, imp.SoldAt.Add(time.Minute)); err != nil {
+					return false
+				}
+			} else {
+				e.RecordExpiry(imp.ID)
+			}
+		}
+		l := e.Ledger()
+		if l.Sold != l.Billed+l.Violations+int64(e.Open()) {
+			return false
+		}
+		for _, c := range camps {
+			billed, committed, err := e.CampaignSpend(c.ID)
+			if err != nil || billed > c.BudgetUSD+1e-9 || committed > c.BudgetUSD+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandGenerate(t *testing.T) {
+	r := simclock.NewRand(1)
+	d := DefaultDemand()
+	camps := d.Generate(r)
+	if len(camps) != d.Campaigns {
+		t.Fatalf("len=%d", len(camps))
+	}
+	targeted := 0
+	for i, c := range camps {
+		if c.ID != CampaignID(i) || c.BidCPM <= 0 || c.BudgetUSD <= 0 {
+			t.Fatalf("bad campaign %+v", c)
+		}
+		if len(c.Categories) > 0 {
+			targeted++
+		}
+	}
+	if targeted == 0 || targeted == len(camps) {
+		t.Fatalf("targeting mix degenerate: %d/%d", targeted, len(camps))
+	}
+	// Deterministic.
+	camps2 := d.Generate(simclock.NewRand(1))
+	if camps[0].BidCPM != camps2[0].BidCPM {
+		t.Fatal("demand generation not deterministic")
+	}
+}
+
+func TestSellSlotsFiltered(t *testing.T) {
+	e, err := NewExchange(twoCampaigns(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter out the high bidder: the runner-up wins at reserve.
+	sold := e.SellSlotsFiltered(0, 1, nil, 0, func(id CampaignID) bool { return id != 0 })
+	if len(sold) != 1 || sold[0].Campaign != 1 {
+		t.Fatalf("sold %+v", sold)
+	}
+	if sold[0].PriceUSD != 0.1 {
+		t.Fatalf("price %v want reserve", sold[0].PriceUSD)
+	}
+	// Filter out everyone: no sale.
+	if sold := e.SellSlotsFiltered(0, 1, nil, 0, func(CampaignID) bool { return false }); len(sold) != 0 {
+		t.Fatalf("sold %+v", sold)
+	}
+}
+
+func TestCampaignAccessors(t *testing.T) {
+	e, _ := NewExchange([]Campaign{
+		{ID: 3, Name: "x", BidCPM: 1000, BudgetUSD: 10, FreqCapPerUserDay: 2},
+	}, 0)
+	c, ok := e.Campaign(3)
+	if !ok || c.Name != "x" || c.FreqCapPerUserDay != 2 {
+		t.Fatalf("campaign %+v ok=%v", c, ok)
+	}
+	if _, ok := e.Campaign(99); ok {
+		t.Fatal("unknown campaign found")
+	}
+	sold := e.SellSlots(0, 1, nil, time.Hour)
+	got, ok := e.CampaignOf(sold[0].ID)
+	if !ok || got != 3 {
+		t.Fatalf("CampaignOf %v ok=%v", got, ok)
+	}
+	e.RecordExpiry(sold[0].ID)
+	if _, ok := e.CampaignOf(sold[0].ID); ok {
+		t.Fatal("settled impression should not resolve")
+	}
+}

@@ -1,0 +1,246 @@
+package client
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/simclock"
+)
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(0); err == nil {
+		t.Fatal("cap 0 should error")
+	}
+	c, err := NewCache(3)
+	if err != nil || c.Cap() != 3 || c.Len() != 0 {
+		t.Fatalf("c=%+v err=%v", c, err)
+	}
+}
+
+func TestCacheOrdersByDeadline(t *testing.T) {
+	c, _ := NewCache(10)
+	c.Add(
+		CachedAd{ID: 1, Deadline: 3 * simclock.Hour},
+		CachedAd{ID: 2, Deadline: simclock.Hour},
+		CachedAd{ID: 3, Deadline: 2 * simclock.Hour},
+	)
+	snap := c.Snapshot()
+	if snap[0].ID != 2 || snap[1].ID != 3 || snap[2].ID != 1 {
+		t.Fatalf("order wrong: %+v", snap)
+	}
+}
+
+func TestCacheOverflowDropsFarthest(t *testing.T) {
+	c, _ := NewCache(2)
+	dropped := c.Add(
+		CachedAd{ID: 1, Deadline: simclock.Hour},
+		CachedAd{ID: 2, Deadline: 3 * simclock.Hour},
+		CachedAd{ID: 3, Deadline: 2 * simclock.Hour},
+	)
+	if len(dropped) != 1 || dropped[0].ID != 2 {
+		t.Fatalf("dropped %+v, want the farthest deadline (id 2)", dropped)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestCacheTakeEDF(t *testing.T) {
+	c, _ := NewCache(10)
+	c.Add(
+		CachedAd{ID: 1, Deadline: 2 * simclock.Hour},
+		CachedAd{ID: 2, Deadline: simclock.Hour},
+	)
+	ad, ok := c.Take(0, nil)
+	if !ok || ad.ID != 2 {
+		t.Fatalf("EDF violated: %+v ok=%v", ad, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestCacheTakeSkipsExpiredAndCancelled(t *testing.T) {
+	c, _ := NewCache(10)
+	c.Add(
+		CachedAd{ID: 1, Deadline: simclock.Hour},     // will be expired
+		CachedAd{ID: 2, Deadline: 3 * simclock.Hour}, // cancelled
+		CachedAd{ID: 3, Deadline: 4 * simclock.Hour}, // usable
+		CachedAd{ID: 4, Deadline: 5 * simclock.Hour}, // stays
+	)
+	cancelled := func(id auction.ImpressionID) bool { return id == 2 }
+	ad, ok := c.Take(2*simclock.Hour, cancelled)
+	if !ok || ad.ID != 3 {
+		t.Fatalf("got %+v ok=%v", ad, ok)
+	}
+	// 1 and 2 dropped on the way, 3 taken, 4 remains.
+	if c.Len() != 1 || c.Snapshot()[0].ID != 4 {
+		t.Fatalf("remaining %+v", c.Snapshot())
+	}
+}
+
+func TestCacheTakeExactDeadlineUsable(t *testing.T) {
+	c, _ := NewCache(10)
+	c.Add(CachedAd{ID: 1, Deadline: simclock.Hour})
+	if _, ok := c.Take(simclock.Hour, nil); !ok {
+		t.Fatal("ad at exactly its deadline should still display")
+	}
+}
+
+func TestCacheTakeEmpty(t *testing.T) {
+	c, _ := NewCache(10)
+	if _, ok := c.Take(0, nil); ok {
+		t.Fatal("empty cache returned an ad")
+	}
+}
+
+func TestDropExpired(t *testing.T) {
+	c, _ := NewCache(10)
+	c.Add(
+		CachedAd{ID: 1, Deadline: simclock.Hour},
+		CachedAd{ID: 2, Deadline: 3 * simclock.Hour},
+	)
+	if n := c.DropExpired(2 * simclock.Hour); n != 1 {
+		t.Fatalf("dropped %d", n)
+	}
+	if c.Len() != 1 || c.Snapshot()[0].ID != 2 {
+		t.Fatalf("remaining %+v", c.Snapshot())
+	}
+}
+
+func TestDeviceScheduledDelivery(t *testing.T) {
+	d, err := NewDevice(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Assign([]CachedAd{{ID: 1, Deadline: simclock.Hour}}, true)
+	if d.Cache.Len() != 1 || len(d.Pending) != 0 {
+		t.Fatalf("scheduled delivery should ingest immediately: cache=%d pending=%d",
+			d.Cache.Len(), len(d.Pending))
+	}
+	if d.Counters.BundleFetches != 1 || d.Counters.BundledAds != 1 {
+		t.Fatalf("counters %+v", d.Counters)
+	}
+}
+
+func TestDevicePiggybackDelivery(t *testing.T) {
+	d, _ := NewDevice(7, 10)
+	d.Assign([]CachedAd{{ID: 1, Deadline: simclock.Hour}, {ID: 2, Deadline: simclock.Hour}}, false)
+	if d.Cache.Len() != 0 || len(d.Pending) != 2 {
+		t.Fatal("piggyback delivery should defer")
+	}
+	if n := d.TakePending(); n != 2 {
+		t.Fatalf("TakePending=%d", n)
+	}
+	if d.Cache.Len() != 2 || len(d.Pending) != 0 {
+		t.Fatal("pending not ingested")
+	}
+	if n := d.TakePending(); n != 0 {
+		t.Fatalf("second TakePending=%d", n)
+	}
+	d.Assign(nil, false)
+	if len(d.Pending) != 0 {
+		t.Fatal("assigning empty bundle should be a no-op")
+	}
+}
+
+func TestDeviceServeSlot(t *testing.T) {
+	d, _ := NewDevice(1, 10)
+	d.Assign([]CachedAd{{ID: 5, Deadline: simclock.Hour}}, true)
+	ad, hit := d.ServeSlot(simclock.At(0), nil)
+	if !hit || ad.ID != 5 {
+		t.Fatalf("ad=%+v hit=%v", ad, hit)
+	}
+	if _, hit := d.ServeSlot(simclock.At(0), nil); hit {
+		t.Fatal("empty cache should miss")
+	}
+	ct := d.Counters
+	if ct.SlotsServed != 2 || ct.CacheHits != 1 || ct.OnDemandFetches != 1 {
+		t.Fatalf("counters %+v", ct)
+	}
+	if ct.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", ct.HitRate())
+	}
+	var zero Counters
+	if zero.HitRate() != 0 {
+		t.Fatal("zero counters hit rate should be 0")
+	}
+}
+
+func TestDeviceServeSlotCountsExpiredDrops(t *testing.T) {
+	d, _ := NewDevice(1, 10)
+	d.Assign([]CachedAd{
+		{ID: 1, Deadline: simclock.Hour},
+		{ID: 2, Deadline: simclock.Hour},
+		{ID: 3, Deadline: 10 * simclock.Hour},
+	}, true)
+	ad, hit := d.ServeSlot(5*simclock.Hour, nil)
+	if !hit || ad.ID != 3 {
+		t.Fatalf("ad=%+v", ad)
+	}
+	if d.Counters.DroppedExpired != 2 {
+		t.Fatalf("dropped expired %d", d.Counters.DroppedExpired)
+	}
+	// All-expired path: misses and counts the drops.
+	d2, _ := NewDevice(2, 10)
+	d2.Assign([]CachedAd{{ID: 1, Deadline: simclock.Hour}}, true)
+	if _, hit := d2.ServeSlot(5*simclock.Hour, nil); hit {
+		t.Fatal("expired-only cache should miss")
+	}
+	if d2.Counters.DroppedExpired != 1 {
+		t.Fatalf("dropped %d", d2.Counters.DroppedExpired)
+	}
+}
+
+// Property: the cache never exceeds capacity, never returns expired or
+// cancelled ads, and conserves entries (taken + dropped + remaining =
+// added).
+func TestCacheInvariantProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		r := simclock.NewRand(seed)
+		c, err := NewCache(5)
+		if err != nil {
+			return false
+		}
+		added, taken, droppedOverflow, droppedOther := 0, 0, 0, 0
+		now := simclock.Time(0)
+		nextID := auction.ImpressionID(1)
+		for i := 0; i < int(ops); i++ {
+			now = now + simclock.Time(r.Int63n(int64(simclock.Hour)))
+			if r.Bernoulli(0.6) {
+				n := r.Intn(3) + 1
+				ads := make([]CachedAd, n)
+				for j := range ads {
+					ads[j] = CachedAd{
+						ID:       nextID,
+						Deadline: now + simclock.Time(r.Int63n(int64(4*simclock.Hour))),
+					}
+					nextID++
+				}
+				added += n
+				droppedOverflow += len(c.Add(ads...))
+			} else {
+				before := c.Len()
+				ad, ok := c.Take(now, func(id auction.ImpressionID) bool { return id%7 == 0 })
+				after := c.Len()
+				if ok {
+					taken++
+					if now.After(ad.Deadline) || ad.ID%7 == 0 {
+						return false
+					}
+					droppedOther += before - after - 1
+				} else {
+					droppedOther += before - after
+				}
+			}
+			if c.Len() > 5 {
+				return false
+			}
+		}
+		return added == taken+droppedOverflow+droppedOther+c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named function from a Scale (how much
+// of the population/trace to simulate) to a rendered table; cmd/experiments
+// prints them and bench_test.go wraps them as benchmarks.
+//
+// The experiment numbering follows DESIGN.md §4; the full text of the
+// paper was unavailable, so the set is reconstructed from the abstract's
+// claims plus the standard structure of the evaluation (see DESIGN.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Scale controls how large an experiment run is. The paper's full scale
+// is 1,738 users over 28 days; tests and benchmarks use smaller scales
+// with the same shape.
+type Scale struct {
+	Users      int
+	Days       int
+	WarmupDays int
+	Seed       int64
+}
+
+// Small is the test/bench scale: minutes of simulated population but the
+// same qualitative shape.
+func Small() Scale { return Scale{Users: 60, Days: 8, WarmupDays: 4, Seed: 1} }
+
+// Medium is the default cmd/experiments scale.
+func Medium() Scale { return Scale{Users: 300, Days: 14, WarmupDays: 7, Seed: 1} }
+
+// Full matches the paper's population: 1,738 users over four weeks.
+func Full() Scale { return Scale{Users: 1738, Days: 28, WarmupDays: 7, Seed: 1} }
+
+// Validate checks the scale.
+func (s Scale) Validate() error {
+	if s.Users <= 0 || s.Days <= 1 || s.WarmupDays < 1 || s.WarmupDays >= s.Days {
+		return fmt.Errorf("experiments: invalid scale %+v", s)
+	}
+	return nil
+}
+
+// traceConfig builds the population generator config for a scale.
+func (s Scale) traceConfig() trace.GenConfig {
+	cfg := trace.DefaultGenConfig()
+	cfg.Users = s.Users
+	cfg.Days = s.Days
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// Runner is one experiment: it produces the experiment's table.
+type Runner func(Scale) (*metrics.Table, error)
+
+// registry maps experiment IDs to runners; populated by init functions
+// in the per-experiment files.
+var registry = map[string]Runner{}
+
+// descriptions holds one-line summaries for the listing.
+var descriptions = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line summary of an experiment.
+func Describe(id string) string { return descriptions[id] }
+
+// Run executes one experiment by ID.
+func Run(id string, s Scale) (*metrics.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(s)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(s Scale) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, id := range IDs() {
+		t, err := Run(id, s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

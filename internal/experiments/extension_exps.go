@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/auction"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Extension experiments beyond the paper's (reconstructed) figure set:
+// distributional fairness, radio-technology generality, robustness under
+// injected failures, sensitivity to how predictable users actually are,
+// the shared-channel radio ablation, and auction-outcome fidelity.
+// Registered as x1..x6 so the core t/f numbering stays the paper's.
+func init() {
+	register("x1", "per-user ad-energy distribution (who gets the savings)", runX1)
+	register("x2", "radio technology generality: 3G vs LTE vs WiFi", runX2)
+	register("x3", "robustness: lost reports and client churn", runX3)
+	register("x4", "sensitivity to day-over-day usage regularity", runX4)
+	register("x5", "FACH ablation: do shared-channel ad downloads change the story?", runX5)
+	register("x6", "auction fidelity: per-campaign revenue under prefetching", runX6)
+	register("x7", "mixed connectivity: savings when users are on WiFi at home", runX7)
+}
+
+func runX1(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X1: per-user ad energy (J/user/day) distribution",
+		"mode", "mean", "p10", "p50", "p90", "p99")
+	modes := []core.Mode{core.ModeOnDemand, core.ModePredictive, core.ModeOracle}
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]sim.Config, 0, len(modes))
+	for _, m := range modes {
+		cfg := simConfig(s, m)
+		cfg.Population = pop
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		d := &r.PerUserAdJPerDay
+		t.AddRow(modes[i].String(), d.Mean(), d.Quantile(0.1), d.Quantile(0.5), d.Quantile(0.9), d.Quantile(0.99))
+	}
+	t.AddNote("prefetching compresses the whole distribution, not just the mean: heavy users gain the most joules, light users the most relative")
+	return t, nil
+}
+
+func runX2(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X2: savings by radio technology (predictive vs on-demand, 4h period)",
+		"radio", "on-demand J/user/day", "predictive J/user/day", "saving")
+	profiles := []radio.Profile{radio.Profile3G(), radio.ProfileLTE(), radio.ProfileWiFi()}
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []sim.Config
+	for _, p := range profiles {
+		base := simConfig(s, core.ModeOnDemand)
+		base.Radio = p
+		base.Population = pop
+		pred := simConfig(s, core.ModePredictive)
+		pred.Radio = p
+		pred.Population = pop
+		cfgs = append(cfgs, base, pred)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
+		rb, rp := results[2*i], results[2*i+1]
+		t.AddRow(p.Name, rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay(),
+			fmt.Sprintf("%.1f%%", metrics.PercentChange(rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay())))
+	}
+	t.AddNote("the savings are a cellular tail-energy phenomenon; on WiFi there is (almost) nothing to save")
+	return t, nil
+}
+
+func runX3(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X3: robustness under injected failures (predictive, 4h period)",
+		"failure", "SLA viol", "rev loss", "hit rate", "billed USD", "ad J/user/day")
+	type variant struct {
+		label  string
+		mutate func(*sim.Config)
+	}
+	variants := []variant{
+		{"none", func(*sim.Config) {}},
+		{"10% reports lost", func(c *sim.Config) { c.ReportLossProb = 0.10 }},
+		{"50% reports lost", func(c *sim.Config) { c.ReportLossProb = 0.50 }},
+		{"10% period churn", func(c *sim.Config) { c.ChurnProb = 0.10 }},
+		{"30% period churn", func(c *sim.Config) { c.ChurnProb = 0.30 }},
+		{"30% churn, bare (k=1, no rescue)", func(c *sim.Config) {
+			c.ChurnProb = 0.30
+			c.Core.NoRescue = true
+			c.Core.Server.TopUpCap = 0
+			c.Core.Server.Overbook.FixedReplicas = 1
+			c.Core.Server.Overbook.MaxReplicas = 1
+		}},
+	}
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]sim.Config, 0, len(variants))
+	for _, v := range variants {
+		cfg := simConfig(s, core.ModePredictive)
+		cfg.Population = pop
+		v.mutate(&cfg)
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.AddRow(variants[i].label,
+			fmt.Sprintf("%.2f%%", 100*r.Ledger.ViolationRate()),
+			fmt.Sprintf("%.2f%%", 100*r.Ledger.RevenueLossFrac()),
+			fmt.Sprintf("%.0f%%", 100*r.Counters.HitRate()),
+			r.Ledger.BilledUSD, r.AdEnergyPerUserDay())
+	}
+	t.AddNote("replication plus the rescue path absorb churn; lost reports surface directly as violations (unbilled displays)")
+	return t, nil
+}
+
+func runX5(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X5: shared-channel (FACH) ablation — ad downloads up to 4 KB ride the 3G shared channel",
+		"radio model", "on-demand J/user/day", "predictive J/user/day", "prefetch saving")
+	profiles := []radio.Profile{radio.Profile3G(), radio.Profile3GWithFACH(4096)}
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []sim.Config
+	for _, p := range profiles {
+		base := simConfig(s, core.ModeOnDemand)
+		base.Radio = p
+		base.Population = pop
+		pred := simConfig(s, core.ModePredictive)
+		pred.Radio = p
+		pred.Population = pop
+		cfgs = append(cfgs, base, pred)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
+		name := "DCH only (default)"
+		if p.FACHThresholdBytes > 0 {
+			name = "FACH for small transfers"
+		}
+		rb, rp := results[2*i], results[2*i+1]
+		t.AddRow(name, rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay(),
+			fmt.Sprintf("%.1f%%", metrics.PercentChange(rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay())))
+	}
+	t.AddNote("even if the operator routes small downloads over the shared channel, per-ad cost stays joules-scale and prefetching keeps a large win")
+	return t, nil
+}
+
+func runX4(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X4: sensitivity to usage regularity (predictive vs on-demand, 4h period)",
+		"regularity", "saving", "hit rate", "SLA viol", "rev loss")
+	regs := []float64{0.1, 0.4, 0.7, 0.95}
+	var cfgs []sim.Config
+	for _, reg := range regs {
+		base := simConfig(s, core.ModeOnDemand)
+		base.TraceCfg.Regularity = reg
+		pred := simConfig(s, core.ModePredictive)
+		pred.TraceCfg.Regularity = reg
+		cfgs = append(cfgs, base, pred)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, reg := range regs {
+		rb, rp := results[2*i], results[2*i+1]
+		t.AddRow(fmt.Sprintf("%.2f", reg),
+			fmt.Sprintf("%.1f%%", metrics.PercentChange(rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay())),
+			fmt.Sprintf("%.0f%%", 100*rp.Counters.HitRate()),
+			fmt.Sprintf("%.2f%%", 100*rp.Ledger.ViolationRate()),
+			fmt.Sprintf("%.2f%%", 100*rp.Ledger.RevenueLossFrac()))
+	}
+	t.AddNote("the architecture's value depends on users being predictable; even weakly regular usage retains most of the savings because aggregate admission and the rescue path tolerate per-user error")
+	return t, nil
+}
+
+func runX6(s Scale) (*metrics.Table, error) {
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	baseCfg := simConfig(s, core.ModeOnDemand)
+	baseCfg.Population = pop
+	predCfg := simConfig(s, core.ModePredictive)
+	predCfg.Population = pop
+	// Budgets must be in the binding-but-not-exhausted regime for the
+	// comparison to discriminate: bottomless budgets let the top bidder
+	// absorb every auction (both modes trivially identical), and tiny
+	// budgets exhaust every campaign (shares equal budget ratios in both
+	// modes). Sizing total demand at ~3x inventory leaves the top
+	// campaigns budget-capped and the tail competing at the margin.
+	expImps := int64(s.Users) * int64(s.Days-s.WarmupDays) * 60
+	for _, c := range []*sim.Config{&baseCfg, &predCfg} {
+		c.Demand.BudgetImpressions = 3 * expImps / int64(c.Demand.Campaigns)
+	}
+	results, err := sim.RunParallel([]sim.Config{baseCfg, predCfg})
+	if err != nil {
+		return nil, err
+	}
+	base, pred := results[0], results[1]
+	share := func(m map[auction.CampaignID]float64) (map[auction.CampaignID]float64, float64) {
+		total := 0.0
+		for _, v := range m {
+			total += v
+		}
+		out := make(map[auction.CampaignID]float64, len(m))
+		for k, v := range m {
+			out[k] = metrics.Ratio(v, total)
+		}
+		return out, total
+	}
+	baseShare, baseTotal := share(base.CampaignBilled)
+	predShare, predTotal := share(pred.CampaignBilled)
+
+	// Rank campaigns by baseline revenue and report the top earners plus
+	// the aggregate share drift.
+	ids := make([]auction.CampaignID, 0, len(baseShare))
+	for id := range baseShare {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if baseShare[ids[i]] != baseShare[ids[j]] {
+			return baseShare[ids[i]] > baseShare[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	t := metrics.NewTable(
+		"X6: per-campaign revenue share, on-demand vs prefetching",
+		"campaign", "on-demand share", "prefetch share", "drift")
+	drift := 0.0
+	for _, id := range ids {
+		drift += math.Abs(predShare[id] - baseShare[id])
+	}
+	for i, id := range ids {
+		if i == 8 {
+			break
+		}
+		t.AddRow(fmt.Sprintf("c%02d", id),
+			fmt.Sprintf("%.1f%%", 100*baseShare[id]),
+			fmt.Sprintf("%.1f%%", 100*predShare[id]),
+			fmt.Sprintf("%+.1fpp", 100*(predShare[id]-baseShare[id])))
+	}
+	t.AddNote("total billed: on-demand $%.2f, prefetch $%.2f; total variation distance %.1f%%",
+		baseTotal, predTotal, 50*drift)
+	t.AddNote("selling predicted inventory shifts some spend across campaigns (untargetable prefetch pools vs display-time targeting) but preserves the overall ranking")
+	return t, nil
+}
+
+func runX7(s Scale) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"X7: mixed connectivity — users on home WiFi evenings/nights",
+		"connectivity", "on-demand J/user/day", "predictive J/user/day", "saving")
+	type variant struct {
+		label string
+		wifi  sim.WiFiSchedule
+	}
+	variants := []variant{
+		{"cellular-only (default)", sim.WiFiSchedule{}},
+		{"80% have home WiFi 19:00-08:00", sim.DefaultWiFiSchedule()},
+		{"universal WiFi 17:00-09:00", sim.WiFiSchedule{Enabled: true, HomeStartHour: 17, HomeEndHour: 9, Coverage: 1}},
+	}
+	pop, err := sharedPopulation(s)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []sim.Config
+	for _, v := range variants {
+		base := simConfig(s, core.ModeOnDemand)
+		base.Population = pop
+		base.WiFiSchedule = v.wifi
+		pred := simConfig(s, core.ModePredictive)
+		pred.Population = pop
+		pred.WiFiSchedule = v.wifi
+		cfgs = append(cfgs, base, pred)
+	}
+	results, err := sim.RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		rb, rp := results[2*i], results[2*i+1]
+		t.AddRow(v.label, rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay(),
+			fmt.Sprintf("%.1f%%", metrics.PercentChange(rb.AdEnergyPerUserDay(), rp.AdEnergyPerUserDay())))
+	}
+	t.AddNote("home WiFi shrinks the absolute overhead on both sides; the relative saving persists because daytime usage still rides the cellular tail")
+	return t, nil
+}

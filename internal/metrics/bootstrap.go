@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point, Lo, Hi float64
+	Level         float64 // e.g. 0.95
+}
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval
+// for the mean of xs using iters resamples. It is deterministic for a
+// given seed. Returns a degenerate interval for fewer than 2 samples.
+func BootstrapMeanCI(xs []float64, level float64, iters int, seed int64) CI {
+	if len(xs) == 0 {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN(), Level: level}
+	}
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	pt := mean(xs)
+	if len(xs) < 2 || iters <= 0 {
+		return CI{Point: pt, Lo: pt, Hi: pt, Level: level}
+	}
+	r := rand.New(rand.NewSource(seed))
+	means := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[r.Intn(len(xs))]
+		}
+		means[i] = mean(resample)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := means[int(alpha*float64(iters))]
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	hi := means[hiIdx]
+	return CI{Point: pt, Lo: lo, Hi: hi, Level: level}
+}
+
+// Contains reports whether x falls in the interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// Width returns the interval width.
+func (c CI) Width() float64 { return c.Hi - c.Lo }

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// HBar renders a horizontal bar chart in plain text: one row per label,
+// bars scaled to the largest value. Negative values render leftward of
+// a shared zero column. Useful for eyeballing figure series without
+// leaving the terminal.
+func HBar(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		n := 0
+		if maxAbs > 0 {
+			n = int(math.Round(math.Abs(values[i]) / maxAbs * float64(width)))
+		}
+		bar := strings.Repeat("█", n)
+		if n == 0 && values[i] != 0 {
+			bar = "▏"
+		}
+		sign := ""
+		if values[i] < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "%-*s │%s%s %.4g\n", labelW, l, sign, bar, values[i])
+	}
+	return b.String()
+}
+
+// PlotColumn renders one numeric column of a table as an HBar, using the
+// first column as row labels. ok is false when the column is missing or
+// non-numeric. Cells like "63.8%" and "1.9x" parse by stripping the
+// suffix.
+func PlotColumn(t *Table, col int, width int) (string, bool) {
+	if t == nil || col <= 0 || len(t.Rows) == 0 {
+		return "", false
+	}
+	labels := make([]string, 0, len(t.Rows))
+	values := make([]float64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			return "", false
+		}
+		v, err := parseNumericCell(row[col])
+		if err != nil {
+			return "", false
+		}
+		labels = append(labels, row[0])
+		values = append(values, v)
+	}
+	title := t.Title
+	if col < len(t.Columns) {
+		title = fmt.Sprintf("%s — %s", t.Title, t.Columns[col])
+	}
+	return HBar(title, labels, values, width), true
+}
+
+// PlotFirstNumeric renders the leftmost numeric column of a table.
+func PlotFirstNumeric(t *Table, width int) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	cols := 0
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	for col := 1; col < cols; col++ {
+		if s, ok := PlotColumn(t, col, width); ok {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+func parseNumericCell(cell string) (float64, error) {
+	s := strings.TrimSpace(cell)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "pp")
+	s = strings.TrimSpace(s)
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBarBasics(t *testing.T) {
+	s := HBar("demo", []string{"a", "bb"}, []float64{10, 5}, 20)
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "bb") {
+		t.Fatalf("missing pieces:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d:\n%s", len(lines), s)
+	}
+	// The max value gets the full width, the half value about half.
+	aBars := strings.Count(lines[1], "█")
+	bBars := strings.Count(lines[2], "█")
+	if aBars != 20 || bBars != 10 {
+		t.Fatalf("bars %d/%d want 20/10:\n%s", aBars, bBars, s)
+	}
+}
+
+func TestHBarEdgeCases(t *testing.T) {
+	if HBar("t", []string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Fatal("length mismatch should render nothing")
+	}
+	if HBar("t", nil, nil, 10) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	// Zero values render an empty bar; tiny nonzero values render a sliver.
+	s := HBar("", []string{"z", "tiny", "big"}, []float64{0, 0.001, 100}, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if strings.Contains(lines[0], "█") {
+		t.Fatalf("zero should have no bar: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "▏") {
+		t.Fatalf("tiny value should render a sliver: %q", lines[1])
+	}
+	// Negative values carry a sign.
+	s = HBar("", []string{"n"}, []float64{-5}, 10)
+	if !strings.Contains(s, "-") {
+		t.Fatalf("negative sign missing: %q", s)
+	}
+}
+
+func TestPlotColumn(t *testing.T) {
+	tb := NewTable("fig", "mode", "saving", "note")
+	tb.AddRow("predictive", "65.1%", "x")
+	tb.AddRow("oracle", "90.1%", "y")
+	s, ok := PlotColumn(tb, 1, 20)
+	if !ok || !strings.Contains(s, "predictive") || !strings.Contains(s, "saving") {
+		t.Fatalf("ok=%v:\n%s", ok, s)
+	}
+	// Non-numeric column refuses.
+	if _, ok := PlotColumn(tb, 2, 20); ok {
+		t.Fatal("non-numeric column plotted")
+	}
+	if _, ok := PlotColumn(tb, 0, 20); ok {
+		t.Fatal("label column plotted")
+	}
+	if _, ok := PlotColumn(nil, 1, 20); ok {
+		t.Fatal("nil table plotted")
+	}
+}
+
+func TestPlotFirstNumeric(t *testing.T) {
+	tb := NewTable("fig", "k", "label", "viol")
+	tb.AddRow("1", "aa", "19.1%")
+	tb.AddRow("2", "bb", "12.4%")
+	s, ok := PlotFirstNumeric(tb, 20)
+	if !ok || !strings.Contains(s, "viol") {
+		t.Fatalf("ok=%v:\n%s", ok, s)
+	}
+	empty := NewTable("none", "a", "b")
+	empty.AddRow("x", "y")
+	if _, ok := PlotFirstNumeric(empty, 20); ok {
+		t.Fatal("table without numeric columns plotted")
+	}
+}
+
+func TestParseNumericCell(t *testing.T) {
+	cases := map[string]float64{
+		"63.8%": 63.8, "1.9x": 1.9, "-0.5pp": -0.5, " 42 ": 42, "1e3": 1000,
+	}
+	for in, want := range cases {
+		got, err := parseNumericCell(in)
+		if err != nil || got != want {
+			t.Errorf("parse %q: %v %v", in, got, err)
+		}
+	}
+	if _, err := parseNumericCell("4h0m0s"); err == nil {
+		t.Error("duration parsed as number")
+	}
+}

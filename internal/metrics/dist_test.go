@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormInvCDFKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9772498680518208, 2},
+		{0.158655253931457, -1},
+		{0.975, 1.959963984540054},
+		{0.01, -2.3263478740408408},
+		{0.99, 2.3263478740408408},
+	}
+	for _, c := range cases {
+		if got := NormInvCDF(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormInvCDF(%v)=%v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormInvCDFEdges(t *testing.T) {
+	if !math.IsInf(NormInvCDF(0), -1) || !math.IsInf(NormInvCDF(1), 1) {
+		t.Fatal("endpoints should be infinite")
+	}
+	if !math.IsNaN(NormInvCDF(-0.1)) || !math.IsNaN(NormInvCDF(1.1)) || !math.IsNaN(NormInvCDF(math.NaN())) {
+		t.Fatal("out of range should be NaN")
+	}
+}
+
+// Property: NormInvCDF inverts NormCDF across the domain.
+func TestNormRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(x, 6)
+		if math.IsNaN(x) {
+			return true
+		}
+		p := NormCDF(x)
+		if p <= 0 || p >= 1 {
+			return true
+		}
+		return math.Abs(NormInvCDF(p)-x) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -5.0; x <= 5; x += 0.25 {
+		p := NormCDF(x)
+		if p <= prev {
+			t.Fatalf("not monotone at %v", x)
+		}
+		prev = p
+	}
+	if math.Abs(NormCDF(0)-0.5) > 1e-12 {
+		t.Fatal("CDF(0) != 0.5")
+	}
+}

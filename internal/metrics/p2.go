@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile online in O(1) memory using the
+// P² algorithm (Jain & Chlamtac, 1985). The exact Sample type retains
+// every observation; at paper scale (1,738 users × 28 days of per-slot
+// observations) the streaming estimator keeps the monitoring side of the
+// ad server memory-bounded.
+type P2Quantile struct {
+	q       float64
+	n       int64
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	incr    [5]float64 // desired-position increments
+	initial []float64  // first five observations, pre-initialization
+}
+
+// NewP2Quantile creates an estimator for quantile q in (0,1).
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("metrics: P2 quantile must be in (0,1), got %v", q)
+	}
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Quantile returns the target quantile.
+func (p *P2Quantile) Quantile() float64 { return p.q }
+
+// N returns the number of observations.
+func (p *P2Quantile) N() int64 { return p.n }
+
+// Add incorporates one observation.
+func (p *P2Quantile) Add(x float64) {
+	p.n++
+	if p.n <= 5 {
+		p.initial = append(p.initial, x)
+		if p.n == 5 {
+			sort.Float64s(p.initial)
+			for i := 0; i < 5; i++ {
+				p.heights[i] = p.initial[i]
+				p.pos[i] = float64(i + 1)
+			}
+			p.initial = nil
+		}
+		return
+	}
+
+	// Locate the cell containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five observations
+// it falls back to the exact small-sample quantile; with none it
+// returns NaN.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if p.n < 5 {
+		tmp := append([]float64(nil), p.initial...)
+		sort.Float64s(tmp)
+		idx := int(p.q * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return p.heights[2]
+}

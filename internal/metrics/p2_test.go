@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2Validation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2Quantile(q); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+	p, err := NewP2Quantile(0.9)
+	if err != nil || p.Quantile() != 0.9 {
+		t.Fatalf("p=%+v err=%v", p, err)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	p, _ := NewP2Quantile(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	p.Add(3)
+	if p.Value() != 3 || p.N() != 1 {
+		t.Fatalf("value %v n %d", p.Value(), p.N())
+	}
+	p.Add(1)
+	p.Add(2)
+	// Exact small-sample median of {1,2,3}.
+	if got := p.Value(); got != 2 {
+		t.Fatalf("median of 3: %v", got)
+	}
+}
+
+func TestP2AgainstExactNormal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		p, _ := NewP2Quantile(q)
+		var exact Sample
+		for i := 0; i < 50000; i++ {
+			x := r.NormFloat64()*10 + 100
+			p.Add(x)
+			exact.Add(x)
+		}
+		want := exact.Quantile(q)
+		got := p.Value()
+		// P² should land within a fraction of a standard deviation.
+		if math.Abs(got-want) > 1.0 {
+			t.Errorf("q=%v: P²=%v exact=%v", q, got, want)
+		}
+	}
+}
+
+func TestP2AgainstExactSkewed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p, _ := NewP2Quantile(0.9)
+	var exact Sample
+	for i := 0; i < 50000; i++ {
+		x := math.Exp(r.NormFloat64()) // lognormal, heavy right tail
+		p.Add(x)
+		exact.Add(x)
+	}
+	want := exact.Quantile(0.9)
+	got := p.Value()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("skewed q90: P²=%v exact=%v", got, want)
+	}
+}
+
+// Property: the estimate always lies within [min, max] of the data and
+// the marker invariants hold (heights nondecreasing).
+func TestP2BoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, err := NewP2Quantile(0.75)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		count := int(n%2000) + 1
+		for i := 0; i < count; i++ {
+			x := r.NormFloat64() * 50
+			p.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v := p.Value()
+		if v < lo-1e-9 || v > hi+1e-9 {
+			return false
+		}
+		if p.N() >= 5 {
+			for i := 1; i < 5; i++ {
+				if p.heights[i] < p.heights[i-1]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Snapshotter is implemented by predictors whose learned state can be
+// persisted across server restarts. The per-client usage histories are
+// the ad server's only long-lived state — auctions and assignments are
+// transactional and a restart merely forfeits the in-flight period — so
+// persisting predictors is what makes restarts cheap in production.
+type Snapshotter interface {
+	// Snapshot serializes the learned state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the learned state with a prior snapshot.
+	Restore(data []byte) error
+}
+
+// percentileSnapshot is the wire form of a PercentileHistogram.
+type percentileSnapshot struct {
+	Q        float64           `json:"q"`
+	Contexts []contextSnapshot `json:"contexts"`
+}
+
+type contextSnapshot struct {
+	OfDay   int   `json:"of_day"`
+	Weekend bool  `json:"weekend"`
+	Counts  []int `json:"counts"`
+}
+
+// Snapshot implements Snapshotter.
+func (ph *PercentileHistogram) Snapshot() ([]byte, error) {
+	snap := percentileSnapshot{Q: ph.q}
+	keys := make([]contextKey, 0, len(ph.contexts))
+	for k := range ph.contexts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ofDay != keys[j].ofDay {
+			return keys[i].ofDay < keys[j].ofDay
+		}
+		return !keys[i].weekend && keys[j].weekend
+	})
+	for _, k := range keys {
+		c := ph.contexts[k]
+		// Emit the window in chronological order so a restore preserves
+		// future eviction order.
+		counts := make([]int, 0, len(c.ring))
+		if c.full {
+			counts = append(counts, c.ring[c.next:]...)
+			counts = append(counts, c.ring[:c.next]...)
+		} else {
+			counts = append(counts, c.ring...)
+		}
+		snap.Contexts = append(snap.Contexts, contextSnapshot{
+			OfDay:   k.ofDay,
+			Weekend: k.weekend,
+			Counts:  counts,
+		})
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Snapshotter.
+func (ph *PercentileHistogram) Restore(data []byte) error {
+	var snap percentileSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("predict: restoring percentile histogram: %w", err)
+	}
+	if snap.Q <= 0 || snap.Q >= 1 {
+		return fmt.Errorf("predict: snapshot has invalid percentile %v", snap.Q)
+	}
+	ph.q = snap.Q
+	if ph.window < 1 {
+		ph.window = DefaultHistoryWindow
+	}
+	ph.contexts = make(map[contextKey]*contextHist, len(snap.Contexts))
+	for _, c := range snap.Contexts {
+		h := &contextHist{}
+		for _, v := range c.Counts {
+			if v < 0 {
+				return fmt.Errorf("predict: snapshot has negative count %d", v)
+			}
+			h.observe(v, ph.window)
+		}
+		ph.contexts[contextKey{c.OfDay, c.Weekend}] = h
+	}
+	return nil
+}

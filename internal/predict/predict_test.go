@@ -1,0 +1,251 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestPeriodOf(t *testing.T) {
+	p := PeriodOf(simclock.At(26*time.Hour), 4*time.Hour)
+	if p.Index != 6 || p.OfDay != 0 || p.Weekend {
+		t.Fatalf("got %+v", p)
+	}
+	p = PeriodOf(simclock.At(30*time.Hour), 4*time.Hour)
+	if p.Index != 7 || p.OfDay != 1 {
+		t.Fatalf("got %+v", p)
+	}
+	// Day 5 = weekend under the Monday-epoch convention.
+	p = PeriodOf(5*simclock.Day+simclock.Hour, time.Hour)
+	if !p.Weekend || p.OfDay != 1 {
+		t.Fatalf("got %+v", p)
+	}
+	if PeriodsPerDay(4*time.Hour) != 6 || PeriodsPerDay(48*time.Hour) != 1 {
+		t.Fatal("PeriodsPerDay wrong")
+	}
+}
+
+func periodsFor(n int, window time.Duration) []Period {
+	out := make([]Period, n)
+	for i := range out {
+		out[i] = PeriodOf(simclock.Time(i)*simclock.Time(window), window)
+	}
+	return out
+}
+
+func TestLastPeriod(t *testing.T) {
+	p := NewLastPeriod()
+	if est := p.Predict(Period{}); est.Slots != 0 || est.NoShowProb != 1 {
+		t.Fatalf("cold estimate %+v", est)
+	}
+	p.Observe(Period{}, 5)
+	if est := p.Predict(Period{}); est.Slots != 5 {
+		t.Fatalf("got %+v", est)
+	}
+	p.Observe(Period{}, 0)
+	est := p.Predict(Period{})
+	if est.Slots != 0 || est.NoShowProb != 0.5 {
+		t.Fatalf("got %+v", est)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	for _, v := range []int{3, 6, 9, 12} {
+		m.Observe(Period{}, v)
+	}
+	// Window holds 6, 9, 12.
+	if est := m.Predict(Period{}); est.Slots != 9 {
+		t.Fatalf("got %+v", est)
+	}
+	if NewMovingAverage(0).window != 1 {
+		t.Fatal("zero window should clamp to 1")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(Period{}, 10)
+	e.Observe(Period{}, 0)
+	if est := e.Predict(Period{}); est.Slots != 5 || est.NoShowProb != 0.5 {
+		t.Fatalf("got %+v", est)
+	}
+	if NewEWMA(2).alpha != 0.3 {
+		t.Fatal("invalid alpha should default")
+	}
+}
+
+func TestPercentileHistogramContexts(t *testing.T) {
+	ph := NewPercentileHistogram(0.9)
+	// Morning periods (OfDay 0) are always busy; evening (OfDay 1) quiet.
+	for i := 0; i < 10; i++ {
+		ph.Observe(Period{OfDay: 0}, 10)
+		ph.Observe(Period{OfDay: 1}, 0)
+	}
+	if est := ph.Predict(Period{OfDay: 0}); est.Slots != 10 || est.NoShowProb != 0 {
+		t.Fatalf("busy context %+v", est)
+	}
+	if est := ph.Predict(Period{OfDay: 1}); est.Slots != 0 || est.NoShowProb != 1 {
+		t.Fatalf("quiet context %+v", est)
+	}
+}
+
+func TestPercentileHistogramIsConservative(t *testing.T) {
+	hi := NewPercentileHistogram(0.95)
+	lo := NewPercentileHistogram(0.5)
+	for i := 0; i < 100; i++ {
+		hi.Observe(Period{}, i%10)
+		lo.Observe(Period{}, i%10)
+	}
+	ehi, elo := hi.Predict(Period{}), lo.Predict(Period{})
+	if ehi.Slots <= elo.Slots {
+		t.Fatalf("p95 (%v) should exceed p50 (%v)", ehi.Slots, elo.Slots)
+	}
+}
+
+func TestPercentileHistogramWeekendFallback(t *testing.T) {
+	ph := NewPercentileHistogram(0.9)
+	ph.Observe(Period{OfDay: 3, Weekend: false}, 7)
+	// No weekend data yet: falls back to weekday data for the same slot.
+	if est := ph.Predict(Period{OfDay: 3, Weekend: true}); est.Slots != 7 {
+		t.Fatalf("fallback failed: %+v", est)
+	}
+	// Entirely unknown context: no-show certainty.
+	if est := ph.Predict(Period{OfDay: 9}); est.NoShowProb != 1 {
+		t.Fatalf("unknown context: %+v", est)
+	}
+	if NewPercentileHistogram(7).Percentile() != 0.9 {
+		t.Fatal("invalid percentile should default to 0.9")
+	}
+}
+
+func TestTimeOfDayMean(t *testing.T) {
+	tm := NewTimeOfDayMean()
+	tm.Observe(Period{OfDay: 2}, 4)
+	tm.Observe(Period{OfDay: 2}, 8)
+	tm.Observe(Period{OfDay: 5}, 0)
+	if est := tm.Predict(Period{OfDay: 2}); est.Slots != 6 || est.NoShowProb != 0 {
+		t.Fatalf("got %+v", est)
+	}
+	if est := tm.Predict(Period{OfDay: 5}); est.Slots != 0 || est.NoShowProb != 1 {
+		t.Fatalf("got %+v", est)
+	}
+	if est := tm.Predict(Period{OfDay: 9}); est.NoShowProb != 1 {
+		t.Fatalf("unknown context: %+v", est)
+	}
+}
+
+func TestMarkov(t *testing.T) {
+	m := NewMarkov()
+	if est := m.Predict(Period{}); est.NoShowProb != 1 {
+		t.Fatalf("cold: %+v", est)
+	}
+	// Alternating 0 and 10: after a 0 the chain should predict 10.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			m.Observe(Period{}, 0)
+		} else {
+			m.Observe(Period{}, 10)
+		}
+	}
+	// Last observation was 10 (i=19), so current bucket is high; the next
+	// value in the pattern is 0.
+	est := m.Predict(Period{})
+	if est.Slots > 1 {
+		t.Fatalf("after high bucket expected ~0, got %+v", est)
+	}
+	if est.NoShowProb < 0.9 {
+		t.Fatalf("no-show prob should be ~1, got %+v", est)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 31: 5, 32: 6, 1000: 6}
+	for in, want := range cases {
+		if got := bucketOf(in); got != want {
+			t.Errorf("bucketOf(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle([]int{3, 0, 7})
+	if est := o.Predict(Period{Index: 0}); est.Slots != 3 || est.NoShowProb != 0 {
+		t.Fatalf("got %+v", est)
+	}
+	if est := o.Predict(Period{Index: 1}); est.Slots != 0 || est.NoShowProb != 1 {
+		t.Fatalf("got %+v", est)
+	}
+	if est := o.Predict(Period{Index: 99}); est.NoShowProb != 1 {
+		t.Fatalf("out of range: %+v", est)
+	}
+	o.Observe(Period{}, 42) // must be a no-op
+	if est := o.Predict(Period{Index: 2}); est.Slots != 7 {
+		t.Fatalf("got %+v", est)
+	}
+}
+
+func TestOracleCopiesSeries(t *testing.T) {
+	src := []int{1, 2, 3}
+	o := NewOracle(src)
+	src[0] = 99
+	if est := o.Predict(Period{Index: 0}); est.Slots != 1 {
+		t.Fatal("oracle aliases caller slice")
+	}
+}
+
+// Property: the oracle has zero error on any series.
+func TestOraclePerfectProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		series := make([]int, len(raw))
+		for i, v := range raw {
+			series[i] = int(v % 20)
+		}
+		periods := periodsFor(len(series), time.Hour)
+		var e Eval
+		if err := e.Run(NewOracle(series), series, periods, 1); err != nil {
+			return false
+		}
+		return e.AbsErr.Mean() == 0 && e.UnderFrac() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: estimates are never negative and NoShowProb stays in [0,1]
+// for all predictors over arbitrary series.
+func TestEstimateRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		series := make([]int, len(raw))
+		for i, v := range raw {
+			series[i] = int(v % 30)
+		}
+		periods := periodsFor(len(series), 4*time.Hour)
+		preds := []Predictor{
+			NewLastPeriod(), NewMovingAverage(4), NewEWMA(0.3),
+			NewTimeOfDayMean(), NewMarkov(), NewPercentileHistogram(0.9),
+			NewOracle(series),
+		}
+		for _, p := range preds {
+			for i := range series {
+				est := p.Predict(periods[i])
+				if est.Slots < 0 || math.IsNaN(est.Slots) ||
+					est.NoShowProb < 0 || est.NoShowProb > 1 {
+					return false
+				}
+				p.Observe(periods[i], series[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

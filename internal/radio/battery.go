@@ -1,0 +1,46 @@
+package radio
+
+import "time"
+
+// Battery converts attributed joules into user-facing battery impact.
+// The paper frames its results in battery-lifetime terms: a phone-era
+// battery held roughly 5-6 Wh, so tens of joules per day of ad traffic
+// translate into noticeable percentage points of charge.
+type Battery struct {
+	CapacityWh float64
+}
+
+// TypicalBattery2013 returns the battery of a 2013-class smartphone
+// (~1500 mAh at 3.7 V ≈ 5.55 Wh ≈ 20 kJ).
+func TypicalBattery2013() Battery { return Battery{CapacityWh: 5.55} }
+
+// CapacityJ returns the battery capacity in joules.
+func (b Battery) CapacityJ() float64 { return b.CapacityWh * 3600 }
+
+// Fraction returns the fraction of a full charge that the given energy
+// represents (0 for a non-positive capacity).
+func (b Battery) Fraction(joules float64) float64 {
+	c := b.CapacityJ()
+	if c <= 0 {
+		return 0
+	}
+	return joules / c
+}
+
+// Percent returns Fraction as a percentage.
+func (b Battery) Percent(joules float64) float64 { return 100 * b.Fraction(joules) }
+
+// LifetimeLoss estimates how much sooner a battery that would otherwise
+// last `baseline` drains when an extra `joulesPerDay` load is added:
+// it returns the reduced lifetime. A non-positive capacity or baseline
+// returns the baseline unchanged.
+func (b Battery) LifetimeLoss(baseline time.Duration, joulesPerDay float64) time.Duration {
+	c := b.CapacityJ()
+	if c <= 0 || baseline <= 0 || joulesPerDay <= 0 {
+		return baseline
+	}
+	// Baseline drain rate uses the whole capacity over the baseline.
+	basePerDay := c / (baseline.Hours() / 24)
+	newLifeDays := c / (basePerDay + joulesPerDay)
+	return time.Duration(newLifeDays * 24 * float64(time.Hour))
+}

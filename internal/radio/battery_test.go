@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBatteryBasics(t *testing.T) {
+	b := TypicalBattery2013()
+	if got := b.CapacityJ(); math.Abs(got-19980) > 1 {
+		t.Fatalf("CapacityJ=%v", got)
+	}
+	if got := b.Percent(1998); math.Abs(got-10) > 0.01 {
+		t.Fatalf("Percent=%v", got)
+	}
+	if (Battery{}).Fraction(100) != 0 {
+		t.Fatal("zero capacity should give 0")
+	}
+}
+
+func TestBatteryAdImpact(t *testing.T) {
+	// The paper's motivating arithmetic: ~600 J/day of ad traffic on a
+	// ~20 kJ battery is ~3% of charge per day.
+	b := TypicalBattery2013()
+	pct := b.Percent(600)
+	if pct < 2 || pct > 4 {
+		t.Fatalf("600 J should be ~3%% of charge, got %.2f%%", pct)
+	}
+}
+
+func TestLifetimeLoss(t *testing.T) {
+	b := TypicalBattery2013()
+	base := 24 * time.Hour
+	// Adding half of the baseline drain rate cuts lifetime to 2/3.
+	halfLoad := b.CapacityJ() / 2
+	got := b.LifetimeLoss(base, halfLoad)
+	want := 16 * time.Hour
+	if math.Abs(got.Hours()-want.Hours()) > 0.01 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Degenerate inputs return the baseline.
+	if b.LifetimeLoss(base, 0) != base || b.LifetimeLoss(0, 100) != 0 {
+		t.Fatal("degenerate handling wrong")
+	}
+	if (Battery{}).LifetimeLoss(base, 100) != base {
+		t.Fatal("zero capacity should return baseline")
+	}
+}
+
+func TestLifetimeLossMonotone(t *testing.T) {
+	b := TypicalBattery2013()
+	base := 30 * time.Hour
+	prev := base
+	for load := 100.0; load <= 2000; load += 100 {
+		got := b.LifetimeLoss(base, load)
+		if got >= prev {
+			t.Fatalf("lifetime should fall with load: %v at %v", got, load)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,154 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestFACHEligibility(t *testing.T) {
+	p := Profile3GWithFACH(4096)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FACHEligible(2048) || p.FACHEligible(8192) {
+		t.Fatal("eligibility threshold wrong")
+	}
+	if Profile3G().FACHEligible(100) {
+		t.Fatal("disabled profile should never be eligible")
+	}
+	// LTE-style profile without a low tail state cannot use the path.
+	lte := ProfileLTE()
+	lte.FACHThresholdBytes = 4096
+	if lte.FACHEligible(100) {
+		t.Fatal("no low tail state, no shared channel")
+	}
+	bad := Profile3G()
+	bad.FACHThresholdBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestFACHIsolatedTransferCheaper(t *testing.T) {
+	on := Profile3GWithFACH(4096)
+	off := Profile3G()
+	cost := func(p Profile) float64 {
+		r := New(p)
+		r.Transfer(0, 2048, "ads")
+		r.Flush()
+		return r.UsageOf("ads").TotalJ()
+	}
+	fach, dch := cost(on), cost(off)
+	if fach >= dch {
+		t.Fatalf("shared channel should be cheaper: %.2f vs %.2f J", fach, dch)
+	}
+	// Expected composition: cheap promo + slow low-power transfer +
+	// low-tail only.
+	p := on
+	want := p.PromoLowPower*p.PromoLowDur.Seconds() +
+		p.TailLowPower*p.FACHTransferDuration(2048).Seconds() +
+		p.TailLowPower*p.TailLowDur.Seconds()
+	if math.Abs(fach-want) > 1e-9 {
+		t.Fatalf("FACH cost %.4f want %.4f", fach, want)
+	}
+}
+
+func TestFACHLargeTransferStillUsesDCH(t *testing.T) {
+	p := Profile3GWithFACH(1024)
+	r := New(p)
+	r.Transfer(0, 100<<10, "app") // 100 KB: way over threshold
+	r.Flush()
+	u := r.UsageOf("app")
+	wantPromo := p.PromoIdlePower * p.PromoIdleDur.Seconds()
+	if math.Abs(u.PromoJ-wantPromo) > 1e-9 {
+		t.Fatalf("large transfer should pay the full promotion: %.3f want %.3f", u.PromoJ, wantPromo)
+	}
+	if math.Abs(u.TailJ-p.FullTailEnergy()) > 1e-9 {
+		t.Fatalf("large transfer should leave the full tail: %.3f", u.TailJ)
+	}
+}
+
+func TestFACHHotDCHOverridesSharedChannel(t *testing.T) {
+	// A small transfer arriving while the dedicated channel is hot rides
+	// it (no reason to drop to the slow shared channel).
+	p := Profile3GWithFACH(4096)
+	r := New(p)
+	end := r.Transfer(0, 100<<10, "app")          // big: DCH
+	r.Transfer(end.Add(time.Second), 2048, "ads") // small, DCH still hot
+	r.Flush()
+	ads := r.UsageOf("ads")
+	wantXfer := p.ActivePower * p.TransferDuration(2048).Seconds()
+	if math.Abs(ads.TransferJ-wantXfer) > 1e-9 {
+		t.Fatalf("hot-DCH small transfer should use DCH: %.4f want %.4f", ads.TransferJ, wantXfer)
+	}
+	if ads.PromoJ != 0 {
+		t.Fatalf("no promotion expected, got %.4f", ads.PromoJ)
+	}
+	// And it leaves the full DCH tail.
+	if math.Abs(ads.TailJ-p.FullTailEnergy()) > 1e-9 {
+		t.Fatalf("tail %.4f want %.4f", ads.TailJ, p.FullTailEnergy())
+	}
+}
+
+func TestFACHBackToBackSharedChannel(t *testing.T) {
+	// Consecutive small transfers within the low tail stay on the shared
+	// channel: no promotions after the first, low-power tails throughout.
+	p := Profile3GWithFACH(4096)
+	r := New(p)
+	at := simclock.Time(0)
+	for i := 0; i < 5; i++ {
+		end := r.Transfer(at, 1024, "ads")
+		at = end.Add(3 * time.Second) // within the 12 s low tail
+	}
+	r.Flush()
+	u := r.UsageOf("ads")
+	wantPromo := p.PromoLowPower * p.PromoLowDur.Seconds() // only the first
+	if math.Abs(u.PromoJ-wantPromo) > 1e-9 {
+		t.Fatalf("promo %.4f want %.4f", u.PromoJ, wantPromo)
+	}
+	// Tails: 4 truncated (3 s at low power) + 1 full low tail.
+	wantTail := 4*p.TailLowPower*3 + p.TailLowPower*p.TailLowDur.Seconds()
+	if math.Abs(u.TailJ-wantTail) > 1e-9 {
+		t.Fatalf("tail %.4f want %.4f", u.TailJ, wantTail)
+	}
+}
+
+func TestFACHGapToIdleRampsAgain(t *testing.T) {
+	p := Profile3GWithFACH(4096)
+	r := New(p)
+	end := r.Transfer(0, 1024, "ads")
+	// Far beyond the low tail: radio idle; next small transfer ramps to
+	// the shared channel again (cheap promo).
+	r.Transfer(end.Add(time.Hour), 1024, "ads")
+	r.Flush()
+	u := r.UsageOf("ads")
+	wantPromo := 2 * p.PromoLowPower * p.PromoLowDur.Seconds()
+	if math.Abs(u.PromoJ-wantPromo) > 1e-9 {
+		t.Fatalf("promo %.4f want %.4f", u.PromoJ, wantPromo)
+	}
+}
+
+func TestFACHAdRefreshScenario(t *testing.T) {
+	// The ablation the profile exists for: a quiet app's 30 s ad refresh
+	// cycle is much cheaper when ads ride the shared channel, but still
+	// far from free — bulk prefetch remains the winner.
+	cost := func(p Profile) float64 {
+		r := New(p)
+		at := simclock.Time(0)
+		for i := 0; i < 20; i++ {
+			r.Transfer(at, 2048, "ads")
+			at = at.Add(30 * time.Second)
+		}
+		r.Flush()
+		return r.UsageOf("ads").TotalJ() / 20
+	}
+	dch := cost(Profile3G())
+	fach := cost(Profile3GWithFACH(4096))
+	bulk := Profile3G().BatchedTransferEnergy(2048, 20) / 20
+	if !(bulk < fach && fach < dch) {
+		t.Fatalf("want bulk (%.2f) < FACH (%.2f) < DCH (%.2f) J/ad", bulk, fach, dch)
+	}
+}

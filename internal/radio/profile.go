@@ -1,0 +1,275 @@
+// Package radio models the energy consumed by a phone's network radio.
+//
+// The paper's measurement study hinges on the "tail energy" problem:
+// cellular radios remain in high-power states for many seconds after a
+// transfer completes (RRC inactivity timers), so a tiny periodic ad
+// download costs far more energy than its byte count suggests, and
+// batching transfers amortizes one tail across many ads.
+//
+// The model is a generic three-phase state machine that covers 3G
+// (IDLE/FACH/DCH), LTE (IDLE/CONNECTED with a DRX tail), and WiFi
+// (negligible tail):
+//
+//	IDLE --promotion--> ACTIVE --T_high--> TAIL_LOW --T_low--> IDLE
+//
+// A transfer runs in ACTIVE at ActivePower. When it ends, the radio
+// holds a high-power tail (TailHighPower for TailHighDur; for 3G this is
+// the DCH inactivity window) followed by a low-power tail (FACH), then
+// drops to idle. A transfer arriving mid-tail skips part or all of the
+// promotion and truncates the previous transfer's tail.
+//
+// Energy attribution follows the convention of the measurement
+// literature the paper builds on: each transfer is charged for the
+// promotion it triggers, its own transmission, and the tail it leaves
+// behind — truncated if a later transfer re-wakes the radio first.
+// Attribution is per-owner (e.g. "ads" vs "app") so the T1 breakdown
+// (ad share of communication energy) is exact.
+package radio
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tech identifies the radio technology of a profile.
+type Tech int
+
+const (
+	Tech3G Tech = iota
+	TechLTE
+	TechWiFi
+)
+
+// String returns the conventional name of the technology.
+func (t Tech) String() string {
+	switch t {
+	case Tech3G:
+		return "3G"
+	case TechLTE:
+		return "LTE"
+	case TechWiFi:
+		return "WiFi"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Profile holds the power/timer constants of one radio technology.
+// Powers are in watts, durations in wall-clock time. The defaults below
+// follow the 3G/LTE power-model literature the paper relies on
+// (Balasubramanian et al., IMC'09; Huang et al., MobiSys'12).
+type Profile struct {
+	Name string
+	Tech Tech
+
+	// ActivePower is drawn while bits are on the air (3G DCH, LTE
+	// CONNECTED, WiFi active).
+	ActivePower float64
+
+	// Tail phase 1: high-power inactivity window after a transfer
+	// (3G DCH hold, LTE DRX tail, WiFi turnaround).
+	TailHighPower float64
+	TailHighDur   time.Duration
+
+	// Tail phase 2: low-power intermediate state (3G FACH). Zero for
+	// technologies without one.
+	TailLowPower float64
+	TailLowDur   time.Duration
+
+	// Promotion from IDLE to ACTIVE (signalling ramp).
+	PromoIdlePower float64
+	PromoIdleDur   time.Duration
+
+	// Promotion from the low tail state to ACTIVE (3G FACH→DCH); cheaper
+	// and faster than a cold promotion.
+	PromoLowPower float64
+	PromoLowDur   time.Duration
+
+	// Link characteristics used to turn bytes into air time.
+	ThroughputBps float64
+	LatencyRTT    time.Duration
+
+	// FACHThresholdBytes, when positive, enables the shared-channel
+	// path for small transfers (3G FACH / RACH): a transfer of at most
+	// this many bytes that finds the radio in IDLE or the low tail state
+	// runs on the shared channel at TailLowPower with FACHThroughputBps,
+	// needs only the cheap PromoLow ramp from idle, and leaves only the
+	// low-power tail behind. Zero disables the path (the default; it is
+	// an ablation in the experiments).
+	FACHThresholdBytes int64
+
+	// FACHThroughputBps is the shared-channel data rate (typically an
+	// order of magnitude below the dedicated channel).
+	FACHThroughputBps float64
+}
+
+// Profile3G returns the default 3G (UMTS) profile.
+func Profile3G() Profile {
+	return Profile{
+		Name:           "3G",
+		Tech:           Tech3G,
+		ActivePower:    0.800,
+		TailHighPower:  0.800, // DCH held at full power during T1
+		TailHighDur:    5 * time.Second,
+		TailLowPower:   0.460, // FACH
+		TailLowDur:     12 * time.Second,
+		PromoIdlePower: 0.700,
+		PromoIdleDur:   2 * time.Second,
+		PromoLowPower:  0.600,
+		PromoLowDur:    1500 * time.Millisecond,
+		ThroughputBps:  1e6,
+		LatencyRTT:     200 * time.Millisecond,
+	}
+}
+
+// ProfileLTE returns the default LTE profile.
+func ProfileLTE() Profile {
+	return Profile{
+		Name:           "LTE",
+		Tech:           TechLTE,
+		ActivePower:    1.210,
+		TailHighPower:  1.060, // continuous-reception + DRX tail average
+		TailHighDur:    11500 * time.Millisecond,
+		TailLowPower:   0,
+		TailLowDur:     0,
+		PromoIdlePower: 1.210,
+		PromoIdleDur:   260 * time.Millisecond,
+		PromoLowPower:  1.210,
+		PromoLowDur:    260 * time.Millisecond,
+		ThroughputBps:  10e6,
+		LatencyRTT:     70 * time.Millisecond,
+	}
+}
+
+// ProfileWiFi returns the default WiFi profile (associated, PSM).
+func ProfileWiFi() Profile {
+	return Profile{
+		Name:           "WiFi",
+		Tech:           TechWiFi,
+		ActivePower:    0.700,
+		TailHighPower:  0.700,
+		TailHighDur:    240 * time.Millisecond,
+		TailLowPower:   0,
+		TailLowDur:     0,
+		PromoIdlePower: 0.700,
+		PromoIdleDur:   100 * time.Millisecond,
+		PromoLowPower:  0.700,
+		PromoLowDur:    0,
+		ThroughputBps:  25e6,
+		LatencyRTT:     50 * time.Millisecond,
+	}
+}
+
+// Validate checks the profile for internally consistent constants.
+func (p Profile) Validate() error {
+	switch {
+	case p.ActivePower <= 0:
+		return fmt.Errorf("radio: profile %q: ActivePower must be positive", p.Name)
+	case p.ThroughputBps <= 0:
+		return fmt.Errorf("radio: profile %q: ThroughputBps must be positive", p.Name)
+	case p.TailHighDur < 0 || p.TailLowDur < 0 || p.PromoIdleDur < 0 || p.PromoLowDur < 0 || p.LatencyRTT < 0:
+		return fmt.Errorf("radio: profile %q: negative duration", p.Name)
+	case p.TailHighPower < 0 || p.TailLowPower < 0 || p.PromoIdlePower < 0 || p.PromoLowPower < 0:
+		return fmt.Errorf("radio: profile %q: negative power", p.Name)
+	case p.FACHThresholdBytes < 0 || p.FACHThroughputBps < 0:
+		return fmt.Errorf("radio: profile %q: negative FACH parameters", p.Name)
+	}
+	return nil
+}
+
+// TransferDuration returns the air time of a transfer of the given size:
+// one round trip of latency plus serialization at link throughput.
+func (p Profile) TransferDuration(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	ser := time.Duration(float64(bytes*8) / p.ThroughputBps * float64(time.Second))
+	return p.LatencyRTT + ser
+}
+
+// FACHTransferDuration returns the air time of a small transfer on the
+// shared channel.
+func (p Profile) FACHTransferDuration(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	tput := p.FACHThroughputBps
+	if tput <= 0 {
+		tput = p.ThroughputBps
+	}
+	ser := time.Duration(float64(bytes*8) / tput * float64(time.Second))
+	return p.LatencyRTT + ser
+}
+
+// FACHEligible reports whether a transfer of the given size may use the
+// shared channel under this profile.
+func (p Profile) FACHEligible(bytes int64) bool {
+	return p.FACHThresholdBytes > 0 && bytes <= p.FACHThresholdBytes && p.TailLowDur > 0
+}
+
+// FACHTailEnergy returns the energy of the low-power-only tail left by a
+// shared-channel transfer, truncated at gap.
+func (p Profile) FACHTailEnergy(gap time.Duration) float64 {
+	if gap <= 0 {
+		return 0
+	}
+	if gap >= p.TailLowDur {
+		return p.TailLowPower * p.TailLowDur.Seconds()
+	}
+	return p.TailLowPower * gap.Seconds()
+}
+
+// Profile3GWithFACH returns the 3G profile with the shared-channel path
+// enabled for transfers up to threshold bytes (the ablation profile).
+func Profile3GWithFACH(threshold int64) Profile {
+	p := Profile3G()
+	p.FACHThresholdBytes = threshold
+	p.FACHThroughputBps = 100e3 // ~100 kbps shared channel
+	return p
+}
+
+// TailDur returns the total tail duration (both phases).
+func (p Profile) TailDur() time.Duration { return p.TailHighDur + p.TailLowDur }
+
+// FullTailEnergy returns the energy of a complete, untruncated tail.
+func (p Profile) FullTailEnergy() float64 {
+	return p.TailHighPower*p.TailHighDur.Seconds() + p.TailLowPower*p.TailLowDur.Seconds()
+}
+
+// TailEnergyAfter returns the tail energy consumed when the radio goes
+// quiet for gap before the next transfer (or forever, if gap exceeds the
+// tail). This is the truncated-tail charge for the preceding transfer.
+func (p Profile) TailEnergyAfter(gap time.Duration) float64 {
+	if gap <= 0 {
+		return 0
+	}
+	if gap >= p.TailDur() {
+		return p.FullTailEnergy()
+	}
+	if gap <= p.TailHighDur {
+		return p.TailHighPower * gap.Seconds()
+	}
+	return p.TailHighPower*p.TailHighDur.Seconds() + p.TailLowPower*(gap-p.TailHighDur).Seconds()
+}
+
+// IsolatedTransferEnergy returns the full cost of one transfer performed
+// with the radio cold: promotion + transmission + complete tail. This is
+// the per-ad cost in the status-quo (on-demand) architecture when ads
+// arrive farther apart than the tail.
+func (p Profile) IsolatedTransferEnergy(bytes int64) float64 {
+	promo := p.PromoIdlePower * p.PromoIdleDur.Seconds()
+	xfer := p.ActivePower * p.TransferDuration(bytes).Seconds()
+	return promo + xfer + p.FullTailEnergy()
+}
+
+// BatchedTransferEnergy returns the cost of n back-to-back transfers of
+// the given size sharing one promotion and one tail — the bulk-prefetch
+// cost the paper's design exploits.
+func (p Profile) BatchedTransferEnergy(bytes int64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	promo := p.PromoIdlePower * p.PromoIdleDur.Seconds()
+	xfer := p.ActivePower * p.TransferDuration(bytes).Seconds() * float64(n)
+	return promo + xfer + p.FullTailEnergy()
+}

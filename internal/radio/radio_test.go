@@ -1,0 +1,361 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{Profile3G(), ProfileLTE(), ProfileWiFi()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	bad := []Profile{
+		{Name: "no-power", ThroughputBps: 1},
+		{Name: "no-tput", ActivePower: 1},
+		{Name: "neg-dur", ActivePower: 1, ThroughputBps: 1, TailHighDur: -time.Second},
+		{Name: "neg-pow", ActivePower: 1, ThroughputBps: 1, TailLowPower: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", p.Name)
+		}
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if Tech3G.String() != "3G" || TechLTE.String() != "LTE" || TechWiFi.String() != "WiFi" {
+		t.Fatal("Tech.String wrong")
+	}
+	if Tech(99).String() != "Tech(99)" {
+		t.Fatal("unknown tech String wrong")
+	}
+}
+
+func TestTransferDuration(t *testing.T) {
+	p := Profile3G()
+	// 1 Mbps, 200 ms RTT: 125000 bytes = 1 s serialization.
+	if got := p.TransferDuration(125000); got != 1200*time.Millisecond {
+		t.Fatalf("got %v", got)
+	}
+	if got := p.TransferDuration(-5); got != p.LatencyRTT {
+		t.Fatalf("negative bytes should cost latency only, got %v", got)
+	}
+}
+
+func TestTailEnergyAfter(t *testing.T) {
+	p := Profile3G()
+	if got := p.TailEnergyAfter(0); got != 0 {
+		t.Fatalf("gap 0: %v", got)
+	}
+	if got := p.TailEnergyAfter(2 * time.Second); !almostEq(got, 2*0.8, 1e-9) {
+		t.Fatalf("gap 2s: %v", got)
+	}
+	if got := p.TailEnergyAfter(5 * time.Second); !almostEq(got, 5*0.8, 1e-9) {
+		t.Fatalf("gap 5s: %v", got)
+	}
+	if got := p.TailEnergyAfter(10 * time.Second); !almostEq(got, 5*0.8+5*0.46, 1e-9) {
+		t.Fatalf("gap 10s: %v", got)
+	}
+	full := p.FullTailEnergy()
+	if got := p.TailEnergyAfter(time.Hour); got != full {
+		t.Fatalf("gap 1h: %v want full %v", got, full)
+	}
+	if !almostEq(full, 5*0.8+12*0.46, 1e-9) {
+		t.Fatalf("full tail: %v", full)
+	}
+}
+
+// The core tail-energy claim: a single small ad download on 3G costs an
+// order of magnitude more than its transmission energy.
+func TestIsolatedTransferDominatedByTail(t *testing.T) {
+	p := Profile3G()
+	total := p.IsolatedTransferEnergy(2000)
+	xfer := p.ActivePower * p.TransferDuration(2000).Seconds()
+	if total < 10*xfer {
+		t.Fatalf("tail should dominate: total=%.3fJ transfer=%.3fJ", total, xfer)
+	}
+	// WiFi should NOT be tail-dominated.
+	w := ProfileWiFi()
+	wTotal := w.IsolatedTransferEnergy(2000)
+	if wTotal > 1.0 {
+		t.Fatalf("WiFi isolated transfer implausibly expensive: %.3fJ", wTotal)
+	}
+}
+
+// Batching n ads in one radio wake must cost far less than n isolated
+// downloads, and the saving must grow with n.
+func TestBatchingAmortizesTail(t *testing.T) {
+	p := Profile3G()
+	iso := p.IsolatedTransferEnergy(2000)
+	for _, n := range []int{2, 5, 10, 50} {
+		batched := p.BatchedTransferEnergy(2000, n)
+		if batched >= iso*float64(n) {
+			t.Fatalf("n=%d: batching did not save energy (%.2f vs %.2f)", n, batched, iso*float64(n))
+		}
+	}
+	if p.BatchedTransferEnergy(2000, 0) != 0 {
+		t.Fatal("batch of 0 should cost 0")
+	}
+	// Per-ad batched cost approaches pure transmission cost.
+	per50 := p.BatchedTransferEnergy(2000, 50) / 50
+	if per50 > 0.5 {
+		t.Fatalf("per-ad batched cost should be small, got %.3fJ", per50)
+	}
+}
+
+func TestRadioSingleTransfer(t *testing.T) {
+	p := Profile3G()
+	r := New(p)
+	end := r.Transfer(0, 2000, "ads")
+	wantEnd := simclock.Time(p.PromoIdleDur + p.TransferDuration(2000))
+	if end != wantEnd {
+		t.Fatalf("end=%v want %v", end, wantEnd)
+	}
+	r.Flush()
+	u := r.UsageOf("ads")
+	if !almostEq(u.TotalJ(), p.IsolatedTransferEnergy(2000), 1e-9) {
+		t.Fatalf("single transfer %.4fJ want %.4fJ", u.TotalJ(), p.IsolatedTransferEnergy(2000))
+	}
+	if u.Transfers != 1 || u.Bytes != 2000 {
+		t.Fatalf("counters: %+v", u)
+	}
+}
+
+func TestRadioBackToBackSharesTail(t *testing.T) {
+	p := Profile3G()
+	// Two transfers 1 s apart: second arrives inside the DCH tail, so no
+	// promotion for it and the first is charged only 1 s of DCH tail.
+	r := New(p)
+	end1 := r.Transfer(0, 2000, "a")
+	r.Transfer(end1.Add(time.Second), 2000, "b")
+	r.Flush()
+	a, b := r.UsageOf("a"), r.UsageOf("b")
+	if !almostEq(a.TailJ, 0.8, 1e-9) {
+		t.Fatalf("a tail %.4f want 0.8", a.TailJ)
+	}
+	if b.PromoJ != 0 {
+		t.Fatalf("b should need no promotion, got %.4f", b.PromoJ)
+	}
+	if !almostEq(b.TailJ, p.FullTailEnergy(), 1e-9) {
+		t.Fatalf("b owns the final full tail, got %.4f", b.TailJ)
+	}
+}
+
+func TestRadioLowTailPromotion(t *testing.T) {
+	p := Profile3G()
+	r := New(p)
+	end1 := r.Transfer(0, 2000, "a")
+	// Arrive 8 s later: past DCH (5 s) into FACH; partial promotion.
+	r.Transfer(end1.Add(8*time.Second), 2000, "b")
+	r.Flush()
+	a, b := r.UsageOf("a"), r.UsageOf("b")
+	wantTail := 5*0.8 + 3*0.46
+	if !almostEq(a.TailJ, wantTail, 1e-9) {
+		t.Fatalf("a tail %.4f want %.4f", a.TailJ, wantTail)
+	}
+	wantPromo := p.PromoLowPower * p.PromoLowDur.Seconds()
+	if !almostEq(b.PromoJ, wantPromo, 1e-9) {
+		t.Fatalf("b promo %.4f want %.4f", b.PromoJ, wantPromo)
+	}
+}
+
+func TestRadioColdAfterFullTail(t *testing.T) {
+	p := Profile3G()
+	r := New(p)
+	end1 := r.Transfer(0, 2000, "a")
+	r.Transfer(end1.Add(time.Hour), 2000, "b")
+	r.Flush()
+	a, b := r.UsageOf("a"), r.UsageOf("b")
+	if !almostEq(a.TailJ, p.FullTailEnergy(), 1e-9) {
+		t.Fatalf("a should own a full tail, got %.4f", a.TailJ)
+	}
+	wantPromo := p.PromoIdlePower * p.PromoIdleDur.Seconds()
+	if !almostEq(b.PromoJ, wantPromo, 1e-9) {
+		t.Fatalf("b needs a cold promotion, got %.4f want %.4f", b.PromoJ, wantPromo)
+	}
+}
+
+func TestRadioSerializesConcurrentRequests(t *testing.T) {
+	p := Profile3G()
+	r := New(p)
+	end1 := r.Transfer(0, 125000, "a") // 1 s serialization
+	// Requested while the first is in flight: starts when link frees.
+	end2 := r.Transfer(simclock.At(100*time.Millisecond), 125000, "b")
+	if !end2.After(end1) {
+		t.Fatalf("serialized transfer should end after the first: %v vs %v", end2, end1)
+	}
+	if got, want := end2.Sub(end1), p.TransferDuration(125000); got != want {
+		t.Fatalf("second transfer duration %v want %v", got, want)
+	}
+	r.Flush()
+	// No tail settled between them, no promotion for b.
+	if b := r.UsageOf("b"); b.PromoJ != 0 {
+		t.Fatalf("b promo %.4f want 0", b.PromoJ)
+	}
+	if a := r.UsageOf("a"); a.TailJ != 0 {
+		t.Fatalf("a tail %.4f want 0", a.TailJ)
+	}
+}
+
+func TestRadioFlushSemantics(t *testing.T) {
+	r := New(Profile3G())
+	r.Flush() // unused: no-op
+	if got := r.Total().TotalJ(); got != 0 {
+		t.Fatalf("unused radio energy %v", got)
+	}
+	r2 := New(Profile3G())
+	r2.Transfer(0, 100, "x")
+	r2.Flush()
+	r2.Flush() // double flush: no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transfer after Flush should panic")
+		}
+	}()
+	r2.Transfer(simclock.At(time.Hour), 100, "x")
+}
+
+func TestRadioOwnersAndTotal(t *testing.T) {
+	r := New(Profile3G())
+	e := r.Transfer(0, 100, "b-owner")
+	e = r.Transfer(e.Add(time.Second), 100, "a-owner")
+	_ = e
+	r.Flush()
+	owners := r.Owners()
+	if len(owners) != 2 || owners[0] != "a-owner" || owners[1] != "b-owner" {
+		t.Fatalf("owners %v", owners)
+	}
+	tot := r.Total()
+	sum := r.UsageOf("a-owner").TotalJ() + r.UsageOf("b-owner").TotalJ()
+	if !almostEq(tot.TotalJ(), sum, 1e-9) {
+		t.Fatalf("total %.4f != sum %.4f", tot.TotalJ(), sum)
+	}
+	if r.UsageOf("nobody") != (Usage{}) {
+		t.Fatal("unknown owner should have zero usage")
+	}
+}
+
+func TestRadioOnAndTailTime(t *testing.T) {
+	p := Profile3G()
+	r := New(p)
+	end := r.Transfer(0, 125000, "a")
+	r.Transfer(end.Add(2*time.Second), 125000, "a")
+	r.Flush()
+	wantOn := p.PromoIdleDur + 2*p.TransferDuration(125000)
+	if r.OnTime() != wantOn {
+		t.Fatalf("OnTime %v want %v", r.OnTime(), wantOn)
+	}
+	wantTail := 2*time.Second + p.TailDur()
+	if r.TailTime() != wantTail {
+		t.Fatalf("TailTime %v want %v", r.TailTime(), wantTail)
+	}
+}
+
+// Property: replayed total energy equals the closed-form decomposition,
+// and batching the same payloads never costs more than spreading them
+// beyond the tail.
+func TestRadioEnergyConservationProperty(t *testing.T) {
+	p := Profile3G()
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%20) + 1
+		// Spread: transfers separated by more than the full tail.
+		spread := New(p)
+		at := simclock.Time(0)
+		for i := 0; i < count; i++ {
+			end := spread.Transfer(at, 2000, "x")
+			at = end.Add(p.TailDur() + time.Duration(r.Int63n(int64(10*time.Second))) + time.Second)
+		}
+		spread.Flush()
+		wantSpread := float64(count) * p.IsolatedTransferEnergy(2000)
+		if !almostEq(spread.UsageOf("x").TotalJ(), wantSpread, 1e-6) {
+			return false
+		}
+		// Batch: all back-to-back.
+		batch := New(p)
+		at = 0
+		for i := 0; i < count; i++ {
+			at = batch.Transfer(at, 2000, "x")
+		}
+		batch.Flush()
+		wantBatch := p.BatchedTransferEnergy(2000, count)
+		if !almostEq(batch.UsageOf("x").TotalJ(), wantBatch, 1e-6) {
+			return false
+		}
+		return batch.UsageOf("x").TotalJ() <= spread.UsageOf("x").TotalJ()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total energy is monotone in the number of transfers, for any
+// arrival pattern.
+func TestRadioMonotonicityProperty(t *testing.T) {
+	p := ProfileLTE()
+	f := func(seed int64, n uint8) bool {
+		count := int(n%15) + 2
+		r := rand.New(rand.NewSource(seed))
+		gaps := make([]time.Duration, count)
+		for i := range gaps {
+			gaps[i] = time.Duration(r.Int63n(int64(30 * time.Second)))
+		}
+		run := func(k int) float64 {
+			rd := New(p)
+			at := simclock.Time(0)
+			for i := 0; i < k; i++ {
+				end := rd.Transfer(at, 1500, "x")
+				at = end.Add(gaps[i])
+			}
+			rd.Flush()
+			return rd.Total().TotalJ()
+		}
+		return run(count-1) <= run(count)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioOutOfOrderOK(t *testing.T) {
+	// Requests during an in-flight transfer are legal (serialized), and
+	// requests at identical instants are too.
+	r := New(Profile3G())
+	r.Transfer(0, 125000, "a")
+	r.Transfer(0, 1000, "b")
+	r.Transfer(0, 1000, "c")
+	r.Flush()
+	if got := r.Total().Transfers; got != 3 {
+		t.Fatalf("transfers=%d", got)
+	}
+}
+
+func TestNewPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid profile should panic")
+		}
+	}()
+	New(Profile{Name: "bad"})
+}
+
+func TestRadioString(t *testing.T) {
+	r := New(Profile3G())
+	r.Transfer(0, 1000, "x")
+	r.Flush()
+	if s := r.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,573 @@
+// Package sim runs the end-to-end evaluation: it replays a population
+// of usage traces against an assembled ad system (core.System) and a
+// per-device radio energy model, producing the energy / SLA / revenue
+// numbers behind every figure in the evaluation.
+//
+// The simulation is a single-threaded discrete-event loop, deterministic
+// for a given configuration, with three event sources: per-user trace
+// timelines (app traffic and ad slots), global prefetch-period
+// boundaries, and the warm-up/selling transition.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/radio"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	// Population to replay; if nil, one is generated from TraceCfg.
+	Population *trace.Population
+	TraceCfg   trace.GenConfig
+	Catalog    *trace.Catalog // nil = DefaultCatalog
+
+	// MaxUsers truncates the population for quick runs (0 = all).
+	MaxUsers int
+
+	Radio radio.Profile
+
+	// WiFiSchedule, when enabled, models mixed connectivity: each user
+	// is on WiFi during their personal home window (roughly evenings and
+	// nights) and on the cellular Radio otherwise. Transfers route to
+	// whichever radio is active, each with its own tail state.
+	WiFiSchedule WiFiSchedule
+
+	AdBytes int64
+
+	// ReportBytes charges a radio transfer per cache-hit display report.
+	// The deployed design batches reports and piggybacks them on
+	// existing transfers (their bytes are negligible and they never wake
+	// the radio), so the default is 0; setting it nonzero models a
+	// naive report-at-display-time client, an ablation worth measuring —
+	// an immediate 200-byte report costs nearly as much as fetching the
+	// ad, erasing the prefetch savings.
+	ReportBytes int64
+
+	RefreshInterval time.Duration
+
+	// Core selects mode, delivery policy and server policy (including
+	// the prefetch period).
+	Core core.Config
+
+	// Demand and Reserve shape the exchange.
+	Demand  auction.DemandConfig
+	Reserve float64
+
+	// WarmupDays trains predictors before selling begins; all monetary
+	// and energy metrics are measured after warm-up.
+	WarmupDays int
+
+	// ReportLossProb injects failure: a display report is lost with this
+	// probability (the impression goes unbilled and expires).
+	ReportLossProb float64
+
+	// ChurnProb injects failure: each user is offline (no sessions, no
+	// radio, no deliveries) for any given prefetch period with this
+	// probability. Overbooked replication is what keeps sold impressions
+	// displayable despite churn.
+	ChurnProb float64
+
+	Seed int64
+}
+
+// WiFiSchedule models when users are on WiFi (home/office coverage).
+type WiFiSchedule struct {
+	// Enabled turns the mixed-connectivity model on.
+	Enabled bool
+	// HomeStartHour..HomeEndHour (wrapping midnight) is the nominal WiFi
+	// window; each user's window is phase-shifted deterministically.
+	HomeStartHour int
+	HomeEndHour   int
+	// Coverage is the probability a user has WiFi at home at all.
+	Coverage float64
+}
+
+// DefaultWiFiSchedule returns evenings-and-nights-at-home coverage:
+// WiFi from 19:00 to 08:00 for 80% of users.
+func DefaultWiFiSchedule() WiFiSchedule {
+	return WiFiSchedule{Enabled: true, HomeStartHour: 19, HomeEndHour: 8, Coverage: 0.8}
+}
+
+// onWiFi reports whether a user is on WiFi at an instant; shift
+// personalizes the window by +-2h per user.
+func (w WiFiSchedule) onWiFi(hasWiFi bool, shift int, at simclock.Time) bool {
+	if !w.Enabled || !hasWiFi {
+		return false
+	}
+	h := (at.HourOfDay() + shift + 24) % 24
+	start, end := w.HomeStartHour, w.HomeEndHour
+	if start <= end {
+		return h >= start && h < end
+	}
+	return h >= start || h < end
+}
+
+// DefaultConfig returns a moderately sized run (a subsample of the full
+// population so unit-test and example runs finish in seconds); cmd/
+// experiments scales it up.
+func DefaultConfig(mode core.Mode) Config {
+	tc := trace.DefaultGenConfig()
+	tc.Users = 200
+	tc.Days = 10
+	return Config{
+		TraceCfg:        tc,
+		Radio:           radio.Profile3G(),
+		AdBytes:         2048,
+		ReportBytes:     0,
+		RefreshInterval: 30 * time.Second,
+		Core:            core.DefaultConfig(mode),
+		Demand:          auction.DefaultDemand(),
+		Reserve:         0.0002, // $0.20 CPM floor, well under the ~$1 CPM bid median
+		WarmupDays:      5,
+		Seed:            1,
+	}
+}
+
+// Validate checks the run configuration.
+func (c Config) Validate() error {
+	if err := c.Radio.Validate(); err != nil {
+		return err
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.AdBytes <= 0:
+		return fmt.Errorf("sim: AdBytes must be positive, got %d", c.AdBytes)
+	case c.ReportBytes < 0:
+		return fmt.Errorf("sim: negative ReportBytes")
+	case c.RefreshInterval <= 0:
+		return fmt.Errorf("sim: RefreshInterval must be positive, got %v", c.RefreshInterval)
+	case c.WarmupDays < 0:
+		return fmt.Errorf("sim: negative WarmupDays")
+	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
+		return fmt.Errorf("sim: ReportLossProb must be in [0,1], got %v", c.ReportLossProb)
+	case c.ChurnProb < 0 || c.ChurnProb > 1:
+		return fmt.Errorf("sim: ChurnProb must be in [0,1], got %v", c.ChurnProb)
+	case c.Reserve < 0:
+		return fmt.Errorf("sim: negative Reserve")
+	}
+	return nil
+}
+
+// Result is the outcome of one run, measured after warm-up.
+type Result struct {
+	Mode     core.Mode
+	Delivery core.Delivery
+	Users    int
+	Days     int // measured days (post warm-up)
+
+	// Energy over the measurement window, attributed per the radio model.
+	AdEnergyJ  float64
+	AppEnergyJ float64
+
+	// Money and SLA outcomes.
+	Ledger auction.Ledger
+
+	// Client-side counters.
+	Counters client.Counters
+
+	// Aggregated per-period server stats.
+	SoldTotal    int64
+	ReplicaTotal int64
+	PlacedTotal  int64
+	Periods      int
+
+	// PerUserAdJPerDay is the distribution of ad energy per user per
+	// measured day, for the fairness/distribution figure.
+	PerUserAdJPerDay metrics.Sample
+
+	// CampaignBilled is each campaign's billed revenue, for checking
+	// that prefetching does not distort auction outcomes.
+	CampaignBilled map[auction.CampaignID]float64
+}
+
+// AdEnergyPerUserDay returns the headline metric: joules of ad energy
+// per user per day.
+func (r Result) AdEnergyPerUserDay() float64 {
+	if r.Users == 0 || r.Days == 0 {
+		return 0
+	}
+	return r.AdEnergyJ / float64(r.Users) / float64(r.Days)
+}
+
+// MeanReplication returns average replicas per placed impression.
+func (r Result) MeanReplication() float64 {
+	if r.PlacedTotal == 0 {
+		return 0
+	}
+	return float64(r.ReplicaTotal) / float64(r.PlacedTotal)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: ad %.1f J/user/day, hit %.0f%%, SLA viol %.3g%%, rev loss %.3g%%",
+		r.Mode, r.Delivery, r.AdEnergyPerUserDay(), 100*r.Counters.HitRate(),
+		100*r.Ledger.ViolationRate(), 100*r.Ledger.RevenueLossFrac())
+}
+
+// timelineEvent is one precomputed user event.
+type timelineEvent struct {
+	at    simclock.Time
+	bytes int64 // app transfer size; 0 for slot events
+	slot  bool
+	cats  []trace.Category // slot's app category
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pop := cfg.Population
+	if pop == nil {
+		var err error
+		pop, err = trace.Generate(cfg.TraceCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	users := pop.Users
+	if cfg.MaxUsers > 0 && cfg.MaxUsers < len(users) {
+		users = users[:cfg.MaxUsers]
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = trace.NewCatalog(trace.DefaultCatalog())
+	}
+	warmupEnd := simclock.Time(cfg.WarmupDays) * simclock.Day
+	if warmupEnd > pop.Span {
+		return nil, fmt.Errorf("sim: warm-up %d days exceeds trace span %v", cfg.WarmupDays, pop.Span)
+	}
+	period := cfg.Core.Server.Period
+
+	// Exchange and system assembly.
+	rng := simclock.NewRand(cfg.Seed).Stream("sim")
+	ex, err := auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(users))
+	byID := make(map[int]*trace.User, len(users))
+	for i, u := range users {
+		ids[i] = u.ID
+		byID[u.ID] = u
+	}
+	oracleSeries := func(id int) []int {
+		return trace.SlotsPerPeriod(byID[id], cat, cfg.RefreshInterval, period, pop.Span)
+	}
+	hintsOf := topCategories(users, cat)
+	sys, err := core.New(cfg.Core, ex, ids, oracleSeries, func(id int) []trace.Category { return hintsOf[id] })
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-user radios and timelines. Under mixed connectivity each user
+	// carries a second (WiFi) radio with independent tail state.
+	radios := make(map[int]*radio.Radio, len(users))
+	wifiRadios := make(map[int]*radio.Radio, len(users))
+	hasWiFi := make(map[int]bool, len(users))
+	wifiShift := make(map[int]int, len(users))
+	timelines := make(map[int][]timelineEvent, len(users))
+	wifiRNG := rng.Stream("wifi")
+	for _, u := range users {
+		radios[u.ID] = radio.New(cfg.Radio)
+		timelines[u.ID] = buildTimeline(u, cat, cfg.RefreshInterval)
+		if cfg.WiFiSchedule.Enabled {
+			wifiRadios[u.ID] = radio.New(radio.ProfileWiFi())
+			r := wifiRNG.StreamN("user", u.ID)
+			hasWiFi[u.ID] = r.Bernoulli(cfg.WiFiSchedule.Coverage)
+			wifiShift[u.ID] = r.Intn(5) - 2
+		}
+	}
+	activeRadio := func(uid int, at simclock.Time) *radio.Radio {
+		if cfg.WiFiSchedule.onWiFi(hasWiFi[uid], wifiShift[uid], at) {
+			return wifiRadios[uid]
+		}
+		return radios[uid]
+	}
+
+	if cfg.ReportLossProb > 0 {
+		lossRNG := rng.Stream("report-loss")
+		sys.SetReportHook(func(auction.ImpressionID, simclock.Time) bool {
+			return !lossRNG.Bernoulli(cfg.ReportLossProb)
+		})
+	}
+	var offline func(uid int, at simclock.Time) bool
+	if cfg.ChurnProb > 0 {
+		churnRNG := rng.Stream("churn")
+		periodsTotal := int(pop.Span/simclock.Time(period)) + 1
+		down := make(map[int][]bool, len(users))
+		for _, u := range users {
+			v := make([]bool, periodsTotal)
+			r := churnRNG.StreamN("user", u.ID)
+			for i := range v {
+				v[i] = r.Bernoulli(cfg.ChurnProb)
+			}
+			down[u.ID] = v
+		}
+		offline = func(uid int, at simclock.Time) bool {
+			v := down[uid]
+			i := int(at / simclock.Time(period))
+			return i >= 0 && i < len(v) && v[i]
+		}
+		sys.SetOfflineFn(offline)
+	}
+	q := simclock.NewQueue()
+	var simErr error
+	fail := func(err error) {
+		if simErr == nil {
+			simErr = err
+		}
+	}
+
+	owner := func(now simclock.Time, kind string) radio.Owner {
+		if now < warmupEnd {
+			return "warmup"
+		}
+		return radio.Owner(kind)
+	}
+
+	// Per-user event pumps.
+	var pump func(uid int, idx int) func(*simclock.Queue)
+	pump = func(uid int, idx int) func(*simclock.Queue) {
+		return func(q *simclock.Queue) {
+			tl := timelines[uid]
+			ev := tl[idx]
+			now := q.Now()
+			if offline != nil && offline(uid, now) {
+				// Device is off the network this period: nothing happens.
+				if idx+1 < len(tl) {
+					q.Schedule(tl[idx+1].at, "user", pump(uid, idx+1))
+				}
+				return
+			}
+			r := activeRadio(uid, now)
+			if !ev.slot {
+				r.Transfer(now, ev.bytes, owner(now, "app"))
+			} else {
+				out, err := sys.HandleSlot(now, uid, ev.cats)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if out.PiggybackAds > 0 {
+					r.Transfer(now, int64(out.PiggybackAds)*cfg.AdBytes, owner(now, "ads"))
+				}
+				if out.Fetched {
+					r.Transfer(now, cfg.AdBytes*int64(1+out.TopUpAds), owner(now, "ads"))
+				} else if out.CacheHit && cfg.ReportBytes > 0 {
+					r.Transfer(now, cfg.ReportBytes, owner(now, "ads"))
+				}
+			}
+			if idx+1 < len(tl) {
+				q.Schedule(tl[idx+1].at, "user", pump(uid, idx+1))
+			}
+		}
+	}
+	for _, u := range users {
+		if len(timelines[u.ID]) > 0 {
+			q.Schedule(timelines[u.ID][0].at, "user", pump(u.ID, 0))
+		}
+	}
+
+	// Period boundary chain.
+	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: len(users)}
+	var warmupCounters client.Counters
+	periodsTotal := int(pop.Span / simclock.Time(period))
+	var boundary func(pi int) func(*simclock.Queue)
+	boundary = func(pi int) func(*simclock.Queue) {
+		return func(q *simclock.Queue) {
+			now := q.Now()
+			if pi > 0 {
+				prev := predict.PeriodOf(now-simclock.Time(period), period)
+				sys.EndPeriod(now, prev)
+			}
+			if now >= warmupEnd && !sys.Selling() {
+				sys.SetSelling(true)
+				warmupCounters = sys.Counters()
+			}
+			if pi < periodsTotal {
+				p := predict.PeriodOf(now, period)
+				deliveries, stats := sys.StartPeriod(now, p)
+				if sys.Selling() {
+					res.SoldTotal += int64(stats.Sold)
+					res.ReplicaTotal += int64(stats.Replicas)
+					res.PlacedTotal += int64(stats.Placed)
+					res.Periods++
+				}
+				for _, d := range deliveries {
+					activeRadio(d.Client, now).Transfer(now, int64(d.Ads)*cfg.AdBytes, owner(now, "ads"))
+				}
+				q.Schedule(now.Add(period), "period", boundary(pi+1))
+			}
+		}
+	}
+	q.Schedule(0, "period", boundary(0))
+
+	if err := q.Run(1 << 62); err != nil {
+		return nil, err
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+
+	// Final sweep for impressions still open at trace end.
+	ex.SweepExpired(pop.Span + simclock.Week)
+
+	res.Days = pop.Days() - cfg.WarmupDays
+	for _, u := range users {
+		r := radios[u.ID]
+		r.Flush()
+		adJ := r.UsageOf("ads").TotalJ()
+		appJ := r.UsageOf("app").TotalJ()
+		if w := wifiRadios[u.ID]; w != nil {
+			w.Flush()
+			adJ += w.UsageOf("ads").TotalJ()
+			appJ += w.UsageOf("app").TotalJ()
+		}
+		res.AdEnergyJ += adJ
+		res.AppEnergyJ += appJ
+		if res.Days > 0 {
+			res.PerUserAdJPerDay.Add(adJ / float64(res.Days))
+		}
+	}
+	res.Ledger = ex.Ledger()
+	res.Counters = sys.Counters().Sub(warmupCounters)
+	res.CampaignBilled = make(map[auction.CampaignID]float64, cfg.Demand.Campaigns)
+	for i := 0; i < cfg.Demand.Campaigns; i++ {
+		id := auction.CampaignID(i)
+		if billed, _, err := ex.CampaignSpend(id); err == nil {
+			res.CampaignBilled[id] = billed
+		}
+	}
+	return res, nil
+}
+
+// buildTimeline expands one user's sessions into app transfers and ad
+// slots, sorted by time.
+func buildTimeline(u *trace.User, cat *trace.Catalog, refresh time.Duration) []timelineEvent {
+	var tl []timelineEvent
+	for _, s := range u.Sessions {
+		app := cat.App(s.App)
+		if app.StartupBytes > 0 {
+			tl = append(tl, timelineEvent{at: s.Start, bytes: app.StartupBytes})
+		}
+		if app.RefreshEverySec > 0 && app.RefreshBytes > 0 {
+			step := time.Duration(app.RefreshEverySec * float64(time.Second))
+			for at := s.Start.Add(step); at.Before(s.End()); at = at.Add(step) {
+				tl = append(tl, timelineEvent{at: at, bytes: app.RefreshBytes})
+			}
+		}
+		if app.AdSupported {
+			cats := []trace.Category{app.Category}
+			for _, at := range trace.SlotsOfSession(s, refresh) {
+				tl = append(tl, timelineEvent{at: at, slot: true, cats: cats})
+			}
+		}
+	}
+	sort.SliceStable(tl, func(i, j int) bool { return tl[i].at < tl[j].at })
+	return tl
+}
+
+// topCategories computes each user's dominant app categories (by
+// session count) for auction targeting hints.
+func topCategories(users []*trace.User, cat *trace.Catalog) map[int][]trace.Category {
+	out := make(map[int][]trace.Category, len(users))
+	for _, u := range users {
+		counts := map[trace.Category]int{}
+		for _, s := range u.Sessions {
+			counts[cat.App(s.App).Category]++
+		}
+		type kv struct {
+			c trace.Category
+			n int
+		}
+		var all []kv
+		for c, n := range counts {
+			all = append(all, kv{c, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].c < all[j].c
+		})
+		top := make([]trace.Category, 0, 3)
+		for i, e := range all {
+			if i == 3 {
+				break
+			}
+			top = append(top, e.c)
+		}
+		out[u.ID] = top
+	}
+	return out
+}
+
+// Compare runs the same configuration under several modes and renders
+// the comparison row the F7/F8 experiments are built from. The baseline
+// (first mode) defines the 100% energy reference.
+func Compare(base Config, modes []core.Mode) ([]*Result, error) {
+	results := make([]*Result, 0, len(modes))
+	for _, m := range modes {
+		cfg := base
+		cfg.Core = retargetMode(base.Core, m)
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: mode %v: %w", m, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// retargetMode rebuilds a core config for a different mode, preserving
+// the shared knobs (period, delivery, deadlines, latencies).
+func retargetMode(base core.Config, m core.Mode) core.Config {
+	cfg := core.DefaultConfig(m)
+	cfg.Delivery = base.Delivery
+	cfg.Server.Period = base.Server.Period
+	cfg.Server.AdDeadline = base.Server.AdDeadline
+	cfg.Server.ReportLatency = base.Server.ReportLatency
+	cfg.Server.SyncDelay = base.Server.SyncDelay
+	cfg.Percentile = base.Percentile
+	cfg.NaiveK = base.NaiveK
+	cfg.CacheCap = base.CacheCap
+	if m == base.Mode {
+		// Keep the caller's overbooking knobs for its own mode.
+		cfg.Server.Overbook = base.Server.Overbook
+	}
+	return cfg
+}
+
+// CompareTable renders mode comparison results; the first row is the
+// savings baseline.
+func CompareTable(title string, results []*Result) *metrics.Table {
+	t := metrics.NewTable(title,
+		"mode", "delivery", "ad J/user/day", "saving", "hit rate", "SLA viol", "rev loss", "mean k")
+	if len(results) == 0 {
+		return t
+	}
+	base := results[0].AdEnergyPerUserDay()
+	for _, r := range results {
+		t.AddRow(r.Mode.String(), r.Delivery.String(),
+			r.AdEnergyPerUserDay(),
+			fmt.Sprintf("%.1f%%", metrics.PercentChange(base, r.AdEnergyPerUserDay())),
+			fmt.Sprintf("%.1f%%", 100*r.Counters.HitRate()),
+			fmt.Sprintf("%.3g%%", 100*r.Ledger.ViolationRate()),
+			fmt.Sprintf("%.3g%%", 100*r.Ledger.RevenueLossFrac()),
+			fmt.Sprintf("%.2f", r.MeanReplication()))
+	}
+	return t
+}

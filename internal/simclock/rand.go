@@ -1,0 +1,121 @@
+package simclock
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the distributions the simulator needs and a
+// derivation scheme that yields independent, reproducible sub-streams.
+// Every stochastic component takes a *Rand so that whole-population runs
+// are reproducible from a single root seed while remaining decorrelated
+// across users and components.
+type Rand struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRand returns a stream seeded with the given root seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this stream was created with.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Stream derives an independent sub-stream identified by name. The
+// derivation hashes (seed, name) so that adding a new consumer of
+// randomness does not perturb existing streams.
+func (r *Rand) Stream(name string) *Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	s := uint64(r.seed)
+	for i := range buf {
+		buf[i] = byte(s >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return NewRand(int64(h.Sum64()))
+}
+
+// StreamN derives an independent sub-stream identified by (name, n),
+// e.g. one stream per simulated user.
+func (r *Rand) StreamN(name string, n int) *Rand {
+	h := fnv.New64a()
+	var buf [16]byte
+	s := uint64(r.seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s >> (8 * i))
+	}
+	u := uint64(n)
+	for i := 0; i < 8; i++ {
+		buf[8+i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return NewRand(int64(h.Sum64()))
+}
+
+// Exp draws from an exponential distribution with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// LogNormal draws from a lognormal distribution parameterized by the
+// mu/sigma of the underlying normal.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// LogNormalMeanMedian draws from a lognormal with the given median;
+// sigma controls the spread of the underlying normal.
+func (r *Rand) LogNormalMeanMedian(median, sigma float64) float64 {
+	return r.LogNormal(math.Log(median), sigma)
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's method for small means and a normal approximation for large
+// ones (mean > 64), which is accurate enough for workload synthesis.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf draws ranks in [0,n) with Zipf exponent s >= 1 (rank 0 most
+// popular). It uses the stdlib generator, constructed lazily per call
+// site via ZipfRanks for efficiency when many draws share parameters.
+func (r *Rand) ZipfRanks(s float64, n int) *rand.Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	return rand.NewZipf(r.Rand, s, 1, uint64(n-1))
+}
+
+// Jitter returns v multiplied by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(v, frac float64) float64 {
+	return v * (1 + (r.Float64()*2-1)*frac)
+}

@@ -1,0 +1,140 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandReproducible(t *testing.T) {
+	a := NewRand(42).Stream("users").StreamN("user", 7)
+	b := NewRand(42).Stream("users").StreamN("user", 7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical derivations diverged")
+		}
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	root := NewRand(42)
+	a := root.Stream("alpha")
+	b := root.Stream("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams produced %d identical draws out of 100", same)
+	}
+}
+
+func TestRandStreamNDistinct(t *testing.T) {
+	root := NewRand(1)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := root.StreamN("user", i)
+		if seen[s.Seed()] {
+			t.Fatalf("duplicate derived seed for user %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRand(7)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v): sample mean %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(9)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	if got := sum / float64(n); math.Abs(got-5) > 0.2 {
+		t.Fatalf("Exp(5): sample mean %v", got)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRand(11)
+	n := 20001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormalMeanMedian(30, 1.0)
+	}
+	// The median of the sample should be near 30.
+	below := 0
+	for _, x := range xs {
+		if x < 30 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median off: %v of samples below the nominal median", frac)
+	}
+}
+
+func TestBernoulliProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		hits := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.3) {
+				hits++
+			}
+		}
+		frac := float64(hits) / n
+		return frac > 0.25 && frac < 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Jitter(10, 0.2)
+			if v < 8 || v > 12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfRanksSkewed(t *testing.T) {
+	r := NewRand(5)
+	z := r.ZipfRanks(1.2, 50)
+	counts := make([]int, 50)
+	for i := 0; i < 10000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+}

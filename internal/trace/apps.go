@@ -1,0 +1,99 @@
+package trace
+
+import "fmt"
+
+// AppID indexes into the app catalog.
+type AppID int
+
+// Category groups apps by workload shape; it drives the per-session
+// foreground-traffic model used for energy accounting.
+type Category string
+
+const (
+	CatSocial  Category = "social"
+	CatGame    Category = "game"
+	CatNews    Category = "news"
+	CatWeather Category = "weather"
+	CatMedia   Category = "media"
+	CatUtility Category = "utility"
+)
+
+// App describes one catalog entry: whether it shows ads, and its
+// foreground network traffic profile (used so that "ad share of
+// communication energy" is measured against realistic app traffic, as in
+// the paper's Table 1 study).
+type App struct {
+	ID          AppID
+	Name        string
+	Category    Category
+	AdSupported bool
+
+	// Foreground traffic model: a burst at session start (content load)
+	// plus periodic refreshes while the app is in foreground.
+	StartupBytes    int64   // initial content fetch
+	RefreshBytes    int64   // per periodic refresh
+	RefreshEverySec float64 // 0 = no periodic app traffic
+}
+
+// DefaultCatalog returns the 15-app "top free apps" catalog used by the
+// measurement-study experiments. Names are generic stand-ins for the
+// paper's top-15 Windows Phone apps; categories and traffic shapes span
+// the same range (chatty social apps, quiet games, media apps whose own
+// traffic dwarfs ads).
+func DefaultCatalog() []App {
+	apps := []App{
+		{Name: "SocialFeed", Category: CatSocial, AdSupported: true, StartupBytes: 120 << 10, RefreshBytes: 30 << 10, RefreshEverySec: 25},
+		{Name: "ChatLite", Category: CatSocial, AdSupported: true, StartupBytes: 30 << 10, RefreshBytes: 4 << 10, RefreshEverySec: 15},
+		{Name: "BirdToss", Category: CatGame, AdSupported: true, StartupBytes: 8 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+		{Name: "WordPuzzle", Category: CatGame, AdSupported: true, StartupBytes: 5 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+		{Name: "RunnerDash", Category: CatGame, AdSupported: true, StartupBytes: 10 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+		{Name: "CardDuel", Category: CatGame, AdSupported: true, StartupBytes: 12 << 10, RefreshBytes: 6 << 10, RefreshEverySec: 45},
+		{Name: "NewsFlash", Category: CatNews, AdSupported: true, StartupBytes: 200 << 10, RefreshBytes: 40 << 10, RefreshEverySec: 35},
+		{Name: "HeadlineHub", Category: CatNews, AdSupported: true, StartupBytes: 150 << 10, RefreshBytes: 30 << 10, RefreshEverySec: 40},
+		{Name: "SkyCast", Category: CatWeather, AdSupported: true, StartupBytes: 40 << 10, RefreshBytes: 8 << 10, RefreshEverySec: 180},
+		{Name: "RadarNow", Category: CatWeather, AdSupported: true, StartupBytes: 60 << 10, RefreshBytes: 20 << 10, RefreshEverySec: 45},
+		{Name: "TubeStream", Category: CatMedia, AdSupported: true, StartupBytes: 800 << 10, RefreshBytes: 100 << 10, RefreshEverySec: 5},
+		{Name: "PodPlayer", Category: CatMedia, AdSupported: true, StartupBytes: 500 << 10, RefreshBytes: 60 << 10, RefreshEverySec: 6},
+		{Name: "FlashLight", Category: CatUtility, AdSupported: true, StartupBytes: 2 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+		{Name: "ScanPro", Category: CatUtility, AdSupported: true, StartupBytes: 6 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+		{Name: "BatterySaver", Category: CatUtility, AdSupported: true, StartupBytes: 3 << 10, RefreshBytes: 0, RefreshEverySec: 0},
+	}
+	for i := range apps {
+		apps[i].ID = AppID(i)
+	}
+	return apps
+}
+
+// Catalog provides lookup over a fixed app set.
+type Catalog struct {
+	apps []App
+}
+
+// NewCatalog wraps an app list, assigning IDs by position if unset.
+func NewCatalog(apps []App) *Catalog {
+	cp := make([]App, len(apps))
+	copy(cp, apps)
+	for i := range cp {
+		cp[i].ID = AppID(i)
+	}
+	return &Catalog{apps: cp}
+}
+
+// Len returns the number of apps.
+func (c *Catalog) Len() int { return len(c.apps) }
+
+// App returns the app with the given ID; it panics on out-of-range IDs
+// since those indicate trace corruption.
+func (c *Catalog) App(id AppID) App {
+	if int(id) < 0 || int(id) >= len(c.apps) {
+		panic(fmt.Sprintf("trace: app id %d out of range [0,%d)", id, len(c.apps)))
+	}
+	return c.apps[int(id)]
+}
+
+// Apps returns a copy of the catalog contents.
+func (c *Catalog) Apps() []App {
+	out := make([]App, len(c.apps))
+	copy(out, c.apps)
+	return out
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/simclock"
+)
+
+// WriteCSV exports a population as a flat CSV of sessions
+// (user,platform,app,start_ns,dur_ns), convenient for external analysis
+// tools. The JSON-lines format (Write/Read) remains the canonical
+// round-trippable format because it carries the trace span header.
+func WriteCSV(w io.Writer, p *Population) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"user", "platform", "app", "start_ns", "dur_ns"}); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	for _, u := range p.Users {
+		for _, s := range u.Sessions {
+			rec := []string{
+				strconv.Itoa(u.ID),
+				string(u.Platform),
+				strconv.Itoa(int(s.App)),
+				strconv.FormatInt(int64(s.Start), 10),
+				strconv.FormatInt(int64(s.Duration), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: writing csv for user %d: %w", u.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CSV produced by WriteCSV. The trace span is
+// inferred as the end of the last session rounded up to a whole day.
+func ReadCSV(r io.Reader) (*Population, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv header: %w", err)
+	}
+	if header[0] != "user" {
+		return nil, fmt.Errorf("trace: unexpected csv header %v", header)
+	}
+	users := map[int]*User{}
+	var maxEnd simclock.Time
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		uid, err1 := strconv.Atoi(rec[0])
+		app, err2 := strconv.Atoi(rec[2])
+		start, err3 := strconv.ParseInt(rec[3], 10, 64)
+		dur, err4 := strconv.ParseInt(rec[4], 10, 64)
+		for _, e := range []error{err1, err2, err3, err4} {
+			if e != nil {
+				return nil, fmt.Errorf("trace: csv line %d: %v", line, e)
+			}
+		}
+		u, ok := users[uid]
+		if !ok {
+			u = &User{ID: uid, Platform: Platform(rec[1])}
+			users[uid] = u
+		}
+		s := Session{App: AppID(app), Start: simclock.Time(start), Duration: simclock.Time(dur).Duration()}
+		u.Sessions = append(u.Sessions, s)
+		if s.End() > maxEnd {
+			maxEnd = s.End()
+		}
+	}
+	span := ((maxEnd + simclock.Day - 1) / simclock.Day) * simclock.Day
+	if span == 0 {
+		span = simclock.Day
+	}
+	p := &Population{Span: span}
+	ids := make([]int, 0, len(users))
+	for id := range users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p.Users = append(p.Users, users[id])
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

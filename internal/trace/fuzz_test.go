@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the on-disk parsers: whatever the bytes, the loaders
+// must never panic, and anything they accept must satisfy the package
+// invariants (sorted, non-overlapping, in-span sessions). Run with
+// `go test -fuzz=FuzzRead ./internal/trace`; the seeds below execute as
+// regular unit tests.
+
+func FuzzRead(f *testing.F) {
+	// Seeds: a valid round-trip file, plus malformed variants.
+	cfg := DefaultGenConfig()
+	cfg.Users = 3
+	cfg.Days = 2
+	pop, err := Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pop); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(`{"kind":"header","users":1,"span_ns":86400000000000}` + "\n")
+	f.Add(`{"kind":"header","users":1,"span_ns":86400000000000}` + "\n" +
+		`{"kind":"session","user":0,"platform":"iPhone","app":0,"start_ns":0,"dur_ns":60000000000}` + "\n")
+	f.Add(`{"kind":"header","users":-1,"span_ns":-5}` + "\n")
+	f.Add("{\"kind\":\"header\",\"users\":1,\"span_ns\":1}\n{\"kind\":\"session\",\"user\":0,\"start_ns\":-9223372036854775808,\"dur_ns\":-1}\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must satisfy the invariants.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted population violates invariants: %v", err)
+		}
+		if p.Span <= 0 {
+			t.Fatalf("accepted population with span %v", p.Span)
+		}
+		// And must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("cannot re-serialize accepted population: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("round trip of accepted population failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	cfg := DefaultGenConfig()
+	cfg.Users = 2
+	cfg.Days = 2
+	pop, err := Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pop); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("user,platform,app,start_ns,dur_ns\n")
+	f.Add("user,platform,app,start_ns,dur_ns\n1,iPhone,0,0,60000000000\n")
+	f.Add("user,platform,app,start_ns,dur_ns\n1,iPhone,0,abc,60\n")
+	f.Add("x\ny\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted population violates invariants: %v", err)
+		}
+		if p.Span <= 0 {
+			t.Fatalf("accepted population with span %v", p.Span)
+		}
+	})
+}

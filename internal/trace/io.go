@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// The on-disk format is JSON-lines: a header record followed by one
+// record per session. Real traces (e.g. the paper's iPhone/Windows Phone
+// logs) can be converted into this format and substituted for the
+// synthetic population.
+
+type headerRecord struct {
+	Kind  string `json:"kind"` // "header"
+	Users int    `json:"users"`
+	SpanN int64  `json:"span_ns"`
+}
+
+type sessionRecord struct {
+	Kind     string   `json:"kind"` // "session"
+	User     int      `json:"user"`
+	Platform Platform `json:"platform"`
+	App      AppID    `json:"app"`
+	StartN   int64    `json:"start_ns"`
+	DurN     int64    `json:"dur_ns"`
+}
+
+// Write serializes a population as JSON-lines.
+func Write(w io.Writer, p *Population) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerRecord{Kind: "header", Users: len(p.Users), SpanN: int64(p.Span)}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, u := range p.Users {
+		for _, s := range u.Sessions {
+			rec := sessionRecord{
+				Kind: "session", User: u.ID, Platform: u.Platform,
+				App: s.App, StartN: int64(s.Start), DurN: int64(s.Duration),
+			}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("trace: writing session for user %d: %w", u.ID, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a population from the JSON-lines format produced by Write.
+// Sessions may appear in any order; they are sorted per user on load.
+func Read(r io.Reader) (*Population, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var hdr headerRecord
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Kind != "header" {
+		return nil, fmt.Errorf("trace: malformed header line: %q", sc.Text())
+	}
+	if hdr.Users <= 0 || hdr.SpanN <= 0 {
+		return nil, fmt.Errorf("trace: header declares users=%d span=%d", hdr.Users, hdr.SpanN)
+	}
+	users := make(map[int]*User)
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec sessionRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Kind != "session" {
+			return nil, fmt.Errorf("trace: line %d: unexpected record kind %q", line, rec.Kind)
+		}
+		u, ok := users[rec.User]
+		if !ok {
+			u = &User{ID: rec.User, Platform: rec.Platform}
+			users[rec.User] = u
+		}
+		u.Sessions = append(u.Sessions, Session{
+			App:      rec.App,
+			Start:    simclock.Time(rec.StartN),
+			Duration: simclock.Time(rec.DurN).Duration(),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	p := &Population{Span: simclock.Time(hdr.SpanN)}
+	ids := make([]int, 0, len(users))
+	for id := range users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		u := users[id]
+		sort.Slice(u.Sessions, func(i, j int) bool { return u.Sessions[i].Start < u.Sessions[j].Start })
+		p.Users = append(p.Users, u)
+	}
+	if len(p.Users) != hdr.Users {
+		return nil, fmt.Errorf("trace: header declares %d users, found %d", hdr.Users, len(p.Users))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

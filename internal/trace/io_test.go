@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	pop, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pop); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Span != pop.Span || len(got.Users) != len(pop.Users) {
+		t.Fatalf("shape mismatch: span %v/%v users %d/%d", got.Span, pop.Span, len(got.Users), len(pop.Users))
+	}
+	for i := range pop.Users {
+		a, b := pop.Users[i], got.Users[i]
+		if a.ID != b.ID || a.Platform != b.Platform || len(a.Sessions) != len(b.Sessions) {
+			t.Fatalf("user %d metadata mismatch", i)
+		}
+		for j := range a.Sessions {
+			if a.Sessions[j] != b.Sessions[j] {
+				t.Fatalf("user %d session %d: %+v vs %+v", i, j, a.Sessions[j], b.Sessions[j])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json\n",
+		`{"kind":"session","user":1}` + "\n", // session before header
+		`{"kind":"header","users":0,"span_ns":1}` + "\n",
+		`{"kind":"header","users":2,"span_ns":1000}` + "\n", // declares 2 users, has none
+		`{"kind":"header","users":1,"span_ns":86400000000000}` + "\n" + "{bad\n",
+		`{"kind":"header","users":1,"span_ns":86400000000000}` + "\n" +
+			`{"kind":"mystery"}` + "\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadRejectsOverlaps(t *testing.T) {
+	in := `{"kind":"header","users":1,"span_ns":86400000000000}` + "\n" +
+		`{"kind":"session","user":0,"platform":"iPhone","app":0,"start_ns":0,"dur_ns":60000000000}` + "\n" +
+		`{"kind":"session","user":0,"platform":"iPhone","app":0,"start_ns":30000000000,"dur_ns":60000000000}` + "\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("overlapping sessions should be rejected")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"kind":"header","users":1,"span_ns":86400000000000}` + "\n\n" +
+		`{"kind":"session","user":0,"platform":"iPhone","app":0,"start_ns":0,"dur_ns":60000000000}` + "\n"
+	pop, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.TotalSessions() != 1 {
+		t.Fatalf("sessions=%d", pop.TotalSessions())
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 60
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(DefaultCatalog())
+	c := Characterize(pop, cat, 30*time.Second)
+	if c.Users != 60 || c.Days != 7 {
+		t.Fatalf("shape: %+v", c)
+	}
+	if c.SessionsPerDay.Mean() <= 0 {
+		t.Fatal("no sessions per day")
+	}
+	if m := c.SessionLenSec.Mean(); m < 10 || m > 600 {
+		t.Fatalf("implausible mean session length %v s", m)
+	}
+	// Slot counts must exceed session counts (every session has >= 1 slot).
+	if c.SlotsPerDay.Mean() < c.SessionsPerDay.Mean() {
+		t.Fatalf("slots/day %v < sessions/day %v", c.SlotsPerDay.Mean(), c.SessionsPerDay.Mean())
+	}
+	// With default regularity the population should be clearly self-similar.
+	if r := c.DayRegularity.Mean(); r < 0.1 {
+		t.Fatalf("day-over-day regularity too low: %v", r)
+	}
+	if tbl := c.Table(); tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if r, ok := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); !ok || r < 0.999 {
+		t.Fatalf("perfect correlation: r=%v ok=%v", r, ok)
+	}
+	if r, ok := pearson([]float64{1, 2, 3}, []float64{3, 2, 1}); !ok || r > -0.999 {
+		t.Fatalf("perfect anticorrelation: r=%v ok=%v", r, ok)
+	}
+	if _, ok := pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); ok {
+		t.Fatal("zero variance should report !ok")
+	}
+	if _, ok := pearson(nil, nil); ok {
+		t.Fatal("empty should report !ok")
+	}
+	if _, ok := pearson([]float64{1}, []float64{1, 2}); ok {
+		t.Fatal("length mismatch should report !ok")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pop, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pop); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalSessions() != pop.TotalSessions() || len(got.Users) != len(pop.Users) {
+		t.Fatalf("csv round trip lost data: %d/%d sessions, %d/%d users",
+			got.TotalSessions(), pop.TotalSessions(), len(got.Users), len(pop.Users))
+	}
+	// CSV infers the span by rounding the last session end up to a day;
+	// it can only be <= the original span.
+	if got.Span > pop.Span {
+		t.Fatalf("span %v > original %v", got.Span, pop.Span)
+	}
+	for i := range pop.Users {
+		a, b := pop.Users[i], got.Users[i]
+		if a.ID != b.ID || a.Platform != b.Platform || len(a.Sessions) != len(b.Sessions) {
+			t.Fatalf("user %d mismatch", i)
+		}
+		for j := range a.Sessions {
+			if a.Sessions[j] != b.Sessions[j] {
+				t.Fatalf("user %d session %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not,the,right,header,x\n",
+		"user,platform,app,start_ns,dur_ns\n1,iPhone,notanumber,0,60\n",
+		"user,platform,app,start_ns,dur_ns\n1,iPhone,0,0,60\n1,iPhone,0,30,60\n", // overlap
+		"user,platform,app,start_ns,dur_ns\nx,iPhone,0,0,60\n",
+		"user,platform,app,start_ns,dur_ns\n1,iPhone,0,zzz,60\n",
+		"user,platform,app,start_ns,dur_ns\n1,iPhone,0,0,zzz\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyPopulation(t *testing.T) {
+	in := "user,platform,app,start_ns,dur_ns\n"
+	pop, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Users) != 0 || pop.Span != simclock.Day {
+		t.Fatalf("empty csv: %+v", pop)
+	}
+}

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/auction"
+	"repro/internal/client"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Device is the phone-side runtime speaking the transport protocol: it
+// owns the local ad cache and drives the HTTP endpoints at the moments
+// the in-process engine would call them directly. One Device per
+// simulated phone; not safe for concurrent use (a phone is a single
+// event stream).
+type Device struct {
+	ID   int
+	http *http.Client
+	base string
+	dev  *client.Device
+
+	// known caches cancellation knowledge fetched from the server.
+	known map[auction.ImpressionID]bool
+}
+
+// NewDevice creates a device talking to the server at baseURL.
+func NewDevice(id, cacheCap int, baseURL string, hc *http.Client) (*Device, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	dev, err := client.NewDevice(id, cacheCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		ID:    id,
+		http:  hc,
+		base:  strings.TrimRight(baseURL, "/"),
+		dev:   dev,
+		known: make(map[auction.ImpressionID]bool),
+	}, nil
+}
+
+// Counters exposes the device-side counters.
+func (d *Device) Counters() client.Counters { return d.dev.Counters }
+
+// CacheLen returns the number of locally cached ads.
+func (d *Device) CacheLen() int { return d.dev.Cache.Len() }
+
+// FetchBundle downloads the client's staged prefetch bundle (if any) and
+// ingests it into the cache. It returns the number of ads downloaded.
+func (d *Device) FetchBundle(now simclock.Time) (int, error) {
+	q := url.Values{
+		"client": {strconv.Itoa(d.ID)},
+		"now_ns": {strconv.FormatInt(int64(now), 10)},
+	}
+	var reply BundleReply
+	if err := d.get("/v1/bundle?"+q.Encode(), &reply); err != nil {
+		return 0, err
+	}
+	if len(reply.Ads) == 0 {
+		return 0, nil
+	}
+	d.dev.Assign(fromAdMsgs(reply.Ads), true)
+	return len(reply.Ads), nil
+}
+
+// SlotOutcome mirrors core.SlotOutcome for the HTTP path.
+type SlotOutcome struct {
+	CacheHit   bool
+	Fetched    bool
+	Rescued    bool
+	TopUpAds   int
+	Impression auction.ImpressionID
+}
+
+// HandleSlot processes one ad slot: refresh cancellation knowledge,
+// serve from the local cache (reporting the display), or fall back to
+// the on-demand endpoint.
+func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutcome, error) {
+	var out SlotOutcome
+	if err := d.post("/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, &struct{}{}); err != nil {
+		return out, err
+	}
+	if err := d.refreshCancellations(now); err != nil {
+		return out, err
+	}
+	ad, hit := d.dev.ServeSlot(now, func(id auction.ImpressionID) bool { return d.known[id] })
+	if hit {
+		out.CacheHit = true
+		out.Impression = ad.ID
+		err := d.post("/v1/report", reportMsg{Client: d.ID, Impression: int64(ad.ID), NowNS: int64(now)}, &struct{}{})
+		return out, err
+	}
+	out.Fetched = true
+	catNames := make([]string, len(cats))
+	for i, c := range cats {
+		catNames[i] = string(c)
+	}
+	var reply OnDemandReply
+	if err := d.post("/v1/ondemand", onDemandMsg{Client: d.ID, NowNS: int64(now), Categories: catNames}, &reply); err != nil {
+		return out, err
+	}
+	out.Impression = auction.ImpressionID(reply.Impression)
+	out.Rescued = reply.Rescued
+	if len(reply.TopUp) > 0 {
+		d.dev.Assign(fromAdMsgs(reply.TopUp), true)
+		out.TopUpAds = len(reply.TopUp)
+	}
+	return out, nil
+}
+
+// refreshCancellations asks the server which cached impressions are
+// already claimed elsewhere, so the cache can skip them.
+func (d *Device) refreshCancellations(now simclock.Time) error {
+	snapshot := d.dev.Cache.Snapshot()
+	if len(snapshot) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(snapshot))
+	for _, ad := range snapshot {
+		if !d.known[ad.ID] {
+			ids = append(ids, strconv.FormatInt(int64(ad.ID), 10))
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	q := url.Values{
+		"ids":    {strings.Join(ids, ",")},
+		"now_ns": {strconv.FormatInt(int64(now), 10)},
+	}
+	var reply CancelledReply
+	if err := d.get("/v1/cancelled?"+q.Encode(), &reply); err != nil {
+		return err
+	}
+	for _, id := range reply.Cancelled {
+		d.known[auction.ImpressionID(id)] = true
+	}
+	return nil
+}
+
+func (d *Device) get(path string, out any) error {
+	resp, err := d.http.Get(d.base + path)
+	if err != nil {
+		return fmt.Errorf("transport: GET %s: %w", path, err)
+	}
+	return readJSON(path, resp, out)
+}
+
+func (d *Device) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s: %w", path, err)
+	}
+	resp, err := d.http.Post(d.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("transport: POST %s: %w", path, err)
+	}
+	return readJSON(path, resp, out)
+}
+
+func readJSON(path string, resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("transport: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("transport: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Coordinator drives the server's period lifecycle over HTTP (in a real
+// deployment this is the server's own cron; in demos and tests the
+// harness owns the clock).
+type Coordinator struct {
+	http *http.Client
+	base string
+}
+
+// NewCoordinator creates a period driver for the server at baseURL.
+func NewCoordinator(baseURL string, hc *http.Client) *Coordinator {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Coordinator{http: hc, base: strings.TrimRight(baseURL, "/")}
+}
+
+// StartPeriod opens a prefetch round.
+func (c *Coordinator) StartPeriod(now simclock.Time, index, ofDay int, weekend bool) (PeriodStartReply, error) {
+	var reply PeriodStartReply
+	err := c.post("/v1/period/start", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, &reply)
+	return reply, err
+}
+
+// EndPeriod closes a round (train + sweep).
+func (c *Coordinator) EndPeriod(now simclock.Time, index, ofDay int, weekend bool) (PeriodEndReply, error) {
+	var reply PeriodEndReply
+	err := c.post("/v1/period/end", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, &reply)
+	return reply, err
+}
+
+// Ledger fetches the exchange ledger snapshot.
+func (c *Coordinator) Ledger() (auction.Ledger, error) {
+	var l auction.Ledger
+	resp, err := c.http.Get(c.base + "/v1/ledger")
+	if err != nil {
+		return l, fmt.Errorf("transport: GET /v1/ledger: %w", err)
+	}
+	err = readJSON("/v1/ledger", resp, &l)
+	return l, err
+}
+
+func (c *Coordinator) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s: %w", path, err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("transport: POST %s: %w", path, err)
+	}
+	return readJSON(path, resp, out)
+}
