@@ -1,0 +1,17 @@
+# Tier-1: everything must build and pass.
+test:
+	go build ./...
+	go test ./...
+
+# Race tier: the concurrent serving path (sharded transport, HTTP
+# replay, shard pool, lock-isolated ops metrics) under the race
+# detector. Includes the 32-goroutine stress test in
+# internal/transport/race_test.go.
+race:
+	go test -race ./internal/transport ./internal/sim ./internal/adserver ./internal/shard
+
+# Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards).
+bench:
+	go test -bench ShardedServing -benchtime 2s -run '^$$' ./internal/transport
+
+.PHONY: test race bench

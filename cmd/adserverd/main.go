@@ -4,9 +4,14 @@
 // transport.Device, or examples/httpdemo) speak to it with bundle
 // fetches, slot observations, display reports and on-demand requests.
 //
+// With -shards > 1 the client id space is hash-partitioned across that
+// many independent ad-server shards, each behind its own lock, so the
+// serving path scales with cores (campaign budgets are split evenly
+// across shards, as a real deployment would).
+//
 // Example:
 //
-//	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40
+//	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40 -shards 4
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/adserver"
 	"repro/internal/auction"
 	"repro/internal/predict"
+	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/transport"
 )
@@ -40,17 +46,17 @@ func main() {
 		reserve   = flag.Float64("reserve", 0.0002, "per-impression reserve price in USD")
 		pctile    = flag.Float64("percentile", 0.9, "client forecast percentile")
 		seed      = flag.Int64("seed", 1, "demand generation seed")
+		shards    = flag.Int("shards", 1, "ad-server shards (clients hash-partitioned; one lock each)")
 		statePath = flag.String("state", "", "predictor-state file: loaded at startup, saved on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
 
 	demand := auction.DefaultDemand()
 	demand.Campaigns = *campaigns
 	demand.CPMMedianUSD = *cpm
-	ex, err := auction.NewExchange(demand.Generate(simclock.NewRand(*seed)), *reserve)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	cfg := adserver.DefaultConfig()
 	cfg.Period = *period
@@ -58,7 +64,16 @@ func main() {
 	for i := range ids {
 		ids[i] = i
 	}
-	srv, err := adserver.New(cfg, ex, ids, func(int) predict.Predictor {
+	// Every shard sees the same campaign set with 1/N of each budget:
+	// the demand pool is split across shards, not duplicated.
+	mkExchange := func(int) (*auction.Exchange, error) {
+		cs := demand.Generate(simclock.NewRand(*seed))
+		for i := range cs {
+			cs[i].BudgetUSD /= float64(*shards)
+		}
+		return auction.NewExchange(cs, *reserve)
+	}
+	pool, err := shard.New(*shards, cfg, ids, mkExchange, func(int) predict.Predictor {
 		return predict.NewPercentileHistogram(*pctile)
 	}, nil)
 	if err != nil {
@@ -69,7 +84,7 @@ func main() {
 		f, err := os.Open(*statePath)
 		switch {
 		case err == nil:
-			loadErr := srv.LoadPredictors(f)
+			loadErr := pool.LoadPredictors(f)
 			f.Close()
 			if loadErr != nil {
 				log.Fatal(loadErr)
@@ -89,7 +104,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := srv.SavePredictors(f); err != nil {
+			if err := pool.SavePredictors(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -100,7 +115,7 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("adserverd: %d clients, %d campaigns, period %v, listening on %s\n",
-		*clients, *campaigns, *period, *addr)
-	log.Fatal(http.ListenAndServe(*addr, transport.NewServer(srv).Handler()))
+	fmt.Printf("adserverd: %d clients, %d campaigns, %d shard(s), period %v, listening on %s\n",
+		*clients, *campaigns, *shards, *period, *addr)
+	log.Fatal(http.ListenAndServe(*addr, transport.NewShardedServer(pool).Handler()))
 }

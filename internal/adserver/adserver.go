@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/auction"
@@ -173,13 +174,37 @@ type Server struct {
 	// which assigned replicas will actually display).
 	freqCount map[freqKey]int
 
-	// Streaming ops metrics: relative aggregate forecast error per
-	// period, tracked in O(1) memory (P² estimators) so a long-lived
-	// server can report forecast health without unbounded state.
+	// lastForecast carries the most recent round's aggregate forecast
+	// from StartPeriod to EndPeriod (single-threaded, like the rest of
+	// the serving state).
 	lastForecast float64
-	rounds       int64
-	errP50       *metrics.P2Quantile
-	errP95       *metrics.P2Quantile
+
+	// ops holds the streaming monitoring metrics behind their own lock
+	// so snapshots never contend with the serving path.
+	ops opsMetrics
+}
+
+// opsMetrics is the server's streaming forecast-health state: relative
+// aggregate forecast error per period, tracked in O(1) memory (P²
+// estimators) so a long-lived server can report health without
+// unbounded state. It has its own mutex — unlike the rest of Server —
+// so that a monitoring endpoint can snapshot it concurrently with
+// period processing without taking the shard's serving lock (no
+// stop-the-world stats scrapes).
+type opsMetrics struct {
+	mu     sync.Mutex
+	rounds int64
+	errP50 *metrics.P2Quantile
+	errP95 *metrics.P2Quantile
+}
+
+// observe folds one round's relative forecast error into the stream.
+func (o *opsMetrics) observe(relErr float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.errP50.Add(relErr)
+	o.errP95.Add(relErr)
+	o.rounds++
 }
 
 // OpsStats is a monitoring snapshot of the server's forecast health.
@@ -189,12 +214,17 @@ type OpsStats struct {
 	ForecastErrP95 float64 `json:"forecast_err_p95"`
 }
 
-// Ops returns the server's streaming monitoring snapshot.
+// Ops returns the server's streaming monitoring snapshot. Unlike every
+// other method, Ops is safe to call concurrently with period
+// processing: the ops metrics live behind their own lock, so a stats
+// scrape never blocks (or is blocked by) the serving path.
 func (s *Server) Ops() OpsStats {
-	out := OpsStats{Rounds: s.rounds}
-	if s.rounds > 0 {
-		out.ForecastErrP50 = s.errP50.Value()
-		out.ForecastErrP95 = s.errP95.Value()
+	s.ops.mu.Lock()
+	defer s.ops.mu.Unlock()
+	out := OpsStats{Rounds: s.ops.rounds}
+	if s.ops.rounds > 0 {
+		out.ForecastErrP50 = s.ops.errP50.Value()
+		out.ForecastErrP95 = s.ops.errP95.Value()
 	}
 	return out
 }
@@ -276,8 +306,7 @@ func New(cfg Config, ex *auction.Exchange, clientIDs []int,
 	s := &Server{
 		cfg:            cfg,
 		ex:             ex,
-		errP50:         p50,
-		errP95:         p95,
+		ops:            opsMetrics{errP50: p50, errP95: p95},
 		clientIDs:      append([]int(nil), clientIDs...),
 		predictors:     make(map[int]predict.Predictor, len(clientIDs)),
 		hints:          hints,
@@ -603,9 +632,7 @@ func (s *Server) EndPeriod(now simclock.Time, p predict.Period) int {
 			if relErr < 0 {
 				relErr = -relErr
 			}
-			s.errP50.Add(relErr)
-			s.errP95.Add(relErr)
-			s.rounds++
+			s.ops.observe(relErr)
 		}
 		s.lastForecast = 0
 	}

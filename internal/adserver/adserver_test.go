@@ -393,3 +393,40 @@ func TestOpsStats(t *testing.T) {
 		t.Fatalf("zero-slot period should not count: %+v", got)
 	}
 }
+
+// Ops is the one Server method documented safe to call concurrently
+// with period processing (the ops metrics live behind their own lock).
+// This test races a stats scraper against the serving lifecycle; it is
+// meaningful under `go test -race`.
+func TestOpsConcurrentWithPeriods(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = time.Hour
+	ex := deepDemand(t)
+	s, _ := newServer(t, cfg, ex, 4, predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.Ops()
+		}
+	}()
+	for round := 0; round < 10; round++ {
+		s.StartPeriod(simclock.At(time.Duration(round)*time.Hour), predict.Period{Index: round})
+		for id := 0; id < 4; id++ {
+			s.ObserveSlot(id)
+		}
+		s.EndPeriod(simclock.At(time.Duration(round+1)*time.Hour), predict.Period{Index: round})
+	}
+	<-done
+
+	ops := s.Ops()
+	if ops.Rounds != 10 {
+		t.Fatalf("rounds %d want 10", ops.Rounds)
+	}
+	// 8 predicted (4 clients x 2) vs 4 actual slots each round: relative
+	// error exactly 1 in every observation, so both quantiles sit at 1.
+	if ops.ForecastErrP50 != 1 || ops.ForecastErrP95 != 1 {
+		t.Fatalf("forecast error quantiles %+v", ops)
+	}
+}

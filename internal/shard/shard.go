@@ -12,6 +12,8 @@
 package shard
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -90,6 +92,16 @@ func (p *Pool) ShardFor(clientID int) *adserver.Server {
 		return nil
 	}
 	return p.shards[i]
+}
+
+// IndexFor returns the index of the shard owning a client. Unknown
+// clients fall back to the stable hash route, so lookups for ids that
+// joined after partitioning still map deterministically.
+func (p *Pool) IndexFor(clientID int) int {
+	if i, ok := p.byClient[clientID]; ok {
+		return i
+	}
+	return Route(clientID, len(p.shards))
 }
 
 // StartPeriod runs the prefetch round on every shard concurrently (each
@@ -171,4 +183,47 @@ func (p *Pool) SavePredictors(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// LoadPredictors restores state saved by SavePredictors: one JSON
+// document per shard, in shard order. The snapshot must come from a
+// pool with the same shard count (the partition is stable, so the same
+// client set + shard count reproduces the same membership); a snapshot
+// with a different document count is rejected, since loading it would
+// silently pair shards with the wrong client subsets.
+func (p *Pool) LoadPredictors(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for i, s := range p.shards {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("shard %d: decoding predictor snapshot (snapshot from a smaller pool?): %w", i, err)
+		}
+		if err := s.LoadPredictors(bytes.NewReader(raw)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("shard: snapshot has more than %d shard documents (saved by a larger pool?)", len(p.shards))
+	}
+	return nil
+}
+
+// Ops aggregates the shards' monitoring snapshots: rounds are summed
+// and the forecast-error quantiles are rounds-weighted means of the
+// per-shard streams. Safe to call concurrently with period processing
+// (adserver.Ops is lock-isolated from the serving path).
+func (p *Pool) Ops() adserver.OpsStats {
+	var out adserver.OpsStats
+	for _, s := range p.shards {
+		st := s.Ops()
+		out.Rounds += st.Rounds
+		out.ForecastErrP50 += float64(st.Rounds) * st.ForecastErrP50
+		out.ForecastErrP95 += float64(st.Rounds) * st.ForecastErrP95
+	}
+	if out.Rounds > 0 {
+		out.ForecastErrP50 /= float64(out.Rounds)
+		out.ForecastErrP95 /= float64(out.Rounds)
+	}
+	return out
 }

@@ -183,3 +183,113 @@ func TestRoutePartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIndexForMatchesMembership(t *testing.T) {
+	p := testPool(t, 4, 40)
+	for id := 0; id < 40; id++ {
+		i := p.IndexFor(id)
+		if p.Shard(i) != p.ShardFor(id) {
+			t.Fatalf("client %d: IndexFor %d disagrees with ShardFor", id, i)
+		}
+	}
+	// Unknown clients still route deterministically via the stable hash.
+	if got, want := p.IndexFor(99999), Route(99999, 4); got != want {
+		t.Fatalf("unknown client routed to %d want %d", got, want)
+	}
+}
+
+func TestPoolPredictorsRoundTrip(t *testing.T) {
+	mk := func() *Pool {
+		cfg := adserver.DefaultConfig()
+		ids := []int{0, 1, 2, 3, 4, 5}
+		p, err := New(3, cfg, ids, mkExchange, func(int) predict.Predictor {
+			return predict.NewPercentileHistogram(0.9)
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	src := mk()
+	// Train distinct per-shard state so the round trip is non-trivial.
+	for i := 0; i < src.Shards(); i++ {
+		for round := 0; round < 5; round++ {
+			srv := src.Shard(i)
+			srv.StartPeriod(0, predict.Period{Index: round})
+			srv.EndPeriod(simclock.At(time.Hour), predict.Period{Index: round})
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.SavePredictors(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.String()
+
+	dst := mk()
+	if err := dst.LoadPredictors(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Loaded pool must re-serialize to the identical snapshot.
+	var buf2 bytes.Buffer
+	if err := dst.SavePredictors(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != snapshot {
+		t.Fatal("predictor snapshot does not round-trip through the pool")
+	}
+	// Truncated input must fail loudly, not silently half-load.
+	if err := dst.LoadPredictors(bytes.NewReader(buf.Bytes()[:buf.Len()/4])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestPoolOpsAggregates(t *testing.T) {
+	p := testPool(t, 2, 20)
+	if p.Ops().Rounds != 0 {
+		t.Fatal("fresh pool reports rounds")
+	}
+	p.StartPeriod(0, predict.Period{})
+	// Shards only observe a round when they saw actual slots.
+	for id := 0; id < 20; id++ {
+		srv := p.ShardFor(id)
+		srv.ObserveSlot(id)
+		srv.ObserveSlot(id)
+	}
+	p.EndPeriod(simclock.At(time.Hour), predict.Period{})
+	ops := p.Ops()
+	if ops.Rounds != 2 {
+		t.Fatalf("rounds %d want 2 (one per shard)", ops.Rounds)
+	}
+	// Weighted mean of equal per-shard errors equals the per-shard error.
+	s0 := p.Shard(0).Ops()
+	if ops.Rounds == 2 && s0.Rounds == 1 {
+		want := (s0.ForecastErrP50 + p.Shard(1).Ops().ForecastErrP50) / 2
+		if diff := ops.ForecastErrP50 - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("aggregate p50 %v want %v", ops.ForecastErrP50, want)
+		}
+	}
+}
+
+// A snapshot from a pool with a different shard count must be rejected:
+// the stable partition means shard i owns different clients in each
+// layout, so a silent load would pair predictors with the wrong shards.
+func TestPoolLoadPredictorsShardCountMismatch(t *testing.T) {
+	mk := func(n int) *Pool {
+		p, err := New(n, adserver.DefaultConfig(), []int{0, 1, 2, 3}, mkExchange,
+			func(int) predict.Predictor { return predict.NewPercentileHistogram(0.9) }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var buf bytes.Buffer
+	if err := mk(4).SavePredictors(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(2).LoadPredictors(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("4-shard snapshot accepted by 2-shard pool")
+	}
+	if err := mk(4).LoadPredictors(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("same-layout snapshot rejected: %v", err)
+	}
+}

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/auction"
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// RunTransport replays the same deterministic trace a Config describes
+// through the deployable serving path: a transport.ShardedServer over a
+// shard.Pool, spoken to by one transport.Device per user over real HTTP
+// on a loopback listener. Period boundaries drive the fan-out/fan-in
+// round on the server; within a period, devices replay their slot
+// events concurrently (per-device order preserved) across `workers`
+// goroutines, so the run exercises the concurrent serving path
+// end-to-end.
+//
+// The energy model does not ride the HTTP path, so the energy fields of
+// the Result are zero; monetary, SLA and counter outcomes are the
+// run's product. Campaign demand is instantiated per shard from the
+// same seed (each shard sees the same campaign set with a full budget),
+// matching shard.New's per-shard-exchange deployment model.
+//
+// Monetary results are independent of request interleaving — and of
+// the shard count — when per-impression outcomes are order-free:
+// FixedReplicas=1 (no racing duplicates), NoRescue (no cross-client
+// claim stealing), AdmissionEpsilon=0.5 with integral per-client means
+// (additive admission). The TestShardCountInvariance suite pins that
+// contract; outside it, totals may legitimately vary with scheduling.
+func RunTransport(cfg Config, shards, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", shards)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.Core.Delivery != core.DeliverScheduled:
+		return nil, fmt.Errorf("sim: transport replay supports scheduled delivery only")
+	case cfg.ChurnProb > 0 || cfg.ReportLossProb > 0:
+		return nil, fmt.Errorf("sim: transport replay does not support failure injection")
+	}
+
+	pop := cfg.Population
+	if pop == nil {
+		var err error
+		pop, err = trace.Generate(cfg.TraceCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	users := pop.Users
+	if cfg.MaxUsers > 0 && cfg.MaxUsers < len(users) {
+		users = users[:cfg.MaxUsers]
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = trace.NewCatalog(trace.DefaultCatalog())
+	}
+	warmupEnd := simclock.Time(cfg.WarmupDays) * simclock.Day
+	if warmupEnd > pop.Span {
+		return nil, fmt.Errorf("sim: warm-up %d days exceeds trace span %v", cfg.WarmupDays, pop.Span)
+	}
+	period := cfg.Core.Server.Period
+
+	ids := make([]int, len(users))
+	byID := make(map[int]*trace.User, len(users))
+	for i, u := range users {
+		ids[i] = u.ID
+		byID[u.ID] = u
+	}
+	oracleSeries := func(id int) []int {
+		return trace.SlotsPerPeriod(byID[id], cat, cfg.RefreshInterval, period, pop.Span)
+	}
+	hintsOf := topCategories(users, cat)
+
+	// One exchange per shard, generated from the same derived stream so
+	// every shard sees an identical campaign set.
+	rng := simclock.NewRand(cfg.Seed).Stream("sim")
+	pool, err := shard.New(shards, cfg.Core.Server, ids,
+		func(int) (*auction.Exchange, error) {
+			return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
+		},
+		func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, oracleSeries) },
+		func(id int) []trace.Category { return hintsOf[id] })
+	if err != nil {
+		return nil, err
+	}
+
+	// Serve the sharded transport on a loopback listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sim: transport listener: %w", err)
+	}
+	httpSrv := &http.Server{Handler: transport.NewShardedServer(pool).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		_ = httpSrv.Shutdown(context.Background())
+		<-serveErr // http.ErrServerClosed after Shutdown
+	}()
+	baseURL := "http://" + ln.Addr().String()
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}}
+	defer hc.CloseIdleConnections()
+
+	devices := make([]*transport.Device, len(users))
+	timelines := make([][]timelineEvent, len(users))
+	for i, u := range users {
+		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, hc)
+		if err != nil {
+			return nil, err
+		}
+		d.NoRescue = cfg.Core.NoRescue || cfg.Core.Mode == core.ModeOnDemand
+		devices[i] = d
+		timelines[i] = buildTimeline(u, cat, cfg.RefreshInterval)
+	}
+
+	coord := transport.NewCoordinator(baseURL, hc)
+	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: len(users)}
+	prefetching := cfg.Core.Mode != core.ModeOnDemand
+	cursors := make([]int, len(users)) // next timeline index per device
+
+	periodsTotal := int(pop.Span / simclock.Time(period))
+	for pi := 0; pi <= periodsTotal; pi++ {
+		now := simclock.Time(pi) * simclock.Time(period)
+		if pi > 0 {
+			prev := predict.PeriodOf(now-simclock.Time(period), period)
+			if _, err := coord.EndPeriod(now, prev.Index, prev.OfDay, prev.Weekend); err != nil {
+				return nil, err
+			}
+		}
+		if pi == periodsTotal {
+			break
+		}
+		selling := now >= warmupEnd
+		p := predict.PeriodOf(now, period)
+		if selling && prefetching {
+			reply, err := coord.StartPeriod(now, p.Index, p.OfDay, p.Weekend)
+			if err != nil {
+				return nil, err
+			}
+			res.SoldTotal += int64(reply.Sold)
+			res.ReplicaTotal += int64(reply.Replicas)
+			res.PlacedTotal += int64(reply.Placed)
+			res.Periods++
+			// Scheduled delivery: every device downloads its bundle at
+			// the boundary, concurrently.
+			if err := eachDevice(len(devices), workers, func(i int) error {
+				_, err := devices[i].FetchBundle(now)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Replay this period's slot events: devices advance concurrently,
+		// each through its own events in trace order.
+		end := now + simclock.Time(period)
+		if err := eachDevice(len(devices), workers, func(i int) error {
+			tl := timelines[i]
+			for cursors[i] < len(tl) && tl[cursors[i]].at < end {
+				ev := tl[cursors[i]]
+				cursors[i]++
+				if !ev.slot {
+					continue // app transfers only matter to the energy model
+				}
+				if !selling {
+					if err := devices[i].ObserveSlot(ev.at); err != nil {
+						return err
+					}
+					continue
+				}
+				if _, err := devices[i].HandleSlot(ev.at, ev.cats); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The HTTP phase is over: release the port, then sweep impressions
+	// still open at trace end directly on the pool.
+	_ = httpSrv.Shutdown(context.Background())
+	for i := 0; i < pool.Shards(); i++ {
+		pool.Shard(i).Exchange().SweepExpired(pop.Span + simclock.Week)
+	}
+	res.Ledger = pool.Ledger()
+	res.Days = pop.Days() - cfg.WarmupDays
+	for _, d := range devices {
+		c := d.Counters()
+		res.Counters.SlotsServed += c.SlotsServed
+		res.Counters.CacheHits += c.CacheHits
+		res.Counters.OnDemandFetches += c.OnDemandFetches
+		res.Counters.BundleFetches += c.BundleFetches
+		res.Counters.BundledAds += c.BundledAds
+		res.Counters.DroppedOverflow += c.DroppedOverflow
+		res.Counters.DroppedExpired += c.DroppedExpired
+	}
+	res.CampaignBilled = make(map[auction.CampaignID]float64, cfg.Demand.Campaigns)
+	for i := 0; i < cfg.Demand.Campaigns; i++ {
+		id := auction.CampaignID(i)
+		for s := 0; s < pool.Shards(); s++ {
+			if billed, _, err := pool.Shard(s).Exchange().CampaignSpend(id); err == nil {
+				res.CampaignBilled[id] += billed
+			}
+		}
+	}
+	return res, nil
+}
+
+// transportPredictor mirrors core.New's per-mode predictor factory for
+// the HTTP replay path.
+func transportPredictor(cfg core.Config, id int, oracleSeries func(int) []int) predict.Predictor {
+	switch cfg.Mode {
+	case core.ModeNaiveBulk:
+		return constKPredictor{k: cfg.NaiveK}
+	case core.ModeOracle:
+		return predict.NewOracle(oracleSeries(id))
+	default:
+		if cfg.AdaptivePercentile {
+			a, err := predict.NewAdaptivePercentile(cfg.Percentile, 0.15)
+			if err != nil {
+				panic(err) // percentile validated by cfg.Validate
+			}
+			return a
+		}
+		return predict.NewPercentileHistogram(cfg.Percentile)
+	}
+}
+
+// constKPredictor backs ModeNaiveBulk on the transport path: it always
+// "predicts" K slots (mirrors core's constPredictor).
+type constKPredictor struct{ k int }
+
+func (c constKPredictor) Name() string { return fmt.Sprintf("const-%d", c.k) }
+func (c constKPredictor) Predict(predict.Period) predict.Estimate {
+	return predict.Estimate{Slots: float64(c.k), Mean: float64(c.k), NoShowProb: 0}
+}
+func (c constKPredictor) Observe(predict.Period, int) {}
+
+// ProbAtMost implements predict.Distribution: the naive client "will
+// show" exactly its K configured slots.
+func (c constKPredictor) ProbAtMost(_ predict.Period, k int) float64 {
+	if k < c.k {
+		return 0
+	}
+	return 1
+}
+
+// eachDevice runs fn(i) for i in [0,n) across at most `workers`
+// goroutines and returns the first error (in index order).
+func eachDevice(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LedgerJSON renders a ledger in a stable byte form, for
+// determinism assertions across runs and shard counts.
+func LedgerJSON(l auction.Ledger) string {
+	return fmt.Sprintf(
+		`{"sold":%d,"billed":%d,"billed_usd":%.9f,"free_shows":%d,"free_usd":%.9f,"violations":%d,"violated_usd":%.9f,"potential_usd":%.9f}`,
+		l.Sold, l.Billed, l.BilledUSD, l.FreeShows, l.FreeUSD, l.Violations, l.ViolatedUSD, l.PotentialUSD)
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// transportConfig returns a small run whose monetary outcome is
+// provably independent of shard count and request interleaving:
+// ModeNaiveBulk pins FixedReplicas=1 and AdmissionEpsilon=0.5 (additive
+// admission with integral per-client means), NoRescue removes
+// cross-client claim stealing, and untargeted campaigns with huge
+// budgets make every sale price constant. Under that contract the total
+// is a sum of per-client outcomes, and partitioning clients across
+// shards cannot change it.
+func transportConfig() Config {
+	cfg := DefaultConfig(core.ModeNaiveBulk)
+	cfg.TraceCfg.Users = 40
+	cfg.TraceCfg.Days = 4
+	cfg.MaxUsers = 40
+	cfg.WarmupDays = 1
+	cfg.Core.NoRescue = true
+	cfg.Demand.TargetedFrac = 0
+	cfg.Demand.BudgetImpressions = 1_000_000_000
+	return cfg
+}
+
+// The tentpole's end-to-end acceptance: the same trace replayed through
+// the HTTP serving path with 1 shard and with 4 shards must produce
+// byte-identical ledgers and SLA outcomes.
+func TestTransportShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay")
+	}
+	cfg := transportConfig()
+
+	r1, err := RunTransport(cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunTransport(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r1.Ledger.Sold == 0 || r1.Ledger.Billed == 0 {
+		t.Fatalf("inert run: %+v", r1.Ledger)
+	}
+	if got, want := LedgerJSON(r4.Ledger), LedgerJSON(r1.Ledger); got != want {
+		t.Fatalf("ledger depends on shard count:\n 1 shard: %s\n 4 shards: %s", want, got)
+	}
+	if r1.Ledger.Violations != r4.Ledger.Violations {
+		t.Fatalf("SLA violations differ: %d vs %d", r1.Ledger.Violations, r4.Ledger.Violations)
+	}
+	if r1.SoldTotal != r4.SoldTotal || r1.Counters.SlotsServed != r4.Counters.SlotsServed {
+		t.Fatalf("replay drift: sold %d/%d slots %d/%d",
+			r1.SoldTotal, r4.SoldTotal, r1.Counters.SlotsServed, r4.Counters.SlotsServed)
+	}
+	// Per-campaign revenue must agree too, not just the totals. The
+	// same displays are billed at the same prices; only the float
+	// summation order differs across shards, so allow that much.
+	for id, b1 := range r1.CampaignBilled {
+		if b4 := r4.CampaignBilled[id]; math.Abs(b4-b1) > 1e-9*(1+math.Abs(b1)) {
+			t.Fatalf("campaign %d billed %v (1 shard) vs %v (4 shards)", id, b1, b4)
+		}
+	}
+}
+
+// Run-to-run repeatability: the concurrent replay must not let
+// scheduling leak into results (per-device order is preserved and the
+// contract above makes cross-device order irrelevant).
+func TestTransportRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay")
+	}
+	cfg := transportConfig()
+	a, err := RunTransport(cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTransport(cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LedgerJSON(a.Ledger) != LedgerJSON(b.Ledger) {
+		t.Fatalf("nondeterministic replay:\n%s\n%s", LedgerJSON(a.Ledger), LedgerJSON(b.Ledger))
+	}
+}
+
+// The HTTP path must agree with the in-process engine on the physical
+// counters that don't depend on policy internals: slots served is a
+// property of the trace alone.
+func TestTransportMatchesInProcessSlots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay")
+	}
+	cfg := transportConfig()
+	ht, err := RunTransport(cfg, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Counters.SlotsServed != ip.Counters.SlotsServed {
+		t.Fatalf("slots served: HTTP %d vs in-process %d",
+			ht.Counters.SlotsServed, ip.Counters.SlotsServed)
+	}
+	if ht.Users != ip.Users || ht.Days != ip.Days {
+		t.Fatalf("population drift: %d/%d users, %v/%v days", ht.Users, ip.Users, ht.Days, ip.Days)
+	}
+}
+
+func TestTransportValidation(t *testing.T) {
+	cfg := transportConfig()
+	if _, err := RunTransport(cfg, 0, 1); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	cfg.ChurnProb = 0.5
+	if _, err := RunTransport(cfg, 1, 1); err == nil {
+		t.Fatal("failure injection accepted on the transport path")
+	}
+	cfg = transportConfig()
+	cfg.Core.Delivery = core.DeliverPiggyback
+	if _, err := RunTransport(cfg, 1, 1); err == nil {
+		t.Fatal("piggyback delivery accepted on the transport path")
+	}
+}
+
+func TestRunParallelTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay")
+	}
+	cfg := transportConfig()
+	cfg.TraceCfg.Users = 16
+	cfg.MaxUsers = 16
+	cfg.TraceCfg.Days = 2
+	cfg.WarmupDays = 0
+	res, err := RunParallelTransport([]Config{cfg, cfg}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || LedgerJSON(res[0].Ledger) != LedgerJSON(res[1].Ledger) {
+		t.Fatalf("parallel transport runs disagree: %+v", res)
+	}
+}

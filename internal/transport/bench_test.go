@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+)
+
+// BenchmarkShardedServing measures serving-path throughput as the shard
+// count grows. The workload is the expensive request in the protocol: a
+// cache-miss hitting /v1/ondemand, whose rescue + top-up path scans the
+// shard's open-impression book under the shard lock. Sharding helps
+// twice: each shard's book is 1/N of the fleet's open inventory (the
+// scan shrinks ~N×, visible even on one core), and the N locks let
+// requests proceed concurrently on multi-core hosts (the T2 story:
+// throughput bounds how many phones one process can carry). A 4-shard
+// server must clear at least 2× the 1-shard requests/sec.
+//
+// Run: make bench
+func BenchmarkShardedServing(b *testing.B) {
+	const (
+		clients   = 256
+		campaigns = 50
+		slotsEach = 400 // per-client period forecast; sizes the open book
+	)
+	demand := auction.DefaultDemand()
+	demand.Campaigns = campaigns
+	demand.TargetedFrac = 0
+	demand.BudgetImpressions = 1_000_000_000 // never exhaust mid-benchmark
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := adserver.DefaultConfig()
+			cfg.Period = time.Hour
+			cfg.Overbook.FixedReplicas = 1
+			cfg.Overbook.AdmissionEpsilon = 0.45
+			cfg.Overbook.CacheCap = 2 * slotsEach
+			ids := make([]int, clients)
+			for i := range ids {
+				ids[i] = i
+			}
+			pool, err := shard.New(shards, cfg, ids,
+				func(int) (*auction.Exchange, error) {
+					return auction.NewExchange(demand.Generate(simclock.NewRand(1)), 0.0001)
+				},
+				func(int) predict.Predictor {
+					return constPredictor{est: predict.Estimate{Slots: slotsEach, Mean: slotsEach, NoShowProb: 0}}
+				}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Fill the open book: one round sells ~clients*slotsEach
+			// impressions fleet-wide, split across the shards.
+			if _, stats := pool.StartPeriod(0, predict.Period{}); stats.Sold < clients*slotsEach/2 {
+				b.Fatalf("thin open book: sold %d", stats.Sold)
+			}
+			h := NewShardedServer(pool).Handler()
+
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					cid := int(n) % clients
+					now := simclock.Time(n) * simclock.Time(time.Microsecond)
+					path, body := "/v1/ondemand", fmt.Sprintf(`{"client":%d,"now_ns":%d}`, cid, int64(now))
+					if n%8 == 0 {
+						path, body = "/v1/slot", fmt.Sprintf(`{"client":%d,"now_ns":%d}`, cid, int64(now))
+					}
+					r := httptest.NewRequest("POST", path, strings.NewReader(body))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, r)
+					if rec.Code != 200 {
+						b.Fatalf("%s: %d %s", path, rec.Code, rec.Body)
+					}
+				}
+			})
+		})
+	}
+}

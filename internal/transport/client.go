@@ -27,6 +27,11 @@ type Device struct {
 	base string
 	dev  *client.Device
 
+	// NoRescue, when set, asks the server to skip the rescue path on
+	// cache misses and sell fresh inventory instead (the wire form of
+	// core.Config.NoRescue).
+	NoRescue bool
+
 	// known caches cancellation knowledge fetched from the server.
 	known map[auction.ImpressionID]bool
 }
@@ -82,6 +87,13 @@ type SlotOutcome struct {
 	Impression auction.ImpressionID
 }
 
+// ObserveSlot reports a slot firing for predictor training without
+// serving an ad (the warm-up phase of a trace replay: predictors learn,
+// nothing is sold or displayed).
+func (d *Device) ObserveSlot(now simclock.Time) error {
+	return d.post("/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, &struct{}{})
+}
+
 // HandleSlot processes one ad slot: refresh cancellation knowledge,
 // serve from the local cache (reporting the display), or fall back to
 // the on-demand endpoint.
@@ -106,7 +118,8 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 		catNames[i] = string(c)
 	}
 	var reply OnDemandReply
-	if err := d.post("/v1/ondemand", onDemandMsg{Client: d.ID, NowNS: int64(now), Categories: catNames}, &reply); err != nil {
+	msg := onDemandMsg{Client: d.ID, NowNS: int64(now), Categories: catNames, NoRescue: d.NoRescue}
+	if err := d.post("/v1/ondemand", msg, &reply); err != nil {
 		return out, err
 	}
 	out.Impression = auction.ImpressionID(reply.Impression)
@@ -135,6 +148,7 @@ func (d *Device) refreshCancellations(now simclock.Time) error {
 		return nil
 	}
 	q := url.Values{
+		"client": {strconv.Itoa(d.ID)},
 		"ids":    {strings.Join(ids, ",")},
 		"now_ns": {strconv.FormatInt(int64(now), 10)},
 	}
@@ -219,6 +233,17 @@ func (c *Coordinator) Ledger() (auction.Ledger, error) {
 	}
 	err = readJSON("/v1/ledger", resp, &l)
 	return l, err
+}
+
+// Stats fetches the merged ops snapshot.
+func (c *Coordinator) Stats() (StatsReply, error) {
+	var st StatsReply
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return st, fmt.Errorf("transport: GET /v1/stats: %w", err)
+	}
+	err = readJSON("/v1/stats", resp, &st)
+	return st, err
 }
 
 func (c *Coordinator) post(path string, in, out any) error {

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/shard"
+)
+
+// Fuzz targets for the wire layer: whatever bytes arrive, handlers must
+// answer 2xx/4xx (never panic, never 5xx), and the DTOs must round-trip
+// JSON losslessly. Seeds execute as regular unit tests; explore with
+// `go test -fuzz=FuzzHandlers ./internal/transport`.
+
+// fuzzHandler builds a small sharded stack once per fuzz process.
+func fuzzHandler(f *testing.F) *ShardedServer {
+	f.Helper()
+	cfg := adserver.DefaultConfig()
+	cfg.Period = time.Hour
+	ids := []int{0, 1, 2, 3}
+	pool, err := shard.New(2, cfg, ids,
+		func(int) (*auction.Exchange, error) {
+			return auction.NewExchange([]auction.Campaign{
+				{ID: 0, Name: "acme", BidCPM: 2000, BudgetUSD: 1e6},
+			}, 0.0001)
+		},
+		func(int) predict.Predictor {
+			return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+		}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return NewShardedServer(pool)
+}
+
+// FuzzHandlersPost throws arbitrary bodies at every POST endpoint.
+func FuzzHandlersPost(f *testing.F) {
+	ss := fuzzHandler(f)
+	h := ss.Handler()
+	paths := []string{"/v1/period/start", "/v1/period/end", "/v1/slot", "/v1/report", "/v1/ondemand"}
+
+	f.Add(`{"client":0,"now_ns":60000000000}`)
+	f.Add(`{"client":-1,"now_ns":-9223372036854775808}`)
+	f.Add(`{"client":999999,"impression":99999,"now_ns":0}`)
+	f.Add(`{"now_ns":0,"index":0,"of_day":0,"weekend":false}`)
+	f.Add(`{"client":0,"categories":["social","zzz"],"no_rescue":true}`)
+	f.Add(`{not json`)
+	f.Add("")
+	f.Add(`null`)
+	f.Add(`{"client":1e300}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, p := range paths {
+			req := httptest.NewRequest("POST", p, strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("POST %s with %q: status %d", p, body, rec.Code)
+			}
+		}
+	})
+}
+
+// FuzzHandlersQuery throws arbitrary query strings at the GET endpoints.
+func FuzzHandlersQuery(f *testing.F) {
+	ss := fuzzHandler(f)
+	h := ss.Handler()
+
+	f.Add("client=0&now_ns=0&ids=1,2,3")
+	f.Add("client=abc&now_ns=zzz&ids=,,")
+	f.Add("ids=1&now_ns=0")
+	f.Add("client=-9223372036854775808&now_ns=9223372036854775807&ids=-1")
+	f.Add("")
+	f.Add("client=2&now_ns=0&ids=" + strconv.FormatInt(1<<62, 10))
+
+	f.Fuzz(func(t *testing.T, query string) {
+		for _, p := range []string{"/v1/bundle", "/v1/cancelled"} {
+			// Set RawQuery directly so arbitrary bytes reach the handler's
+			// own parsing instead of panicking httptest's URL parser.
+			req := httptest.NewRequest("GET", p, nil)
+			req.URL.RawQuery = query
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("GET %s?%s: status %d", p, query, rec.Code)
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip checks the DTOs survive an encode/decode cycle
+// bit-for-bit: what the device sends is what the server acts on.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(0, int64(0), int64(0), 0, false, "social", true)
+	f.Add(-1, int64(-1), int64(1<<62), 23, true, "", false)
+	f.Add(1<<31, int64(1)<<62, int64(-1)<<62, -5, false, "zzz,weird", true)
+
+	f.Fuzz(func(t *testing.T, clientID int, nowNS, imp int64, idx int, weekend bool, cat string, noRescue bool) {
+		check := func(in, out any) {
+			t.Helper()
+			b, err := json.Marshal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(b, out); err != nil {
+				t.Fatalf("decoding %s: %v", b, err)
+			}
+			b2, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != string(b2) {
+				t.Fatalf("round trip drift: %s -> %s", b, b2)
+			}
+		}
+		check(periodMsg{NowNS: nowNS, Index: idx, OfDay: idx % 24, Weekend: weekend}, &periodMsg{})
+		check(slotMsg{Client: clientID, NowNS: nowNS}, &slotMsg{})
+		check(reportMsg{Client: clientID, Impression: imp, NowNS: nowNS}, &reportMsg{})
+		check(onDemandMsg{Client: clientID, NowNS: nowNS, Categories: []string{cat}, NoRescue: noRescue}, &onDemandMsg{})
+		check(AdMsg{ID: imp, DeadlineNS: nowNS, Tie: uint64(imp)}, &AdMsg{})
+	})
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+)
+
+// TestConservationInvariants is a table-driven property test of the
+// money-conservation laws the sharded serving path must preserve under
+// any interleaving, with overbooked replication on (FixedReplicas=3, so
+// replicas race for claims):
+//
+//  1. billed ≤ sold, always (an impression is billed at most once);
+//  2. after the final sweep, billed + violations = sold (every sold
+//     impression settles exactly one way);
+//  3. ledger revenue = sum of per-campaign billed spend (no money
+//     appears or disappears between the campaign and ledger views);
+//  4. the merged HTTP ledger = sum of the per-shard exchange ledgers.
+//
+// Workloads are derived from internal/simclock's deterministic streams
+// so every (seed, shards) row replays identically.
+func TestConservationInvariants(t *testing.T) {
+	const (
+		clients   = 24
+		campaigns = 8
+		periods   = 3
+	)
+	cases := []struct {
+		seed   int64
+		shards int
+	}{
+		{seed: 1, shards: 1},
+		{seed: 1, shards: 4},
+		{seed: 2, shards: 2},
+		{seed: 3, shards: 4},
+		{seed: 4, shards: 3},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", tc.seed, tc.shards), func(t *testing.T) {
+			demand := auction.DefaultDemand()
+			demand.Campaigns = campaigns
+			demand.TargetedFrac = 0
+			rng := simclock.NewRand(tc.seed)
+
+			cfg := adserver.DefaultConfig()
+			cfg.Period = time.Hour
+			cfg.Overbook.FixedReplicas = 3 // replicas race; claims must still conserve
+			cfg.Overbook.AdmissionEpsilon = 0.45
+			cfg.ReportLatency = 0
+			cfg.SyncDelay = time.Second
+			ids := make([]int, clients)
+			for i := range ids {
+				ids[i] = i
+			}
+			pool, err := shard.New(tc.shards, cfg, ids,
+				func(int) (*auction.Exchange, error) {
+					return auction.NewExchange(demand.Generate(rng.Stream("demand")), 0.0001)
+				},
+				func(int) predict.Predictor {
+					return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+				}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(NewShardedServer(pool).Handler())
+			defer ts.Close()
+			coord := NewCoordinator(ts.URL, ts.Client())
+			devices := make([]*Device, clients)
+			for i := range devices {
+				if devices[i], err = NewDevice(i, 32, ts.URL, ts.Client()); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Replay: each period, a seed-dependent subset of devices
+			// downloads its bundle and serves slots; the rest go dark
+			// (their replicas expire or get rescued elsewhere).
+			workload := rng.Stream("workload")
+			for p := 0; p < periods; p++ {
+				start := simclock.Time(p) * simclock.Hour
+				if _, err := coord.StartPeriod(start, p, p, false); err != nil {
+					t.Fatal(err)
+				}
+				for i, d := range devices {
+					if workload.Float64() < 0.3 {
+						continue // dark this period
+					}
+					if _, err := d.FetchBundle(start + simclock.Minute); err != nil {
+						t.Fatal(err)
+					}
+					slots := 1 + int(workload.Float64()*2)
+					for k := 0; k < slots; k++ {
+						at := start + simclock.Time(i+2+10*k)*simclock.Minute
+						if _, err := d.HandleSlot(at, nil); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				mid, err := coord.Ledger()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mid.Billed > mid.Sold {
+					t.Fatalf("period %d: billed %d > sold %d", p, mid.Billed, mid.Sold)
+				}
+				if _, err := coord.EndPeriod(start+simclock.Hour, p, p, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Final sweep: everything still open expires.
+			if _, err := coord.EndPeriod(1000*simclock.Hour, periods, 0, false); err != nil {
+				t.Fatal(err)
+			}
+
+			merged, err := coord.Ledger()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged.Sold == 0 || merged.Billed == 0 {
+				t.Fatalf("inert workload: %+v", merged)
+			}
+			if merged.Billed > merged.Sold {
+				t.Fatalf("billed %d > sold %d", merged.Billed, merged.Sold)
+			}
+			if merged.Billed+merged.Violations != merged.Sold {
+				t.Fatalf("settlement leak: billed %d + violations %d != sold %d",
+					merged.Billed, merged.Violations, merged.Sold)
+			}
+
+			// Campaign-level spend must sum to the ledger's revenue.
+			var campaignBilled float64
+			for s := 0; s < pool.Shards(); s++ {
+				for c := 0; c < campaigns; c++ {
+					billed, _, err := pool.Shard(s).Exchange().CampaignSpend(auction.CampaignID(c))
+					if err != nil {
+						t.Fatal(err)
+					}
+					campaignBilled += billed
+				}
+			}
+			if math.Abs(campaignBilled-merged.BilledUSD) > 1e-9 {
+				t.Fatalf("campaign spend %v != ledger revenue %v", campaignBilled, merged.BilledUSD)
+			}
+
+			// Merged HTTP view == sum of per-shard exchange ledgers.
+			if merged != pool.Ledger() {
+				t.Fatalf("HTTP ledger %+v != shard sum %+v", merged, pool.Ledger())
+			}
+		})
+	}
+}

@@ -10,14 +10,21 @@
 //	GET  /v1/bundle?client=N&now_ns=T                         -> the client's pending bundle (download)
 //	POST /v1/slot           {client, now_ns}                  -> observe a slot (predictor training)
 //	POST /v1/report         {client, impression, now_ns}      -> display report (billing + claims)
-//	GET  /v1/cancelled?ids=1,2,3&now_ns=T                     -> which of the ids are claimed, per sync policy
+//	GET  /v1/cancelled?client=N&ids=1,2,3&now_ns=T            -> which of the ids are claimed, per sync policy
 //	POST /v1/ondemand       {client, now_ns, categories}      -> rescue or fresh sale for a cache miss
 //	POST /v1/period/end     {now_ns, index, of_day, weekend}  -> train predictors, sweep expiries
-//	GET  /v1/ledger                                            -> exchange ledger snapshot
+//	GET  /v1/ledger                                            -> exchange ledger snapshot (merged across shards)
+//	GET  /v1/stats                                             -> ops snapshot (merged across shards)
 //
 // Timestamps ride the virtual clock (nanoseconds since the simulation
 // epoch) so the transport works identically under test harnesses and
 // live deployments that map it to wall time.
+//
+// Two server adapters implement the protocol: Server wraps one
+// single-threaded engine behind one lock (one shard per process), and
+// ShardedServer partitions clients across N engines, each behind its
+// own lock, so the serving path scales with cores. Server is itself a
+// one-shard ShardedServer, so both share one handler implementation.
 package transport
 
 import (
@@ -25,47 +32,33 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
-	"sync"
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
 	"repro/internal/client"
 	"repro/internal/predict"
 	"repro/internal/simclock"
-	"repro/internal/trace"
 )
 
-// Server adapts an adserver.Server to HTTP. The underlying engine is
-// single-threaded; the adapter serializes all requests with a mutex
-// (one ad-server shard per process, as in the scalability table).
+// Server adapts a single adserver.Server to HTTP. The underlying engine
+// is single-threaded; the adapter serializes all requests with a mutex
+// (one ad-server shard per process, as in the scalability table). For a
+// multi-core serving path, see ShardedServer.
 type Server struct {
-	mu  sync.Mutex
-	srv *adserver.Server
-
-	// staged holds per-client bundles awaiting download.
-	staged map[int][]client.CachedAd
+	sh *ShardedServer
 }
 
 // NewServer wraps an ad server.
 func NewServer(srv *adserver.Server) *Server {
-	return &Server{srv: srv, staged: make(map[int][]client.CachedAd)}
+	return &Server{sh: newSharded([]*adserver.Server{srv}, func(int) int { return 0 })}
 }
 
 // Handler returns the HTTP handler implementing the protocol.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/period/start", s.handlePeriodStart)
-	mux.HandleFunc("POST /v1/period/end", s.handlePeriodEnd)
-	mux.HandleFunc("GET /v1/bundle", s.handleBundle)
-	mux.HandleFunc("POST /v1/slot", s.handleSlot)
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("GET /v1/cancelled", s.handleCancelled)
-	mux.HandleFunc("POST /v1/ondemand", s.handleOnDemand)
-	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
-}
+func (s *Server) Handler() http.Handler { return s.sh.Handler() }
+
+// StagedAds returns the number of staged (not yet downloaded) bundle
+// ads, for memory-bound monitoring and tests.
+func (s *Server) StagedAds() int { return s.sh.StagedAds() }
 
 // Wire DTOs.
 
@@ -122,6 +115,11 @@ type onDemandMsg struct {
 	Client     int      `json:"client"`
 	NowNS      int64    `json:"now_ns"`
 	Categories []string `json:"categories,omitempty"`
+
+	// NoRescue asks the server to skip the rescue path and go straight
+	// to a fresh sale: the client-side delivery policy (core.Config
+	// NoRescue) expressed on the wire.
+	NoRescue bool `json:"no_rescue,omitempty"`
 }
 
 // OnDemandReply is the fallback-path response.
@@ -141,7 +139,7 @@ type CancelledReply struct {
 	Cancelled []int64 `json:"cancelled"`
 }
 
-// PeriodStartReply summarizes the round.
+// PeriodStartReply summarizes the round (summed across shards).
 type PeriodStartReply struct {
 	PredictedSlots float64 `json:"predicted_slots"`
 	Admitted       int     `json:"admitted"`
@@ -151,142 +149,9 @@ type PeriodStartReply struct {
 	BundledClients int     `json:"bundled_clients"`
 }
 
-// PeriodEndReply reports the sweep outcome.
+// PeriodEndReply reports the sweep outcome (summed across shards).
 type PeriodEndReply struct {
 	Expired int `json:"expired"`
-}
-
-func (s *Server) handlePeriodStart(w http.ResponseWriter, r *http.Request) {
-	var msg periodMsg
-	if !decode(w, r, &msg) {
-		return
-	}
-	s.mu.Lock()
-	bundles, stats := s.srv.StartPeriod(simclock.Time(msg.NowNS), msg.period())
-	for _, b := range bundles {
-		s.staged[b.Client] = append(s.staged[b.Client], b.Ads...)
-	}
-	s.mu.Unlock()
-	writeJSON(w, PeriodStartReply{
-		PredictedSlots: stats.PredictedSlots,
-		Admitted:       stats.Admitted,
-		Sold:           stats.Sold,
-		Placed:         stats.Placed,
-		Replicas:       stats.Replicas,
-		BundledClients: len(bundles),
-	})
-}
-
-func (s *Server) handlePeriodEnd(w http.ResponseWriter, r *http.Request) {
-	var msg periodMsg
-	if !decode(w, r, &msg) {
-		return
-	}
-	s.mu.Lock()
-	expired := s.srv.EndPeriod(simclock.Time(msg.NowNS), msg.period())
-	s.mu.Unlock()
-	writeJSON(w, PeriodEndReply{Expired: expired})
-}
-
-func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
-	cid, ok := intParam(w, r, "client")
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	ads := s.staged[cid]
-	delete(s.staged, cid)
-	s.mu.Unlock()
-	writeJSON(w, BundleReply{Ads: toAdMsgs(ads)})
-}
-
-func (s *Server) handleSlot(w http.ResponseWriter, r *http.Request) {
-	var msg slotMsg
-	if !decode(w, r, &msg) {
-		return
-	}
-	s.mu.Lock()
-	s.srv.ObserveSlot(msg.Client)
-	s.mu.Unlock()
-	writeJSON(w, struct{}{})
-}
-
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	var msg reportMsg
-	if !decode(w, r, &msg) {
-		return
-	}
-	s.mu.Lock()
-	err := s.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, struct{}{})
-}
-
-func (s *Server) handleCancelled(w http.ResponseWriter, r *http.Request) {
-	nowNS, ok := intParam(w, r, "now_ns")
-	if !ok {
-		return
-	}
-	idsRaw := r.URL.Query().Get("ids")
-	var reply CancelledReply
-	s.mu.Lock()
-	for _, part := range strings.Split(idsRaw, ",") {
-		if part == "" {
-			continue
-		}
-		id, err := strconv.ParseInt(part, 10, 64)
-		if err != nil {
-			s.mu.Unlock()
-			http.Error(w, fmt.Sprintf("bad id %q", part), http.StatusBadRequest)
-			return
-		}
-		if s.srv.CancellationKnown(auction.ImpressionID(id), simclock.Time(nowNS)) {
-			reply.Cancelled = append(reply.Cancelled, id)
-		}
-	}
-	s.mu.Unlock()
-	writeJSON(w, reply)
-}
-
-func (s *Server) handleOnDemand(w http.ResponseWriter, r *http.Request) {
-	var msg onDemandMsg
-	if !decode(w, r, &msg) {
-		return
-	}
-	cats := make([]trace.Category, len(msg.Categories))
-	for i, c := range msg.Categories {
-		cats[i] = trace.Category(c)
-	}
-	now := simclock.Time(msg.NowNS)
-	var reply OnDemandReply
-	s.mu.Lock()
-	if id, ok := s.srv.RescueOpen(now, msg.Client); ok {
-		reply.Impression = int64(id)
-		reply.Rescued = true
-		reply.TopUp = toAdMsgs(s.srv.TopUp(now, msg.Client))
-	} else if imp, ok := s.srv.OnDemandSell(now, msg.Client, cats); ok {
-		reply.Impression = int64(imp.ID)
-	}
-	s.mu.Unlock()
-	writeJSON(w, reply)
-}
-
-func (s *Server) handleLedger(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	l := s.srv.Exchange().Ledger()
-	s.mu.Unlock()
-	writeJSON(w, l)
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	st := s.srv.Ops()
-	s.mu.Unlock()
-	writeJSON(w, st)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -1,0 +1,363 @@
+package transport
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/client"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// ShardedServer serves the transport protocol over N independent
+// ad-server shards, each behind its own lock. Requests carrying a
+// client id (bundle, slot, report, cancelled, on-demand) touch exactly
+// one shard — its lock — so the serving path scales with cores instead
+// of serializing behind a single global mutex. Period start/end fan out
+// to all shards concurrently and fan back in (a barrier over per-shard
+// rounds); the merged /v1/ledger and /v1/stats views aggregate across
+// shards one lock at a time, never pausing the whole fleet.
+//
+// Replicas of an impression only ever live on clients of the shard that
+// sold it (see internal/shard), so routing by client id also routes
+// every impression-carrying request to the shard that owns that
+// impression's state.
+type ShardedServer struct {
+	shards []*shardState
+	route  func(clientID int) int
+}
+
+// shardState is one shard's serving state: the single-threaded engine,
+// its lock, and the per-client bundles staged for download.
+type shardState struct {
+	mu     sync.Mutex
+	srv    *adserver.Server
+	staged map[int][]client.CachedAd
+}
+
+// NewShardedServer adapts a shard pool to HTTP. The pool's stable
+// client partition decides request routing.
+func NewShardedServer(pool *shard.Pool) *ShardedServer {
+	servers := make([]*adserver.Server, pool.Shards())
+	for i := range servers {
+		servers[i] = pool.Shard(i)
+	}
+	return newSharded(servers, pool.IndexFor)
+}
+
+// newSharded wraps pre-built shards with an explicit routing function
+// (route must return an index in [0, len(servers))).
+func newSharded(servers []*adserver.Server, route func(clientID int) int) *ShardedServer {
+	s := &ShardedServer{shards: make([]*shardState, len(servers)), route: route}
+	for i, srv := range servers {
+		s.shards[i] = &shardState{srv: srv, staged: make(map[int][]client.CachedAd)}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedServer) Shards() int { return len(s.shards) }
+
+// StagedAds returns the total number of staged (not yet downloaded)
+// bundle ads across shards, for memory-bound monitoring and tests.
+func (s *ShardedServer) StagedAds() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, ads := range sh.staged {
+			total += len(ads)
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// shardFor resolves the shard owning a client.
+func (s *ShardedServer) shardFor(clientID int) *shardState {
+	i := s.route(clientID)
+	if i < 0 || i >= len(s.shards) {
+		i = 0
+	}
+	return s.shards[i]
+}
+
+// Handler returns the HTTP handler implementing the protocol.
+func (s *ShardedServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/period/start", s.handlePeriodStart)
+	mux.HandleFunc("POST /v1/period/end", s.handlePeriodEnd)
+	mux.HandleFunc("GET /v1/bundle", s.handleBundle)
+	mux.HandleFunc("POST /v1/slot", s.handleSlot)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/cancelled", s.handleCancelled)
+	mux.HandleFunc("POST /v1/ondemand", s.handleOnDemand)
+	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// fanOut runs fn once per shard concurrently and returns the first
+// error (errgroup-style fan-out/fan-in barrier; shards share nothing,
+// so per-shard rounds are independent).
+func (s *ShardedServer) fanOut(fn func(i int, sh *shardState) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			errs[i] = fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *ShardedServer) handlePeriodStart(w http.ResponseWriter, r *http.Request) {
+	var msg periodMsg
+	if !decode(w, r, &msg) {
+		return
+	}
+	now := simclock.Time(msg.NowNS)
+	var (
+		mu      sync.Mutex
+		reply   PeriodStartReply
+		bundled int
+	)
+	// Fan-out: each shard runs its own forecast/sale/replication round
+	// under its own lock; the barrier completes when every shard has
+	// staged its bundles.
+	_ = s.fanOut(func(_ int, sh *shardState) error {
+		sh.mu.Lock()
+		bundles, stats := sh.srv.StartPeriod(now, msg.period())
+		for _, b := range bundles {
+			sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
+		}
+		sh.mu.Unlock()
+		mu.Lock()
+		reply.PredictedSlots += stats.PredictedSlots
+		reply.Admitted += stats.Admitted
+		reply.Sold += stats.Sold
+		reply.Placed += stats.Placed
+		reply.Replicas += stats.Replicas
+		bundled += len(bundles)
+		mu.Unlock()
+		return nil
+	})
+	reply.BundledClients = bundled
+	writeJSON(w, reply)
+}
+
+func (s *ShardedServer) handlePeriodEnd(w http.ResponseWriter, r *http.Request) {
+	var msg periodMsg
+	if !decode(w, r, &msg) {
+		return
+	}
+	now := simclock.Time(msg.NowNS)
+	var (
+		mu    sync.Mutex
+		reply PeriodEndReply
+	)
+	_ = s.fanOut(func(_ int, sh *shardState) error {
+		sh.mu.Lock()
+		expired := sh.srv.EndPeriod(now, msg.period())
+		// Bound staged-bundle memory: ads a client never downloaded are
+		// worthless once expired, so sweep them with the period. Without
+		// this, clients that stop contacting the server pin their
+		// bundles forever.
+		for cid, ads := range sh.staged {
+			kept := ads[:0]
+			for _, ad := range ads {
+				if !now.After(ad.Deadline) {
+					kept = append(kept, ad)
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.staged, cid)
+			} else {
+				sh.staged[cid] = kept
+			}
+		}
+		sh.mu.Unlock()
+		mu.Lock()
+		reply.Expired += expired
+		mu.Unlock()
+		return nil
+	})
+	writeJSON(w, reply)
+}
+
+func (s *ShardedServer) handleBundle(w http.ResponseWriter, r *http.Request) {
+	cid, ok := intParam(w, r, "client")
+	if !ok {
+		return
+	}
+	sh := s.shardFor(cid)
+	sh.mu.Lock()
+	ads := sh.staged[cid]
+	delete(sh.staged, cid)
+	sh.mu.Unlock()
+	writeJSON(w, BundleReply{Ads: toAdMsgs(ads)})
+}
+
+func (s *ShardedServer) handleSlot(w http.ResponseWriter, r *http.Request) {
+	var msg slotMsg
+	if !decode(w, r, &msg) {
+		return
+	}
+	sh := s.shardFor(msg.Client)
+	sh.mu.Lock()
+	sh.srv.ObserveSlot(msg.Client)
+	sh.mu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (s *ShardedServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	var msg reportMsg
+	if !decode(w, r, &msg) {
+		return
+	}
+	sh := s.shardFor(msg.Client)
+	sh.mu.Lock()
+	err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
+	sh.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *ShardedServer) handleCancelled(w http.ResponseWriter, r *http.Request) {
+	nowNS, ok := intParam(w, r, "now_ns")
+	if !ok {
+		return
+	}
+	// Impression ids are scoped per shard, so the owning client must be
+	// identified to route the query. A single-shard server tolerates the
+	// omission for compatibility with old clients.
+	var sh *shardState
+	if raw := r.URL.Query().Get("client"); raw != "" {
+		cid, err := strconv.Atoi(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad client %q", raw), http.StatusBadRequest)
+			return
+		}
+		sh = s.shardFor(cid)
+	} else if len(s.shards) == 1 {
+		sh = s.shards[0]
+	} else {
+		http.Error(w, "missing client parameter (required with >1 shard)", http.StatusBadRequest)
+		return
+	}
+	idsRaw := r.URL.Query().Get("ids")
+	var reply CancelledReply
+	sh.mu.Lock()
+	for _, part := range strings.Split(idsRaw, ",") {
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			sh.mu.Unlock()
+			http.Error(w, fmt.Sprintf("bad id %q", part), http.StatusBadRequest)
+			return
+		}
+		if sh.srv.CancellationKnown(auction.ImpressionID(id), simclock.Time(nowNS)) {
+			reply.Cancelled = append(reply.Cancelled, id)
+		}
+	}
+	sh.mu.Unlock()
+	writeJSON(w, reply)
+}
+
+func (s *ShardedServer) handleOnDemand(w http.ResponseWriter, r *http.Request) {
+	var msg onDemandMsg
+	if !decode(w, r, &msg) {
+		return
+	}
+	cats := make([]trace.Category, len(msg.Categories))
+	for i, c := range msg.Categories {
+		cats[i] = trace.Category(c)
+	}
+	now := simclock.Time(msg.NowNS)
+	var reply OnDemandReply
+	sh := s.shardFor(msg.Client)
+	sh.mu.Lock()
+	if !msg.NoRescue {
+		if id, ok := sh.srv.RescueOpen(now, msg.Client); ok {
+			reply.Impression = int64(id)
+			reply.Rescued = true
+			reply.TopUp = toAdMsgs(sh.srv.TopUp(now, msg.Client))
+		}
+	}
+	if !reply.Rescued {
+		if imp, ok := sh.srv.OnDemandSell(now, msg.Client, cats); ok {
+			reply.Impression = int64(imp.ID)
+		}
+	}
+	sh.mu.Unlock()
+	writeJSON(w, reply)
+}
+
+func (s *ShardedServer) handleLedger(w http.ResponseWriter, _ *http.Request) {
+	var total auction.Ledger
+	// One shard at a time: the merged view never holds more than one
+	// lock, so a ledger scrape cannot stall the fleet.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		l := sh.srv.Exchange().Ledger()
+		sh.mu.Unlock()
+		total.Sold += l.Sold
+		total.BilledUSD += l.BilledUSD
+		total.Billed += l.Billed
+		total.FreeUSD += l.FreeUSD
+		total.FreeShows += l.FreeShows
+		total.Violations += l.Violations
+		total.ViolatedUSD += l.ViolatedUSD
+		total.PotentialUSD += l.PotentialUSD
+	}
+	writeJSON(w, total)
+}
+
+// StatsReply is the merged monitoring view: summed rounds, a
+// rounds-weighted mean of per-shard forecast-error quantiles, and the
+// raw per-shard snapshots. Field names align with adserver.OpsStats so
+// single-shard clients decoding into that type keep working.
+type StatsReply struct {
+	Shards         int                 `json:"shards"`
+	Rounds         int64               `json:"rounds"`
+	ForecastErrP50 float64             `json:"forecast_err_p50"`
+	ForecastErrP95 float64             `json:"forecast_err_p95"`
+	PerShard       []adserver.OpsStats `json:"per_shard,omitempty"`
+}
+
+func (s *ShardedServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// Ops metrics are lock-isolated inside each adserver.Server, so this
+	// takes no shard locks at all: stats scrapes never contend with the
+	// serving path.
+	reply := StatsReply{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		st := sh.srv.Ops()
+		reply.PerShard = append(reply.PerShard, st)
+		reply.Rounds += st.Rounds
+		reply.ForecastErrP50 += float64(st.Rounds) * st.ForecastErrP50
+		reply.ForecastErrP95 += float64(st.Rounds) * st.ForecastErrP95
+	}
+	if reply.Rounds > 0 {
+		reply.ForecastErrP50 /= float64(reply.Rounds)
+		reply.ForecastErrP95 /= float64(reply.Rounds)
+	}
+	writeJSON(w, reply)
+}

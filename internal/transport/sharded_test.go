@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+)
+
+// newShardedStack builds a live ShardedServer over a shard.Pool, with
+// one Device per client. Campaign budgets are huge so auctions never
+// starve a test.
+func newShardedStack(t *testing.T, shards, clients int) (*httptest.Server, *Coordinator, []*Device, *ShardedServer, *shard.Pool) {
+	t.Helper()
+	cfg := adserver.DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	cfg.ReportLatency = 0
+	cfg.SyncDelay = time.Second
+	ids := make([]int, clients)
+	for i := range ids {
+		ids[i] = i
+	}
+	pool, err := shard.New(shards, cfg, ids,
+		func(int) (*auction.Exchange, error) {
+			return auction.NewExchange([]auction.Campaign{
+				{ID: 0, Name: "acme", BidCPM: 2000, BudgetUSD: 1e6},
+				{ID: 1, Name: "globex", BidCPM: 1000, BudgetUSD: 1e6},
+			}, 0.0001)
+		},
+		func(int) predict.Predictor {
+			return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewShardedServer(pool)
+	ts := httptest.NewServer(ss.Handler())
+	t.Cleanup(ts.Close)
+
+	devices := make([]*Device, clients)
+	for i := range devices {
+		d, err := NewDevice(i, 32, ts.URL, ts.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = d
+	}
+	return ts, NewCoordinator(ts.URL, ts.Client()), devices, ss, pool
+}
+
+func TestShardedEndToEnd(t *testing.T) {
+	_, coord, devices, ss, _ := newShardedStack(t, 4, 12)
+	if ss.Shards() != 4 {
+		t.Fatalf("shards %d", ss.Shards())
+	}
+
+	reply, err := coord.StartPeriod(0, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Sold == 0 || reply.BundledClients == 0 {
+		t.Fatalf("round inert: %+v", reply)
+	}
+	if ss.StagedAds() != reply.Replicas {
+		t.Fatalf("staged %d want %d replicas", ss.StagedAds(), reply.Replicas)
+	}
+
+	hits := 0
+	for i, d := range devices {
+		if _, err := d.FetchBundle(simclock.Minute); err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.HandleSlot(simclock.Time(i+2)*simclock.Minute, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.CacheHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits across shards")
+	}
+	// Every bundle downloaded: the staged map must be fully drained.
+	if ss.StagedAds() != 0 {
+		t.Fatalf("staged ads leak after download: %d", ss.StagedAds())
+	}
+
+	l, err := coord.Ledger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(l.Billed) != hits {
+		t.Fatalf("merged ledger billed %d want %d", l.Billed, hits)
+	}
+
+	end, err := coord.EndPeriod(2*simclock.Hour, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Expired != reply.Sold-hits {
+		t.Fatalf("expired %d want %d", end.Expired, reply.Sold-hits)
+	}
+}
+
+// The merged /v1/ledger must equal the sum of the per-shard exchange
+// ledgers at all times.
+func TestShardedLedgerMatchesShardSum(t *testing.T) {
+	_, coord, devices, _, pool := newShardedStack(t, 3, 9)
+	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range devices {
+		if _, err := d.FetchBundle(simclock.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.HandleSlot(simclock.Time(i+2)*simclock.Minute, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := coord.Ledger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != pool.Ledger() {
+		t.Fatalf("HTTP ledger %+v != pool sum %+v", merged, pool.Ledger())
+	}
+	if merged.Billed == 0 {
+		t.Fatal("nothing billed; test inert")
+	}
+}
+
+func TestShardedStatsMerged(t *testing.T) {
+	_, coord, devices, _, _ := newShardedStack(t, 4, 12)
+	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Rounds only register when a shard saw actual slots, so every
+	// device fires one.
+	for i, d := range devices {
+		if _, err := d.FetchBundle(simclock.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.HandleSlot(simclock.Time(i+2)*simclock.Minute, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := coord.EndPeriod(2*simclock.Hour, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Every shard that owns clients closed one observed round.
+	var want int64
+	for _, ps := range st.PerShard {
+		want += ps.Rounds
+	}
+	if st.Rounds != want || st.Rounds == 0 {
+		t.Fatalf("rounds %d (per-shard sum %d)", st.Rounds, want)
+	}
+	// The merged quantiles are a rounds-weighted mean of the per-shard ones.
+	var wantP50 float64
+	for _, ps := range st.PerShard {
+		wantP50 += float64(ps.Rounds) * ps.ForecastErrP50
+	}
+	wantP50 /= float64(st.Rounds)
+	if diff := st.ForecastErrP50 - wantP50; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("merged p50 %v want %v", st.ForecastErrP50, wantP50)
+	}
+}
+
+// Impression ids are per-shard, so cancellation queries must carry the
+// owning client for routing when more than one shard exists.
+func TestShardedCancelledRequiresClient(t *testing.T) {
+	ts, _, _, _, _ := newShardedStack(t, 2, 4)
+	resp, err := ts.Client().Get(ts.URL + "/v1/cancelled?ids=1&now_ns=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unrouted cancelled query: status %d want 400", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/cancelled?client=1&ids=1&now_ns=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed cancelled query: status %d want 200", resp.StatusCode)
+	}
+
+	// A single-shard server tolerates the omission (old clients).
+	ts1, _, _, _, _ := newShardedStack(t, 1, 2)
+	resp, err = ts1.Client().Get(ts1.URL + "/v1/cancelled?ids=1&now_ns=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-shard cancelled without client: status %d want 200", resp.StatusCode)
+	}
+}
+
+// Staged bundles a client never downloads must not accumulate forever:
+// period end evicts entries whose ads have all expired.
+func TestStagedBundleEvictedAtPeriodEnd(t *testing.T) {
+	_, coord, _, ss, _ := newShardedStack(t, 2, 6)
+	reply, err := coord.StartPeriod(0, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Replicas == 0 || ss.StagedAds() == 0 {
+		t.Fatal("nothing staged; test inert")
+	}
+
+	// Period ends but the ads (deadline > period end, grace window) are
+	// still alive: nothing may be evicted early.
+	if _, err := coord.EndPeriod(simclock.Hour, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if ss.StagedAds() == 0 {
+		t.Fatal("staged ads evicted before expiry")
+	}
+
+	// Far past every deadline, the staged map must drain to zero even
+	// though no client ever downloaded: the memory bound the leak fix
+	// establishes.
+	if _, err := coord.EndPeriod(100*simclock.Hour, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if n := ss.StagedAds(); n != 0 {
+		t.Fatalf("staged ads leak: %d entries survive expiry", n)
+	}
+}
+
+// Single-shard Server and ShardedServer share one handler; the wrapper
+// must expose the same staged-bundle accounting (download drains,
+// expiry evicts).
+func TestServerStagedAdsAccessor(t *testing.T) {
+	ex, err := auction.NewExchange([]auction.Campaign{
+		{ID: 0, Name: "acme", BidCPM: 2000, BudgetUSD: 1e6},
+	}, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adserver.DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	srv, err := adserver.New(cfg, ex, []int{0, 1}, func(int) predict.Predictor {
+		return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := NewServer(srv)
+	ts := httptest.NewServer(wrapped.Handler())
+	t.Cleanup(ts.Close)
+	coord := NewCoordinator(ts.URL, ts.Client())
+	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	before := wrapped.StagedAds()
+	if before == 0 {
+		t.Fatal("nothing staged")
+	}
+	n, err := d.FetchBundle(simclock.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.StagedAds() != before-n {
+		t.Fatalf("staged %d after downloading %d of %d", wrapped.StagedAds(), n, before)
+	}
+	if _, err := coord.EndPeriod(100*simclock.Hour, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.StagedAds() != 0 {
+		t.Fatalf("staged ads survive expiry: %d", wrapped.StagedAds())
+	}
+}
