@@ -14,4 +14,14 @@ race:
 bench:
 	go test -bench ShardedServing -benchtime 2s -run '^$$' ./internal/transport
 
-.PHONY: test race bench
+# Chaos tier: seeded fault injection (drops, 5xx, lost replies, resets,
+# truncated bodies, one timed shard partition) replayed through the HTTP
+# serving path at shards=1 and shards=4. Asserts ledger conservation
+# (billed+violations == sold, spend == revenue), no double billing
+# across retries, run-to-run determinism for a fixed seed, and the
+# idempotency double-send property.
+chaos:
+	go test -count=1 -run 'TestChaos' ./internal/sim
+	go test -count=1 -run 'TestDoubleSend|TestIdempotency|TestRetry|TestLoadShedding|TestGraceful' ./internal/transport
+
+.PHONY: test race bench chaos

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -95,27 +96,51 @@ func main() {
 		default:
 			log.Fatal(err)
 		}
-		// Persist the learned state on shutdown.
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigc
-			f, err := os.Create(*statePath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := pool.SavePredictors(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("adserverd: saved predictor state to %s\n", *statePath)
-			os.Exit(0)
-		}()
 	}
+
+	// Timeouts bound every connection (a stalled mobile client must not
+	// pin a handler goroutine forever); graceful Shutdown drains
+	// in-flight requests on SIGINT/SIGTERM before predictor state is
+	// persisted, so a deploy never truncates a half-served report.
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      transport.NewShardedServer(pool).Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		fmt.Printf("adserverd: %v: draining in-flight requests\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(drained)
+	}()
 
 	fmt.Printf("adserverd: %d clients, %d campaigns, %d shard(s), period %v, listening on %s\n",
 		*clients, *campaigns, *shards, *period, *addr)
-	log.Fatal(http.ListenAndServe(*addr, transport.NewShardedServer(pool).Handler()))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+
+	if *statePath != "" {
+		f, err := os.Create(*statePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pool.SavePredictors(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("adserverd: saved predictor state to %s\n", *statePath)
+	}
 }

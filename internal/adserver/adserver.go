@@ -329,6 +329,12 @@ func (s *Server) Config() Config { return s.cfg }
 // Exchange returns the underlying exchange (for ledger inspection).
 func (s *Server) Exchange() *auction.Exchange { return s.ex }
 
+// OpenBook returns the number of entries in the pending-impression heap:
+// sold impressions awaiting display. Claimed and expired entries are
+// removed lazily, so this is an upper bound on the truly open book —
+// good enough as a load-shedding signal.
+func (s *Server) OpenBook() int { return len(s.pending) }
+
 // Predictor returns the predictor of one client (nil if unknown),
 // so tests and the simulator can inspect forecasts.
 func (s *Server) Predictor(clientID int) predict.Predictor { return s.predictors[clientID] }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs %v want %v", got, want)
@@ -330,6 +330,37 @@ func TestX3RobustnessShape(t *testing.T) {
 	full := percent(t, byLabel["30% period churn"][1])
 	if bare <= full {
 		t.Errorf("bare system should violate more under churn: %v vs %v", bare, full)
+	}
+}
+
+func TestX9EnergyDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP chaos replay")
+	}
+	tbl, err := Run("x9", Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows=%d want 3 (fault-free, chaos s1, chaos s4)", len(tbl.Rows))
+	}
+	// Column 8 is "retry J": the fault-free baseline pays exactly zero,
+	// every chaos row pays a positive premium — the energy delta the
+	// acceptance criterion asks for.
+	parse := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			t.Fatalf("parse retry J %q: %v", row[8], err)
+		}
+		return v
+	}
+	if j := parse(tbl.Rows[0]); j != 0 {
+		t.Errorf("fault-free retry energy %v J, want 0", j)
+	}
+	for _, row := range tbl.Rows[1:] {
+		if j := parse(row); j <= 0 {
+			t.Errorf("chaos row %v: retry energy not positive", row)
+		}
 	}
 }
 

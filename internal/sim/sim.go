@@ -22,6 +22,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/simclock"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Config assembles one simulation run.
@@ -190,6 +191,14 @@ type Result struct {
 	// CampaignBilled is each campaign's billed revenue, for checking
 	// that prefetching does not distort auction outcomes.
 	CampaignBilled map[auction.CampaignID]float64
+
+	// Resilience outcomes of the chaos path (RunTransportChaos); zero
+	// elsewhere. RetryEnergyJ is the radio-model cost of retries alone —
+	// the energy price the fleet pays for robustness under the fault
+	// plan — and Net aggregates the per-device transport counters.
+	RetryEnergyJ   float64
+	FaultsInjected int64
+	Net            transport.NetCounters
 }
 
 // AdEnergyPerUserDay returns the headline metric: joules of ad energy

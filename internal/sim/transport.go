@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/predict"
+	"repro/internal/radio"
 	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -39,8 +41,27 @@ import (
 // (additive admission). The TestShardCountInvariance suite pins that
 // contract; outside it, totals may legitimately vary with scheduling.
 func RunTransport(cfg Config, shards, workers int) (*Result, error) {
+	return RunTransportChaos(cfg, shards, workers, nil)
+}
+
+// RunTransportChaos is RunTransport under a seeded fault plan: the
+// plan's wire faults wrap the shared HTTP client, its server faults and
+// shard partitions wrap the handler, and every device carries a radio
+// meter so the energy cost of retries (transport.RetryOwner) lands in
+// Result.RetryEnergyJ. A nil plan is the fault-free path.
+//
+// Chaos runs stay deterministic because fault decisions are pure hashes
+// of (seed, endpoint, idempotency key, attempt) — see internal/faults —
+// and the device request sequences are deterministic per device. Pass a
+// fresh Plan per run: its injection counters accumulate.
+func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if shards < 1 {
 		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", shards)
@@ -106,7 +127,11 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: transport listener: %w", err)
 	}
-	httpSrv := &http.Server{Handler: transport.NewShardedServer(pool).Handler()}
+	handler := http.Handler(transport.NewShardedServer(pool).Handler())
+	if plan != nil {
+		handler = plan.Middleware(handler, pool.IndexFor)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	defer func() {
@@ -114,13 +139,19 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 		<-serveErr // http.ErrServerClosed after Shutdown
 	}()
 	baseURL := "http://" + ln.Addr().String()
-	hc := &http.Client{Transport: &http.Transport{
+	baseRT := &http.Transport{
 		MaxIdleConns:        workers * 2,
 		MaxIdleConnsPerHost: workers * 2,
-	}}
-	defer hc.CloseIdleConnections()
+	}
+	defer baseRT.CloseIdleConnections()
+	rt := http.RoundTripper(baseRT)
+	if plan != nil {
+		rt = plan.RoundTripper(baseRT)
+	}
+	hc := &http.Client{Transport: rt}
 
 	devices := make([]*transport.Device, len(users))
+	meters := make([]*radio.Radio, len(users))
 	timelines := make([][]timelineEvent, len(users))
 	for i, u := range users {
 		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, hc)
@@ -128,6 +159,10 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 			return nil, err
 		}
 		d.NoRescue = cfg.Core.NoRescue || cfg.Core.Mode == core.ModeOnDemand
+		if plan != nil {
+			meters[i] = radio.New(radio.Profile3G())
+			d.SetMeter(meters[i])
+		}
 		devices[i] = d
 		timelines[i] = buildTimeline(u, cat, cfg.RefreshInterval)
 	}
@@ -196,6 +231,18 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 		}
 	}
 
+	// Settle deferred display reports while the server is still up:
+	// devices that rode out a partition deliver their queued billing
+	// under the original keys and timestamps.
+	if plan != nil {
+		if err := eachDevice(len(devices), workers, func(i int) error {
+			devices[i].FlushDeferred(pop.Span)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	// The HTTP phase is over: release the port, then sweep impressions
 	// still open at trace end directly on the pool.
 	_ = httpSrv.Shutdown(context.Background())
@@ -213,6 +260,15 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 		res.Counters.BundledAds += c.BundledAds
 		res.Counters.DroppedOverflow += c.DroppedOverflow
 		res.Counters.DroppedExpired += c.DroppedExpired
+	}
+	if plan != nil {
+		for i, d := range devices {
+			meters[i].Flush() // settle the final radio tail
+			res.RetryEnergyJ += d.RetryEnergyJ()
+			res.Net.Add(d.Net())
+		}
+		res.Net.Add(coord.Net())
+		res.FaultsInjected = plan.InjectedTotal()
 	}
 	res.CampaignBilled = make(map[auction.CampaignID]float64, cfg.Demand.Campaigns)
 	for i := 0; i < cfg.Demand.Campaigns; i++ {

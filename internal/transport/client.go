@@ -3,29 +3,285 @@ package transport
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/auction"
 	"repro/internal/client"
+	"repro/internal/radio"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
+
+// Request-identity headers. Every request the clients send carries an
+// Idempotency-Key (stable across retries of one logical request) and an
+// X-Retry-Attempt counter; the server dedups mutating requests by key so
+// a retried POST can never double-bill or double-stage, and the fault
+// layer (internal/faults) hashes both for deterministic chaos.
+const (
+	idempotencyKeyHeader = "Idempotency-Key"
+	attemptHeader        = "X-Retry-Attempt"
+)
+
+// DefaultTimeout bounds one HTTP attempt when the caller does not
+// supply its own client. Pass a custom *http.Client to NewDevice /
+// NewCoordinator to override (set its Timeout; a zero timeout means
+// attempts can hang on a dead peer and retries never fire).
+const DefaultTimeout = 10 * time.Second
+
+func defaultHTTPClient() *http.Client {
+	return &http.Client{Timeout: DefaultTimeout}
+}
+
+// RetryOwner is the radio-energy owner retries are charged to when a
+// Device carries a meter: the energy cost of robustness, reported
+// separately from app and ad traffic.
+const RetryOwner = radio.Owner("transport:retry")
+
+// retryOverheadBytes approximates the non-body bytes of one retried
+// request/response pair (headers both ways) for energy accounting.
+const retryOverheadBytes = 512
+
+// RetryPolicy bounds the client's resilience loop: how many attempts a
+// logical request gets and how the virtual backoff between them grows.
+// Backoff rides the simulated clock (it positions retries on a device's
+// virtual timeline and prices them in the radio model); the wall-clock
+// loop never sleeps.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per request, minimum 1
+	BaseBackoff time.Duration // virtual delay before the second attempt
+	MaxBackoff  time.Duration // cap on the exponential growth
+	JitterFrac  float64       // seeded +/- fraction applied to each delay
+}
+
+// DefaultRetryPolicy returns the evaluation's operating point: four
+// attempts with 2s/4s/8s backoff and 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 2 * time.Second, MaxBackoff: 30 * time.Second, JitterFrac: 0.2}
+}
+
+// NetCounters tracks a client's transport-resilience outcomes.
+type NetCounters struct {
+	Attempts         int64 // HTTP attempts sent, including retries
+	Retries          int64 // attempts beyond a request's first
+	Shed             int64 // 429 load-shed replies observed
+	Unreachable      int64 // requests that exhausted every attempt
+	DegradedSlots    int64 // slots handled in cache-only degraded mode
+	DeferredReports  int64 // display reports queued while unreachable
+	LostReports      int64 // deferred reports dropped (rejected by the server)
+	LostBundles      int64 // bundle downloads abandoned after retries
+	LostObservations int64 // slot observations lost to the network
+}
+
+// Add accumulates another counter set (e.g. per-device counters into a
+// fleet total).
+func (n *NetCounters) Add(o NetCounters) {
+	n.Attempts += o.Attempts
+	n.Retries += o.Retries
+	n.Shed += o.Shed
+	n.Unreachable += o.Unreachable
+	n.DegradedSlots += o.DegradedSlots
+	n.DeferredReports += o.DeferredReports
+	n.LostReports += o.LostReports
+	n.LostBundles += o.LostBundles
+	n.LostObservations += o.LostObservations
+}
+
+// ErrUnreachable marks a request that exhausted every attempt without a
+// definitive protocol answer: the network (or the server's health) is
+// to blame, not the request. Callers use errors.Is to pick the graceful
+// degradation path.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// StatusError is a non-2xx protocol reply. 4xx statuses are permanent
+// (retrying the same request cannot help); 5xx and 429 are retried.
+type StatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string { return e.Msg }
+
+// caller is the shared retrying request engine behind Device and
+// Coordinator: per-attempt identity headers, bounded retries with
+// seeded virtual backoff, and optional radio-model energy charging.
+type caller struct {
+	http *http.Client
+	base string
+
+	// Retry is the resilience policy; adjust before first use.
+	Retry RetryPolicy
+
+	jitter     *simclock.Rand
+	keyPrefix  string
+	seq        int64
+	meter      *radio.Radio
+	lastCharge simclock.Time
+	net        NetCounters
+}
+
+func newCaller(baseURL string, hc *http.Client, keyPrefix string, jitterSeed int64) caller {
+	if hc == nil {
+		hc = defaultHTTPClient()
+	}
+	return caller{
+		http:      hc,
+		base:      strings.TrimRight(baseURL, "/"),
+		Retry:     DefaultRetryPolicy(),
+		jitter:    simclock.NewRand(jitterSeed).Stream("transport-retry"),
+		keyPrefix: keyPrefix,
+	}
+}
+
+// nextKey mints the idempotency key for one logical request.
+func (c *caller) nextKey() string {
+	c.seq++
+	return fmt.Sprintf("%s-%d", c.keyPrefix, c.seq)
+}
+
+// backoff returns the virtual delay before retry number k (1-based).
+func (c *caller) backoff(k int) time.Duration {
+	d := c.Retry.BaseBackoff << (k - 1)
+	if c.Retry.MaxBackoff > 0 && d > c.Retry.MaxBackoff {
+		d = c.Retry.MaxBackoff
+	}
+	if c.Retry.JitterFrac > 0 && d > 0 {
+		d = time.Duration(c.jitter.Jitter(float64(d), c.Retry.JitterFrac))
+	}
+	return d
+}
+
+// chargeRetry prices one retry attempt in the radio model: the extra
+// bytes re-wake (or keep awake) the radio and leave a tail, so the
+// robustness cost lands in the same joules as everything else.
+func (c *caller) chargeRetry(at simclock.Time, bytes int64) {
+	if c.meter == nil {
+		return
+	}
+	if at < c.lastCharge {
+		at = c.lastCharge // the radio serializes; keep its clock monotonic
+	}
+	c.lastCharge = c.meter.Transfer(at, bytes, RetryOwner)
+}
+
+// do issues one logical request with bounded retries. now anchors the
+// virtual timeline of the attempts. key may be empty for requests that
+// need no server-side dedup (idempotent reads).
+func (c *caller) do(now simclock.Time, method, path string, body []byte, key string, out any) error {
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	at := now
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			at = at.Add(c.backoff(attempt - 1))
+			c.chargeRetry(at, int64(len(body))+retryOverheadBytes)
+			c.net.Retries++
+		}
+		c.net.Attempts++
+		err := c.send(method, path, body, key, attempt, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Status == http.StatusTooManyRequests {
+				c.net.Shed++ // shed: back off and retry
+			} else if se.Status < 500 {
+				return err // definitive protocol answer; retrying cannot help
+			}
+		}
+	}
+	c.net.Unreachable++
+	return fmt.Errorf("%w: %s %s after %d attempts: %v", ErrUnreachable, method, path, attempts, lastErr)
+}
+
+func (c *caller) send(method, path string, body []byte, key string, attempt int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("transport: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set(idempotencyKeyHeader, key)
+	}
+	req.Header.Set(attemptHeader, strconv.Itoa(attempt))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: %s %s: %w", method, path, err)
+	}
+	return readJSON(path, resp, out)
+}
+
+// post marshals in and POSTs it under the given idempotency key.
+func (c *caller) post(now simclock.Time, path string, in any, key string, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s: %w", path, err)
+	}
+	return c.do(now, http.MethodPost, path, body, key, out)
+}
+
+// Net returns the accumulated transport-resilience counters.
+func (c *caller) Net() NetCounters { return c.net }
+
+// SetMeter attaches a radio-energy meter; retries are then charged as
+// transfers owned by RetryOwner. The meter must not be shared with a
+// concurrently-used radio (Device and its meter are single-threaded).
+func (c *caller) SetMeter(m *radio.Radio) { c.meter = m }
+
+// RetryEnergyJ returns the joules retries have cost so far (zero
+// without a meter). The final radio tail is charged by Flush at the
+// meter's owner; call the meter's Flush before the last read for exact
+// settling.
+func (c *caller) RetryEnergyJ() float64 {
+	if c.meter == nil {
+		return 0
+	}
+	return c.meter.UsageOf(RetryOwner).TotalJ()
+}
+
+// deferredReport is a display report that could not reach the server:
+// it keeps its original idempotency key and timestamp, so a later
+// delivery bills the display at display time — or replays the stored
+// answer if an earlier attempt actually landed.
+type deferredReport struct {
+	key string
+	msg reportMsg
+}
 
 // Device is the phone-side runtime speaking the transport protocol: it
 // owns the local ad cache and drives the HTTP endpoints at the moments
 // the in-process engine would call them directly. One Device per
 // simulated phone; not safe for concurrent use (a phone is a single
 // event stream).
+//
+// The device survives a faulty network: every request is retried per
+// Retry with virtual backoff, mutating requests carry idempotency keys,
+// and when the server stays unreachable the device degrades to
+// cache-only operation — slots are served from the local cache with the
+// last-known cancellation state, display reports queue for later
+// delivery, and cache misses fall back to a house ad instead of
+// failing the slot.
 type Device struct {
-	ID   int
-	http *http.Client
-	base string
-	dev  *client.Device
+	ID int
+	caller
+	dev *client.Device
 
 	// NoRescue, when set, asks the server to skip the rescue path on
 	// cache misses and sell fresh inventory instead (the wire form of
@@ -34,23 +290,23 @@ type Device struct {
 
 	// known caches cancellation knowledge fetched from the server.
 	known map[auction.ImpressionID]bool
+
+	// deferred holds display reports awaiting a reachable server.
+	deferred []deferredReport
 }
 
-// NewDevice creates a device talking to the server at baseURL.
+// NewDevice creates a device talking to the server at baseURL. A nil hc
+// defaults to a client with DefaultTimeout per attempt.
 func NewDevice(id, cacheCap int, baseURL string, hc *http.Client) (*Device, error) {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
 	dev, err := client.NewDevice(id, cacheCap)
 	if err != nil {
 		return nil, err
 	}
 	return &Device{
-		ID:    id,
-		http:  hc,
-		base:  strings.TrimRight(baseURL, "/"),
-		dev:   dev,
-		known: make(map[auction.ImpressionID]bool),
+		ID:     id,
+		caller: newCaller(baseURL, hc, fmt.Sprintf("c%d", id), int64(id)+1),
+		dev:    dev,
+		known:  make(map[auction.ImpressionID]bool),
 	}, nil
 }
 
@@ -60,15 +316,28 @@ func (d *Device) Counters() client.Counters { return d.dev.Counters }
 // CacheLen returns the number of locally cached ads.
 func (d *Device) CacheLen() int { return d.dev.Cache.Len() }
 
+// PendingReports returns how many display reports await delivery.
+func (d *Device) PendingReports() int { return len(d.deferred) }
+
 // FetchBundle downloads the client's staged prefetch bundle (if any) and
 // ingests it into the cache. It returns the number of ads downloaded.
+// The download is idempotent: the server stages the drained bundle
+// under the request's key, so a retry after a lost response re-delivers
+// the same ads instead of finding an empty shelf. If the server stays
+// unreachable the bundle is abandoned for this period (the ads expire
+// server-side) and the device carries on from its cache.
 func (d *Device) FetchBundle(now simclock.Time) (int, error) {
+	d.FlushDeferred(now)
 	q := url.Values{
 		"client": {strconv.Itoa(d.ID)},
 		"now_ns": {strconv.FormatInt(int64(now), 10)},
 	}
 	var reply BundleReply
-	if err := d.get("/v1/bundle?"+q.Encode(), &reply); err != nil {
+	if err := d.do(now, http.MethodGet, "/v1/bundle?"+q.Encode(), nil, d.nextKey(), &reply); err != nil {
+		if errors.Is(err, ErrUnreachable) {
+			d.net.LostBundles++
+			return 0, nil
+		}
 		return 0, err
 	}
 	if len(reply.Ads) == 0 {
@@ -85,32 +354,74 @@ type SlotOutcome struct {
 	Rescued    bool
 	TopUpAds   int
 	Impression auction.ImpressionID
+
+	// Degraded marks a slot handled without the server: a house ad on a
+	// cache miss, or a cache hit with stale cancellation knowledge.
+	Degraded bool
+	// Deferred marks a served slot whose display report is queued for
+	// later delivery.
+	Deferred bool
 }
 
 // ObserveSlot reports a slot firing for predictor training without
 // serving an ad (the warm-up phase of a trace replay: predictors learn,
-// nothing is sold or displayed).
+// nothing is sold or displayed). A lost observation only costs training
+// data, so an unreachable server is not an error.
 func (d *Device) ObserveSlot(now simclock.Time) error {
-	return d.post("/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, &struct{}{})
+	err := d.post(now, "/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, d.nextKey(), &struct{}{})
+	if errors.Is(err, ErrUnreachable) {
+		d.net.LostObservations++
+		return nil
+	}
+	return err
 }
 
 // HandleSlot processes one ad slot: refresh cancellation knowledge,
 // serve from the local cache (reporting the display), or fall back to
-// the on-demand endpoint.
+// the on-demand endpoint. When the server is unreachable the slot
+// degrades instead of failing: cached ads are served against the
+// last-known cancellation state with the report deferred, and cache
+// misses show a house ad (Impression 0, Degraded set).
 func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutcome, error) {
 	var out SlotOutcome
-	if err := d.post("/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, &struct{}{}); err != nil {
-		return out, err
+	d.FlushDeferred(now)
+	degraded := false
+	if err := d.post(now, "/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, d.nextKey(), &struct{}{}); err != nil {
+		if !errors.Is(err, ErrUnreachable) {
+			return out, err
+		}
+		d.net.LostObservations++
+		degraded = true
 	}
 	if err := d.refreshCancellations(now); err != nil {
-		return out, err
+		if !errors.Is(err, ErrUnreachable) {
+			return out, err
+		}
+		degraded = true // serve against stale cancellation knowledge
 	}
 	ad, hit := d.dev.ServeSlot(now, func(id auction.ImpressionID) bool { return d.known[id] })
 	if hit {
 		out.CacheHit = true
 		out.Impression = ad.ID
-		err := d.post("/v1/report", reportMsg{Client: d.ID, Impression: int64(ad.ID), NowNS: int64(now)}, &struct{}{})
-		return out, err
+		msg := reportMsg{Client: d.ID, Impression: int64(ad.ID), NowNS: int64(now)}
+		key := d.nextKey()
+		if err := d.post(now, "/v1/report", msg, key, &struct{}{}); err != nil {
+			if !errors.Is(err, ErrUnreachable) {
+				return out, err
+			}
+			// The display happened; the bill must not be lost with the
+			// link. Queue the report under its original key so delivery
+			// (or replay, if an attempt landed server-side) is exact.
+			d.deferred = append(d.deferred, deferredReport{key: key, msg: msg})
+			d.net.DeferredReports++
+			out.Deferred = true
+			degraded = true
+		}
+		if degraded {
+			out.Degraded = true
+			d.net.DegradedSlots++
+		}
+		return out, nil
 	}
 	out.Fetched = true
 	catNames := make([]string, len(cats))
@@ -119,8 +430,14 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 	}
 	var reply OnDemandReply
 	msg := onDemandMsg{Client: d.ID, NowNS: int64(now), Categories: catNames, NoRescue: d.NoRescue}
-	if err := d.post("/v1/ondemand", msg, &reply); err != nil {
-		return out, err
+	if err := d.post(now, "/v1/ondemand", msg, d.nextKey(), &reply); err != nil {
+		if !errors.Is(err, ErrUnreachable) {
+			return out, err
+		}
+		// Cache miss with no server: the slot shows a house ad.
+		out.Degraded = true
+		d.net.DegradedSlots++
+		return out, nil
 	}
 	out.Impression = auction.ImpressionID(reply.Impression)
 	out.Rescued = reply.Rescued
@@ -128,7 +445,32 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 		d.dev.Assign(fromAdMsgs(reply.TopUp), true)
 		out.TopUpAds = len(reply.TopUp)
 	}
+	if degraded {
+		out.Degraded = true
+		d.net.DegradedSlots++
+	}
 	return out, nil
+}
+
+// FlushDeferred attempts to deliver queued display reports. It stops at
+// the first unreachable error (the link is still down) and drops
+// reports the server definitively rejects (e.g. the impression expired
+// while the device was offline — the sweep already settled it).
+// HandleSlot and FetchBundle flush opportunistically; call this at the
+// end of a run to settle the queue.
+func (d *Device) FlushDeferred(now simclock.Time) {
+	for len(d.deferred) > 0 {
+		dr := d.deferred[0]
+		err := d.post(now, "/v1/report", dr.msg, dr.key, &struct{}{})
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrUnreachable):
+			return // still down; keep the queue
+		default:
+			d.net.LostReports++
+		}
+		d.deferred = d.deferred[1:]
+	}
 }
 
 // refreshCancellations asks the server which cached impressions are
@@ -153,7 +495,7 @@ func (d *Device) refreshCancellations(now simclock.Time) error {
 		"now_ns": {strconv.FormatInt(int64(now), 10)},
 	}
 	var reply CancelledReply
-	if err := d.get("/v1/cancelled?"+q.Encode(), &reply); err != nil {
+	if err := d.do(now, http.MethodGet, "/v1/cancelled?"+q.Encode(), nil, d.nextKey(), &reply); err != nil {
 		return err
 	}
 	for _, id := range reply.Cancelled {
@@ -162,31 +504,22 @@ func (d *Device) refreshCancellations(now simclock.Time) error {
 	return nil
 }
 
-func (d *Device) get(path string, out any) error {
-	resp, err := d.http.Get(d.base + path)
-	if err != nil {
-		return fmt.Errorf("transport: GET %s: %w", path, err)
-	}
-	return readJSON(path, resp, out)
-}
-
-func (d *Device) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("transport: encoding %s: %w", path, err)
-	}
-	resp, err := d.http.Post(d.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("transport: POST %s: %w", path, err)
-	}
-	return readJSON(path, resp, out)
-}
-
+// readJSON consumes an HTTP response: non-200 statuses become a
+// StatusError, 200 bodies decode into out. The body is always drained
+// before close so the keep-alive connection returns to the pool instead
+// of being torn down (trailing bytes — or an error's tail past the
+// quoted 512 — would otherwise kill reuse).
 func readJSON(path string, resp *http.Response, out any) error {
-	defer resp.Body.Close()
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("transport: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+		return &StatusError{
+			Status: resp.StatusCode,
+			Msg:    fmt.Sprintf("transport: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg))),
+		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("transport: decoding %s: %w", path, err)
@@ -196,64 +529,49 @@ func readJSON(path string, resp *http.Response, out any) error {
 
 // Coordinator drives the server's period lifecycle over HTTP (in a real
 // deployment this is the server's own cron; in demos and tests the
-// harness owns the clock).
+// harness owns the clock). Period calls are idempotent and retried like
+// device traffic; the coordinator is not safe for concurrent use.
 type Coordinator struct {
-	http *http.Client
-	base string
+	caller
 }
 
-// NewCoordinator creates a period driver for the server at baseURL.
+// NewCoordinator creates a period driver for the server at baseURL. A
+// nil hc defaults to a client with DefaultTimeout per attempt.
 func NewCoordinator(baseURL string, hc *http.Client) *Coordinator {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &Coordinator{http: hc, base: strings.TrimRight(baseURL, "/")}
+	return &Coordinator{caller: newCaller(baseURL, hc, "coord", -1)}
 }
 
 // StartPeriod opens a prefetch round.
 func (c *Coordinator) StartPeriod(now simclock.Time, index, ofDay int, weekend bool) (PeriodStartReply, error) {
 	var reply PeriodStartReply
-	err := c.post("/v1/period/start", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, &reply)
+	err := c.post(now, "/v1/period/start", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, c.nextKey(), &reply)
 	return reply, err
 }
 
 // EndPeriod closes a round (train + sweep).
 func (c *Coordinator) EndPeriod(now simclock.Time, index, ofDay int, weekend bool) (PeriodEndReply, error) {
 	var reply PeriodEndReply
-	err := c.post("/v1/period/end", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, &reply)
+	err := c.post(now, "/v1/period/end", periodMsg{NowNS: int64(now), Index: index, OfDay: ofDay, Weekend: weekend}, c.nextKey(), &reply)
 	return reply, err
 }
 
 // Ledger fetches the exchange ledger snapshot.
 func (c *Coordinator) Ledger() (auction.Ledger, error) {
 	var l auction.Ledger
-	resp, err := c.http.Get(c.base + "/v1/ledger")
-	if err != nil {
-		return l, fmt.Errorf("transport: GET /v1/ledger: %w", err)
-	}
-	err = readJSON("/v1/ledger", resp, &l)
+	err := c.do(0, http.MethodGet, "/v1/ledger", nil, "", &l)
 	return l, err
 }
 
 // Stats fetches the merged ops snapshot.
 func (c *Coordinator) Stats() (StatsReply, error) {
 	var st StatsReply
-	resp, err := c.http.Get(c.base + "/v1/stats")
-	if err != nil {
-		return st, fmt.Errorf("transport: GET /v1/stats: %w", err)
-	}
-	err = readJSON("/v1/stats", resp, &st)
+	err := c.do(0, http.MethodGet, "/v1/stats", nil, "", &st)
 	return st, err
 }
 
-func (c *Coordinator) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("transport: encoding %s: %w", path, err)
-	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("transport: POST %s: %w", path, err)
-	}
-	return readJSON(path, resp, out)
+// Health fetches the per-shard health snapshot.
+func (c *Coordinator) Health() (HealthReply, error) {
+	var h HealthReply
+	err := c.do(0, http.MethodGet, "/v1/health", nil, "", &h)
+	return h, err
 }

@@ -30,6 +30,7 @@ package transport
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -154,8 +155,36 @@ type PeriodEndReply struct {
 	Expired int `json:"expired"`
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// ShardHealth is one shard's load snapshot.
+type ShardHealth struct {
+	Shard     int  `json:"shard"`
+	OpenBook  int  `json:"open_book"`
+	StagedAds int  `json:"staged_ads"`
+	DedupKeys int  `json:"dedup_keys"`
+	Shedding  bool `json:"shedding"`
+}
+
+// HealthReply is the /v1/health response: "ok", or "shedding" when any
+// shard's open book exceeds the configured bound.
+type HealthReply struct {
+	Status      string        `json:"status"`
+	MaxOpenBook int           `json:"max_open_book,omitempty"`
+	Shards      []ShardHealth `json:"shards"`
+}
+
+// readBody slurps a bounded request body so handlers can hash it for
+// idempotency before decoding. Returns false after writing a 4xx.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "unreadable request: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
+	if err := json.Unmarshal(body, v); err != nil {
 		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}

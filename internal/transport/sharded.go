@@ -1,7 +1,10 @@
 package transport
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,14 +34,164 @@ import (
 type ShardedServer struct {
 	shards []*shardState
 	route  func(clientID int) int
+
+	// MaxOpenBook, when positive, turns on load shedding: a shard whose
+	// open impression book exceeds the bound answers slot observations
+	// and on-demand requests with 429 + Retry-After until the book
+	// drains (display reports and bundle downloads are never shed —
+	// they shrink the book). Set before serving; not safe to change
+	// while requests are in flight.
+	MaxOpenBook int
+
+	// periodDedup dedups the coordinator's period start/end calls,
+	// which fan out to every shard and so cannot live in one shard's
+	// store.
+	periodDedup dedupStore
 }
 
 // shardState is one shard's serving state: the single-threaded engine,
-// its lock, and the per-client bundles staged for download.
+// its lock, the per-client bundles staged for download, and the
+// idempotency-dedup window for the shard's mutating requests.
 type shardState struct {
 	mu     sync.Mutex
 	srv    *adserver.Server
 	staged map[int][]client.CachedAd
+	dedup  dedupStore
+}
+
+// dedupEntry is one remembered mutating request: the payload hash
+// guards against key reuse, the stored response is replayed verbatim on
+// a retry.
+type dedupEntry struct {
+	payloadHash uint64
+	status      int
+	body        []byte
+	at          simclock.Time
+}
+
+// dedupStore is an idempotency-key window. Its mutex is held across
+// handler execution (lookup + execute + store must be atomic, or two
+// racing duplicates would both execute); per-shard requests already
+// serialize on the shard lock, so this costs no extra parallelism.
+type dedupStore struct {
+	mu      sync.Mutex
+	entries map[string]dedupEntry
+}
+
+// sweep drops entries whose request timestamp predates cutoff. The
+// dedup window is bounded memory: retries arrive within the retry
+// policy's backoff horizon, so anything older than a couple of periods
+// can only be a client bug, and replaying it is not worth the RAM.
+func (ds *dedupStore) sweep(cutoff simclock.Time) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for k, e := range ds.entries {
+		if e.at < cutoff {
+			delete(ds.entries, k)
+		}
+	}
+}
+
+func (ds *dedupStore) len() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.entries)
+}
+
+// requestHash fingerprints a request (method, path, payload) for
+// key-reuse detection: reusing a key on a different endpoint or with a
+// different body is a conflict, never a cross-endpoint replay.
+func requestHash(method, path string, payload []byte) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, method)
+	io.WriteString(h, " ")
+	io.WriteString(h, path)
+	h.Write([]byte{0})
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// validIdemKey reports whether an Idempotency-Key header value is
+// acceptable: at most 128 bytes of visible ASCII.
+func validIdemKey(key string) bool {
+	if len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// serveIdempotent runs exec (which returns an HTTP status plus either a
+// JSON payload or, for statuses >= 400, an error string) at most once
+// per Idempotency-Key: a repeat of the same key and payload replays the
+// stored response byte-for-byte, a key reused with a different payload
+// is rejected with 409, and a malformed key is rejected with 400 before
+// exec runs. Requests without a key execute without dedup. Responses
+// that asked the client to come back later (429) are not stored, so the
+// retry re-executes once the shard is healthy.
+func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, exec func() (int, any)) {
+	key := r.Header.Get(idempotencyKeyHeader)
+	if key != "" && !validIdemKey(key) {
+		http.Error(w, "malformed Idempotency-Key", http.StatusBadRequest)
+		return
+	}
+	write := func(status int, body []byte, replayed bool) {
+		if status >= 400 {
+			if replayed {
+				w.Header().Set("Idempotency-Replayed", "true")
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(status)
+			w.Write(body)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if replayed {
+			w.Header().Set("Idempotency-Replayed", "true")
+		}
+		w.WriteHeader(status)
+		w.Write(body)
+	}
+	run := func() (int, []byte) {
+		status, v := exec()
+		if status >= 400 {
+			msg, _ := v.(string)
+			return status, []byte(msg + "\n")
+		}
+		body, err := json.Marshal(v)
+		if err != nil {
+			return http.StatusInternalServerError, []byte("encoding reply\n")
+		}
+		return status, append(body, '\n')
+	}
+	if key == "" {
+		status, body := run()
+		write(status, body, false)
+		return
+	}
+	ph := requestHash(r.Method, r.URL.Path, payload)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if e, ok := ds.entries[key]; ok {
+		if e.payloadHash != ph {
+			http.Error(w, "Idempotency-Key reused with a different request", http.StatusConflict)
+			return
+		}
+		write(e.status, e.body, true)
+		return
+	}
+	status, body := run()
+	if status != http.StatusTooManyRequests {
+		if ds.entries == nil {
+			ds.entries = make(map[string]dedupEntry)
+		}
+		ds.entries[key] = dedupEntry{payloadHash: ph, status: status, body: body, at: now}
+	}
+	write(status, body, false)
 }
 
 // NewShardedServer adapts a shard pool to HTTP. The pool's stable
@@ -99,7 +252,14 @@ func (s *ShardedServer) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ondemand", s.handleOnDemand)
 	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	return mux
+}
+
+// shedding reports whether a shard is over its open-book bound. Callers
+// must hold sh.mu.
+func (s *ShardedServer) shedding(sh *shardState) bool {
+	return s.MaxOpenBook > 0 && sh.srv.OpenBook() > s.MaxOpenBook
 }
 
 // fanOut runs fn once per shard concurrently and returns the first
@@ -125,77 +285,102 @@ func (s *ShardedServer) fanOut(fn func(i int, sh *shardState) error) error {
 }
 
 func (s *ShardedServer) handlePeriodStart(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var msg periodMsg
-	if !decode(w, r, &msg) {
+	if !decodeBytes(w, body, &msg) {
 		return
 	}
 	now := simclock.Time(msg.NowNS)
-	var (
-		mu      sync.Mutex
-		reply   PeriodStartReply
-		bundled int
-	)
-	// Fan-out: each shard runs its own forecast/sale/replication round
-	// under its own lock; the barrier completes when every shard has
-	// staged its bundles.
-	_ = s.fanOut(func(_ int, sh *shardState) error {
-		sh.mu.Lock()
-		bundles, stats := sh.srv.StartPeriod(now, msg.period())
-		for _, b := range bundles {
-			sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
-		}
-		sh.mu.Unlock()
-		mu.Lock()
-		reply.PredictedSlots += stats.PredictedSlots
-		reply.Admitted += stats.Admitted
-		reply.Sold += stats.Sold
-		reply.Placed += stats.Placed
-		reply.Replicas += stats.Replicas
-		bundled += len(bundles)
-		mu.Unlock()
-		return nil
+	// Period rounds fan out to every shard, so their dedup window is
+	// the server-wide store: a coordinator retry after a lost reply
+	// must not sell the round twice.
+	serveIdempotent(w, r, &s.periodDedup, body, now, func() (int, any) {
+		var (
+			mu      sync.Mutex
+			reply   PeriodStartReply
+			bundled int
+		)
+		// Fan-out: each shard runs its own forecast/sale/replication round
+		// under its own lock; the barrier completes when every shard has
+		// staged its bundles.
+		_ = s.fanOut(func(_ int, sh *shardState) error {
+			sh.mu.Lock()
+			bundles, stats := sh.srv.StartPeriod(now, msg.period())
+			for _, b := range bundles {
+				sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
+			}
+			sh.mu.Unlock()
+			mu.Lock()
+			reply.PredictedSlots += stats.PredictedSlots
+			reply.Admitted += stats.Admitted
+			reply.Sold += stats.Sold
+			reply.Placed += stats.Placed
+			reply.Replicas += stats.Replicas
+			bundled += len(bundles)
+			mu.Unlock()
+			return nil
+		})
+		reply.BundledClients = bundled
+		return http.StatusOK, reply
 	})
-	reply.BundledClients = bundled
-	writeJSON(w, reply)
 }
 
 func (s *ShardedServer) handlePeriodEnd(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var msg periodMsg
-	if !decode(w, r, &msg) {
+	if !decodeBytes(w, body, &msg) {
 		return
 	}
 	now := simclock.Time(msg.NowNS)
-	var (
-		mu    sync.Mutex
-		reply PeriodEndReply
-	)
-	_ = s.fanOut(func(_ int, sh *shardState) error {
-		sh.mu.Lock()
-		expired := sh.srv.EndPeriod(now, msg.period())
-		// Bound staged-bundle memory: ads a client never downloaded are
-		// worthless once expired, so sweep them with the period. Without
-		// this, clients that stop contacting the server pin their
-		// bundles forever.
-		for cid, ads := range sh.staged {
-			kept := ads[:0]
-			for _, ad := range ads {
-				if !now.After(ad.Deadline) {
-					kept = append(kept, ad)
+	serveIdempotent(w, r, &s.periodDedup, body, now, func() (int, any) {
+		var (
+			mu    sync.Mutex
+			reply PeriodEndReply
+		)
+		_ = s.fanOut(func(_ int, sh *shardState) error {
+			sh.mu.Lock()
+			expired := sh.srv.EndPeriod(now, msg.period())
+			// Bound staged-bundle memory: ads a client never downloaded are
+			// worthless once expired, so sweep them with the period. Without
+			// this, clients that stop contacting the server pin their
+			// bundles forever.
+			for cid, ads := range sh.staged {
+				kept := ads[:0]
+				for _, ad := range ads {
+					if !now.After(ad.Deadline) {
+						kept = append(kept, ad)
+					}
+				}
+				if len(kept) == 0 {
+					delete(sh.staged, cid)
+				} else {
+					sh.staged[cid] = kept
 				}
 			}
-			if len(kept) == 0 {
-				delete(sh.staged, cid)
-			} else {
-				sh.staged[cid] = kept
-			}
+			sh.mu.Unlock()
+			mu.Lock()
+			reply.Expired += expired
+			mu.Unlock()
+			return nil
+		})
+		// The dedup window rides the period cadence: anything older
+		// than two periods can no longer be a live retry (the retry
+		// policy's backoff horizon is seconds), so the period boundary
+		// bounds the stores' memory the same way it bounds staged
+		// bundles.
+		window := 2 * simclock.Time(s.shards[0].srv.Config().Period)
+		for _, sh := range s.shards {
+			sh.dedup.sweep(now - window)
 		}
-		sh.mu.Unlock()
-		mu.Lock()
-		reply.Expired += expired
-		mu.Unlock()
-		return nil
+		return http.StatusOK, reply
 	})
-	writeJSON(w, reply)
+	s.periodDedup.sweep(simclock.Time(msg.NowNS) - 2*simclock.Time(s.shards[0].srv.Config().Period))
 }
 
 func (s *ShardedServer) handleBundle(w http.ResponseWriter, r *http.Request) {
@@ -203,40 +388,66 @@ func (s *ShardedServer) handleBundle(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// now_ns stamps the dedup entry; absent (old clients) means the
+	// entry is swept at the first period boundary, which is safe.
+	nowNS, _ := strconv.ParseInt(r.URL.Query().Get("now_ns"), 10, 64)
 	sh := s.shardFor(cid)
-	sh.mu.Lock()
-	ads := sh.staged[cid]
-	delete(sh.staged, cid)
-	sh.mu.Unlock()
-	writeJSON(w, BundleReply{Ads: toAdMsgs(ads)})
+	// The bundle download drains the shelf, so it is a mutating GET:
+	// dedup by key (with the URI as the payload) lets a device whose
+	// response was lost retry and receive the same ads instead of
+	// finding the shelf empty — the staged bundle is never stranded.
+	serveIdempotent(w, r, &sh.dedup, []byte(r.URL.RequestURI()), simclock.Time(nowNS), func() (int, any) {
+		sh.mu.Lock()
+		ads := sh.staged[cid]
+		delete(sh.staged, cid)
+		sh.mu.Unlock()
+		return http.StatusOK, BundleReply{Ads: toAdMsgs(ads)}
+	})
 }
 
 func (s *ShardedServer) handleSlot(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var msg slotMsg
-	if !decode(w, r, &msg) {
+	if !decodeBytes(w, body, &msg) {
 		return
 	}
 	sh := s.shardFor(msg.Client)
-	sh.mu.Lock()
-	sh.srv.ObserveSlot(msg.Client)
-	sh.mu.Unlock()
-	writeJSON(w, struct{}{})
+	serveIdempotent(w, r, &sh.dedup, body, simclock.Time(msg.NowNS), func() (int, any) {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if s.shedding(sh) {
+			w.Header().Set("Retry-After", "1")
+			return http.StatusTooManyRequests, "shard overloaded: slot observation shed"
+		}
+		sh.srv.ObserveSlot(msg.Client)
+		return http.StatusOK, struct{}{}
+	})
 }
 
 func (s *ShardedServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var msg reportMsg
-	if !decode(w, r, &msg) {
+	if !decodeBytes(w, body, &msg) {
 		return
 	}
 	sh := s.shardFor(msg.Client)
-	sh.mu.Lock()
-	err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
-	sh.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, struct{}{})
+	// Reports are never shed: they bill sold inventory and shrink the
+	// open book, so refusing them under load would deepen the overload.
+	serveIdempotent(w, r, &sh.dedup, body, simclock.Time(msg.NowNS), func() (int, any) {
+		sh.mu.Lock()
+		err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
+		sh.mu.Unlock()
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		return http.StatusOK, struct{}{}
+	})
 }
 
 func (s *ShardedServer) handleCancelled(w http.ResponseWriter, r *http.Request) {
@@ -283,8 +494,12 @@ func (s *ShardedServer) handleCancelled(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *ShardedServer) handleOnDemand(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var msg onDemandMsg
-	if !decode(w, r, &msg) {
+	if !decodeBytes(w, body, &msg) {
 		return
 	}
 	cats := make([]trace.Category, len(msg.Categories))
@@ -292,23 +507,31 @@ func (s *ShardedServer) handleOnDemand(w http.ResponseWriter, r *http.Request) {
 		cats[i] = trace.Category(c)
 	}
 	now := simclock.Time(msg.NowNS)
-	var reply OnDemandReply
 	sh := s.shardFor(msg.Client)
-	sh.mu.Lock()
-	if !msg.NoRescue {
-		if id, ok := sh.srv.RescueOpen(now, msg.Client); ok {
-			reply.Impression = int64(id)
-			reply.Rescued = true
-			reply.TopUp = toAdMsgs(sh.srv.TopUp(now, msg.Client))
+	serveIdempotent(w, r, &sh.dedup, body, now, func() (int, any) {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if s.shedding(sh) {
+			// Fresh sales grow the open book; shed them until it drains.
+			// The client's fallback is its cache or a house ad.
+			w.Header().Set("Retry-After", "1")
+			return http.StatusTooManyRequests, "shard overloaded: on-demand sale shed"
 		}
-	}
-	if !reply.Rescued {
-		if imp, ok := sh.srv.OnDemandSell(now, msg.Client, cats); ok {
-			reply.Impression = int64(imp.ID)
+		var reply OnDemandReply
+		if !msg.NoRescue {
+			if id, ok := sh.srv.RescueOpen(now, msg.Client); ok {
+				reply.Impression = int64(id)
+				reply.Rescued = true
+				reply.TopUp = toAdMsgs(sh.srv.TopUp(now, msg.Client))
+			}
 		}
-	}
-	sh.mu.Unlock()
-	writeJSON(w, reply)
+		if !reply.Rescued {
+			if imp, ok := sh.srv.OnDemandSell(now, msg.Client, cats); ok {
+				reply.Impression = int64(imp.ID)
+			}
+		}
+		return http.StatusOK, reply
+	})
 }
 
 func (s *ShardedServer) handleLedger(w http.ResponseWriter, _ *http.Request) {
@@ -341,6 +564,34 @@ type StatsReply struct {
 	ForecastErrP50 float64             `json:"forecast_err_p50"`
 	ForecastErrP95 float64             `json:"forecast_err_p95"`
 	PerShard       []adserver.OpsStats `json:"per_shard,omitempty"`
+}
+
+// handleHealth reports per-shard load so operators (and tests) can see
+// degradation coming: the open impression book, staged-bundle backlog,
+// dedup-window size, and whether the shard is currently shedding.
+func (s *ShardedServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	reply := HealthReply{Status: "ok", MaxOpenBook: s.MaxOpenBook}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		open := sh.srv.OpenBook()
+		staged := 0
+		for _, ads := range sh.staged {
+			staged += len(ads)
+		}
+		shedding := s.shedding(sh)
+		sh.mu.Unlock()
+		if shedding {
+			reply.Status = "shedding"
+		}
+		reply.Shards = append(reply.Shards, ShardHealth{
+			Shard:     i,
+			OpenBook:  open,
+			StagedAds: staged,
+			DedupKeys: sh.dedup.len(),
+			Shedding:  shedding,
+		})
+	}
+	writeJSON(w, reply)
 }
 
 func (s *ShardedServer) handleStats(w http.ResponseWriter, _ *http.Request) {
