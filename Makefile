@@ -1,14 +1,23 @@
-# Tier-1: everything must build and pass.
+# Tier-1: everything must build, vet clean, and pass.
 test:
 	go build ./...
+	go vet ./...
 	go test ./...
 
 # Race tier: the concurrent serving path (sharded transport, HTTP
-# replay, shard pool, lock-isolated ops metrics) under the race
-# detector. Includes the 32-goroutine stress test in
+# replay, shard pool, lock-isolated ops metrics, the obs registry)
+# under the race detector. Includes the 32-goroutine stress test in
 # internal/transport/race_test.go.
 race:
-	go test -race ./internal/transport ./internal/sim ./internal/adserver ./internal/shard
+	go test -race ./internal/transport ./internal/sim ./internal/adserver ./internal/shard ./internal/obs
+
+# Observability tier: the metrics registry (atomic counters/gauges,
+# log-bucketed histograms, Prometheus exposition) under the race
+# detector — 32 goroutines hammering one registry with concurrent
+# scrapes, plus the exposition golden and the histogram-vs-P2 quantile
+# agreement checks.
+obs:
+	go test -race -count=1 ./internal/obs
 
 # Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards).
 bench:
@@ -24,4 +33,4 @@ chaos:
 	go test -count=1 -run 'TestChaos' ./internal/sim
 	go test -count=1 -run 'TestDoubleSend|TestIdempotency|TestRetry|TestLoadShedding|TestGraceful' ./internal/transport
 
-.PHONY: test race bench chaos
+.PHONY: test race obs bench chaos

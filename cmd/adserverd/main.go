@@ -9,18 +9,26 @@
 // serving path scales with cores (campaign budgets are split evenly
 // across shards, as a real deployment would).
 //
+// The serving handler instruments every endpoint into a metrics
+// registry scraped at GET /v1/metrics (Prometheus text format). With
+// -debug-addr set, a second listener — keep it off the public network —
+// serves Go runtime profiling at /debug/pprof/, expvar at /debug/vars,
+// and the same metrics exposition at /metrics.
+//
 // Example:
 //
-//	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40 -shards 4
+//	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40 -shards 4 -debug-addr 127.0.0.1:8481
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +57,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "demand generation seed")
 		shards    = flag.Int("shards", 1, "ad-server shards (clients hash-partitioned; one lock each)")
 		statePath = flag.String("state", "", "predictor-state file: loaded at startup, saved on SIGINT/SIGTERM")
+		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables, keep it private")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -102,12 +111,34 @@ func main() {
 	// pin a handler goroutine forever); graceful Shutdown drains
 	// in-flight requests on SIGINT/SIGTERM before predictor state is
 	// persisted, so a deploy never truncates a half-served report.
+	ss := transport.NewShardedServer(pool)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      transport.NewShardedServer(pool).Handler(),
+		Handler:      ss.Handler(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 		IdleTimeout:  2 * time.Minute,
+	}
+
+	// The debug listener is a separate server on purpose: profiling and
+	// runtime internals never ride the public address, and an operator
+	// can firewall the two independently. No timeouts — profile streams
+	// (e.g. /debug/pprof/trace?seconds=60) are long-lived by design.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/vars", expvar.Handler())
+		dbg.Handle("/metrics", ss.Registry().Handler())
+		go func() {
+			fmt.Printf("adserverd: debug listener (pprof, expvar, metrics) on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

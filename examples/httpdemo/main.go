@@ -47,7 +47,7 @@ func main() {
 	fmt.Println("ad service listening on", ts.URL)
 
 	// Warm up the forecasts: 2 slots per client in this hour-of-day.
-	coord := transport.NewCoordinator(ts.URL, ts.Client())
+	coord := transport.NewCoordinator(ts.URL, transport.WithHTTPClient(ts.Client()))
 	for day := 0; day < 5; day++ {
 		for c := 0; c < 3; c++ {
 			srv.ObserveSlot(c)
@@ -61,7 +61,7 @@ func main() {
 
 	devices := make([]*transport.Device, 3)
 	for i := range devices {
-		d, err := transport.NewDevice(i, 32, ts.URL, ts.Client())
+		d, err := transport.NewDevice(i, 32, ts.URL, transport.WithHTTPClient(ts.Client()))
 		if err != nil {
 			log.Fatal(err)
 		}

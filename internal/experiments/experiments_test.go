@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x10", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs %v want %v", got, want)

@@ -1,0 +1,526 @@
+// Package obs is the runtime observability layer of the ad service: a
+// low-overhead metrics registry (atomic counters, gauges, and
+// log-bucketed histograms with quantile extraction) plus the Prometheus
+// text exposition and HTTP instrumentation the serving path hangs off
+// it.
+//
+// The registry is built for the hot path of internal/transport: metric
+// handles are resolved once (a mutex-guarded map lookup at
+// construction) and then updated with single atomic operations, so
+// instrumenting a request costs a handful of uncontended atomic adds —
+// cheap enough to leave on in benchmarks and production alike.
+// Everything is race-clean: handles may be shared freely across
+// goroutines, and scrapes may run concurrently with updates.
+//
+// Histogram observations are plain int64 values with no unit attached.
+// Server middleware records wall-clock nanoseconds; clients that live on
+// the virtual simclock record virtual nanoseconds into the same bucket
+// layout — the registry works identically on both timelines, which is
+// what lets chaos replays and live deployments share one exposition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil Counter no-ops, so optional instrumentation needs no
+// branches at the call site.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n may be negative only for correcting overcounts; prefer
+// Gauge for values that go down by design).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move both ways. The zero value is
+// usable; a nil Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by d (CAS loop; contention on one gauge is
+// expected to be rare).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets.
+//
+// Values 0..7 get exact singleton buckets; above that each power of two
+// is split into 4 log-spaced sub-buckets (2 significand bits, the HDR
+// layout), so the relative quantization error is bounded by 25% and
+// linear interpolation inside a bucket typically does much better. 252
+// buckets cover the whole non-negative int64 range — 2 KiB of counters
+// per histogram, fixed.
+const (
+	hbSubBits = 2
+	hbSub     = 1 << hbSubBits // sub-buckets per power of two
+	hbBuckets = (63-hbSubBits)*hbSub + 2*hbSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 2*hbSub {
+		return int(v) // 0..7 exact
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	frac := int((v >> uint(exp-hbSubBits)) & (hbSub - 1))
+	return (exp-hbSubBits)*hbSub + frac + hbSub
+}
+
+// bucketBounds returns the closed value range [lo, hi] of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 2*hbSub {
+		return int64(i), int64(i)
+	}
+	o := uint((i - hbSub) / hbSub)
+	f := int64((i - hbSub) % hbSub)
+	lo = (hbSub + f) << o
+	hi = (hbSub+f+1)<<o - 1
+	return lo, hi
+}
+
+// Histogram is a log-bucketed distribution of int64 observations
+// (latencies in ns, sizes in bytes — the unit is the caller's). Updates
+// are three atomic adds; quantiles are extracted from the bucket counts
+// at read time. A nil Histogram no-ops.
+type Histogram struct {
+	name   string
+	labels []string // alternating key, value
+	counts [hbBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Name returns the metric name the histogram was registered under.
+func (h *Histogram) Name() string { return h.name }
+
+// Label returns the value of one registration label ("" if absent).
+func (h *Histogram) Label(key string) string {
+	for i := 0; i+1 < len(h.labels); i += 2 {
+		if h.labels[i] == key {
+			return h.labels[i+1]
+		}
+	}
+	return ""
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns the q-quantile (q in [0,1]) estimated from the
+// bucket counts with linear interpolation inside the target bucket.
+// Returns NaN with no observations. Concurrent updates make the answer
+// approximate, which is fine for monitoring.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	var snap [hbBuckets]int64
+	var total int64
+	for i := range snap {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1) // 0-based fractional rank
+	var cum int64
+	for i, n := range snap {
+		if n == 0 {
+			continue
+		}
+		if rank < float64(cum+n) {
+			lo, hi := bucketBounds(i)
+			if hi == lo {
+				return float64(lo)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+	}
+	_, hi := bucketBounds(hbBuckets - 1)
+	return float64(hi)
+}
+
+// kinds of registered series.
+const (
+	kindCounter = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered (name, labels) time series.
+type series struct {
+	name      string
+	labelText string // rendered {k="v",...}, "" when unlabeled
+	kind      int
+
+	c  *Counter
+	g  *Gauge
+	gf func() float64
+	h  *Histogram
+}
+
+// Registry holds the process's metrics and renders them in the
+// Prometheus text exposition format. All methods are safe for
+// concurrent use; the registration map is mutex-guarded while the
+// returned handles are lock-free.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*series
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series), help: make(map[string]string)}
+}
+
+// renderLabels formats alternating key/value pairs as {k="v",...}.
+// Panics on an odd count: label sets are compile-time shapes, and a
+// misuse should fail loudly in tests, not corrupt the exposition.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label key/value count")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the series for (name, labels), creating it with mk
+// when absent. It panics if the name+labels is already registered as a
+// different kind — a programming error worth failing fast on.
+func (r *Registry) lookup(kind int, name string, labels []string, mk func(labelText string) *series) *series {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: %s registered twice with different kinds", key))
+		}
+		return s
+	}
+	s := mk(renderLabels(labels))
+	r.byKey[key] = s
+	return s
+}
+
+// Counter returns (creating if needed) the counter named name with the
+// given alternating label key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.lookup(kindCounter, name, labels, func(lt string) *series {
+		return &series{name: name, labelText: lt, kind: kindCounter, c: &Counter{}}
+	})
+	return s.c
+}
+
+// Gauge returns (creating if needed) the gauge named name.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.lookup(kindGauge, name, labels, func(lt string) *series {
+		return &series{name: name, labelText: lt, kind: kindGauge, g: &Gauge{}}
+	})
+	return s.g
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at scrape time
+// under the registry lock, so it must be fast and must not re-enter the
+// registry. Re-registering the same series replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	s := r.lookup(kindGaugeFunc, name, labels, func(lt string) *series {
+		return &series{name: name, labelText: lt, kind: kindGaugeFunc}
+	})
+	r.mu.Lock()
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (creating if needed) the histogram named name.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	s := r.lookup(kindHistogram, name, labels, func(lt string) *series {
+		return &series{name: name, labelText: lt, kind: kindHistogram,
+			h: &Histogram{name: name, labels: append([]string(nil), labels...)}}
+	})
+	return s.h
+}
+
+// SetHelp attaches a HELP line to a metric name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// CounterValue reads a counter without creating it (0 when absent), for
+// health snapshots and tests.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	s, ok := r.byKey[key]
+	r.mu.Unlock()
+	if !ok || s.kind != kindCounter {
+		return 0
+	}
+	return s.c.Value()
+}
+
+// CounterTotal sums every counter series registered under name,
+// whatever its labels (e.g. requests across endpoints and status
+// classes).
+func (r *Registry) CounterTotal(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, s := range r.byKey {
+		if s.kind == kindCounter && s.name == name {
+			total += s.c.Value()
+		}
+	}
+	return total
+}
+
+// EachHistogram calls fn for every registered histogram. The iteration
+// order is unspecified; fn must not re-enter the registry.
+func (r *Registry) EachHistogram(fn func(h *Histogram)) {
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.byKey))
+	for _, s := range r.byKey {
+		if s.kind == kindHistogram {
+			hs = append(hs, s.h)
+		}
+	}
+	r.mu.Unlock()
+	for _, h := range hs {
+		fn(h)
+	}
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (families sorted by name, series by label text, histograms as
+// cumulative _bucket/_sum/_count).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	families := make(map[string][]*series)
+	names := make([]string, 0, len(r.byKey))
+	for _, s := range r.byKey {
+		if _, seen := families[s.name]; !seen {
+			names = append(names, s.name)
+		}
+		families[s.name] = append(families[s.name], s)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		fam := families[name]
+		sort.Slice(fam, func(i, j int) bool { return fam[i].labelText < fam[j].labelText })
+		if help, ok := r.help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typeOf(fam[0].kind)); err != nil {
+			return err
+		}
+		for _, s := range fam {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func typeOf(kind int) string {
+	switch kind {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, s.labelText, s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labelText, formatFloat(s.g.Value()))
+		return err
+	case kindGaugeFunc:
+		v := 0.0
+		if s.gf != nil {
+			v = s.gf()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labelText, formatFloat(v))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, s)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLE splices an le label into a series's rendered label text.
+func withLE(labelText, le string) string {
+	if labelText == "" {
+		return `{le="` + le + `"}`
+	}
+	return labelText[:len(labelText)-1] + `,le="` + le + `"}`
+}
+
+func writeHistogram(w io.Writer, s *series) error {
+	h := s.h
+	var cum int64
+	last := -1
+	var snap [hbBuckets]int64
+	for i := range snap {
+		snap[i] = h.counts[i].Load()
+		if snap[i] > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += snap[i]
+		_, hi := bucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLE(s.labelText, strconv.FormatInt(hi, 10)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLE(s.labelText, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.name, s.labelText, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labelText, cum)
+	return err
+}
+
+// Handler serves the registry as a Prometheus text scrape target
+// (GET /v1/metrics on the transport servers, /metrics on debug
+// listeners).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

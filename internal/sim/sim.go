@@ -18,6 +18,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/simclock"
@@ -199,6 +200,14 @@ type Result struct {
 	RetryEnergyJ   float64
 	FaultsInjected int64
 	Net            transport.NetCounters
+
+	// Obs is the server-side metrics registry of a transport run (nil on
+	// the in-process path): per-endpoint latency/size histograms, status
+	// counts, per-shard gauges — everything GET /v1/metrics would serve.
+	// ClientObs aggregates the device fleet's client-side instrumentation
+	// (retries, backoff, cache hit/miss, deferred depth, retry energy).
+	Obs       *obs.Registry
+	ClientObs *obs.Registry
 }
 
 // AdEnergyPerUserDay returns the headline metric: joules of ad energy

@@ -11,6 +11,7 @@ import (
 	"repro/internal/auction"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/shard"
@@ -127,7 +128,8 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 	if err != nil {
 		return nil, fmt.Errorf("sim: transport listener: %w", err)
 	}
-	handler := http.Handler(transport.NewShardedServer(pool).Handler())
+	ts := transport.NewShardedServer(pool)
+	handler := http.Handler(ts.Handler())
 	if plan != nil {
 		handler = plan.Middleware(handler, pool.IndexFor)
 	}
@@ -150,25 +152,31 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 	}
 	hc := &http.Client{Transport: rt}
 
+	// One shared registry aggregates the fleet's client-side
+	// instrumentation (the series carry no per-device labels, so the
+	// cardinality is flat at any fleet size; all updates are atomic).
+	clientReg := obs.NewRegistry()
 	devices := make([]*transport.Device, len(users))
 	meters := make([]*radio.Radio, len(users))
 	timelines := make([][]timelineEvent, len(users))
 	for i, u := range users {
-		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, hc)
+		opts := []transport.Option{transport.WithHTTPClient(hc), transport.WithRegistry(clientReg)}
+		if plan != nil {
+			meters[i] = radio.New(radio.Profile3G())
+			opts = append(opts, transport.WithMeter(meters[i]))
+		}
+		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, opts...)
 		if err != nil {
 			return nil, err
 		}
 		d.NoRescue = cfg.Core.NoRescue || cfg.Core.Mode == core.ModeOnDemand
-		if plan != nil {
-			meters[i] = radio.New(radio.Profile3G())
-			d.SetMeter(meters[i])
-		}
 		devices[i] = d
 		timelines[i] = buildTimeline(u, cat, cfg.RefreshInterval)
 	}
 
-	coord := transport.NewCoordinator(baseURL, hc)
-	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: len(users)}
+	coord := transport.NewCoordinator(baseURL, transport.WithHTTPClient(hc), transport.WithRegistry(clientReg))
+	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: len(users),
+		Obs: ts.Registry(), ClientObs: clientReg}
 	prefetching := cfg.Core.Mode != core.ModeOnDemand
 	cursors := make([]int, len(users)) // next timeline index per device
 

@@ -30,7 +30,7 @@ const (
 )
 
 // DefaultTimeout bounds one HTTP attempt when the caller does not
-// supply its own client. Pass a custom *http.Client to NewDevice /
+// supply its own client. Pass WithHTTPClient to NewDevice /
 // NewCoordinator to override (set its Timeout; a zero timeout means
 // attempts can hang on a dead peer and retries never fire).
 const DefaultTimeout = 10 * time.Second
@@ -124,18 +124,33 @@ type caller struct {
 	meter      *radio.Radio
 	lastCharge simclock.Time
 	net        NetCounters
+	cm         clientMetrics
 }
 
-func newCaller(baseURL string, hc *http.Client, keyPrefix string, jitterSeed int64) caller {
+// newCaller builds the request engine from resolved options.
+// defaultSeed seeds the backoff jitter unless WithJitterSeed overrode
+// it (derived from the device id so fleets don't retry in lockstep).
+func newCaller(baseURL, keyPrefix string, defaultSeed int64, o options) caller {
+	hc := o.hc
 	if hc == nil {
 		hc = defaultHTTPClient()
+	}
+	retry := DefaultRetryPolicy()
+	if o.retry != nil {
+		retry = *o.retry
+	}
+	seed := defaultSeed
+	if o.seed != nil {
+		seed = *o.seed
 	}
 	return caller{
 		http:      hc,
 		base:      strings.TrimRight(baseURL, "/"),
-		Retry:     DefaultRetryPolicy(),
-		jitter:    simclock.NewRand(jitterSeed).Stream("transport-retry"),
+		Retry:     retry,
+		jitter:    simclock.NewRand(seed).Stream("transport-retry"),
 		keyPrefix: keyPrefix,
+		meter:     o.meter,
+		cm:        newClientMetrics(o.registry),
 	}
 }
 
@@ -168,6 +183,9 @@ func (c *caller) chargeRetry(at simclock.Time, bytes int64) {
 		at = c.lastCharge // the radio serializes; keep its clock monotonic
 	}
 	c.lastCharge = c.meter.Transfer(at, bytes, RetryOwner)
+	if c.cm.retryEnergyJ != nil {
+		c.cm.retryEnergyJ.Set(c.meter.UsageOf(RetryOwner).TotalJ())
+	}
 }
 
 // do issues one logical request with bounded retries. now anchors the
@@ -182,11 +200,15 @@ func (c *caller) do(now simclock.Time, method, path string, body []byte, key str
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			at = at.Add(c.backoff(attempt - 1))
+			d := c.backoff(attempt - 1)
+			at = at.Add(d)
 			c.chargeRetry(at, int64(len(body))+retryOverheadBytes)
 			c.net.Retries++
+			c.cm.retries.Inc()
+			c.cm.backoffNS.Add(int64(d))
 		}
 		c.net.Attempts++
+		c.cm.attempts.Inc()
 		err := c.send(method, path, body, key, attempt, out)
 		if err == nil {
 			return nil
@@ -196,12 +218,14 @@ func (c *caller) do(now simclock.Time, method, path string, body []byte, key str
 		if errors.As(err, &se) {
 			if se.Status == http.StatusTooManyRequests {
 				c.net.Shed++ // shed: back off and retry
+				c.cm.shed.Inc()
 			} else if se.Status < 500 {
 				return err // definitive protocol answer; retrying cannot help
 			}
 		}
 	}
 	c.net.Unreachable++
+	c.cm.unreachable.Inc()
 	return fmt.Errorf("%w: %s %s after %d attempts: %v", ErrUnreachable, method, path, attempts, lastErr)
 }
 
@@ -221,6 +245,7 @@ func (c *caller) send(method, path string, body []byte, key string, attempt int,
 		req.Header.Set(idempotencyKeyHeader, key)
 	}
 	req.Header.Set(attemptHeader, strconv.Itoa(attempt))
+	req.Header.Set(VersionHeader, strconv.Itoa(ProtocolVersion))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("transport: %s %s: %w", method, path, err)
@@ -240,9 +265,12 @@ func (c *caller) post(now simclock.Time, path string, in any, key string, out an
 // Net returns the accumulated transport-resilience counters.
 func (c *caller) Net() NetCounters { return c.net }
 
-// SetMeter attaches a radio-energy meter; retries are then charged as
-// transfers owned by RetryOwner. The meter must not be shared with a
-// concurrently-used radio (Device and its meter are single-threaded).
+// SetMeter attaches a radio-energy meter after construction; retries
+// are then charged as transfers owned by RetryOwner. The meter must not
+// be shared with a concurrently-used radio (Device and its meter are
+// single-threaded).
+//
+// Deprecated: pass WithMeter to NewDevice / NewCoordinator instead.
 func (c *caller) SetMeter(m *radio.Radio) { c.meter = m }
 
 // RetryEnergyJ returns the joules retries have cost so far (zero
@@ -295,16 +323,17 @@ type Device struct {
 	deferred []deferredReport
 }
 
-// NewDevice creates a device talking to the server at baseURL. A nil hc
-// defaults to a client with DefaultTimeout per attempt.
-func NewDevice(id, cacheCap int, baseURL string, hc *http.Client) (*Device, error) {
+// NewDevice creates a device talking to the server at baseURL. With no
+// options it uses a DefaultTimeout HTTP client, DefaultRetryPolicy and
+// a jitter seed derived from the device id; see Option for the knobs.
+func NewDevice(id, cacheCap int, baseURL string, opts ...Option) (*Device, error) {
 	dev, err := client.NewDevice(id, cacheCap)
 	if err != nil {
 		return nil, err
 	}
 	return &Device{
 		ID:     id,
-		caller: newCaller(baseURL, hc, fmt.Sprintf("c%d", id), int64(id)+1),
+		caller: newCaller(baseURL, fmt.Sprintf("c%d", id), int64(id)+1, buildOptions(opts)),
 		dev:    dev,
 		known:  make(map[auction.ImpressionID]bool),
 	}, nil
@@ -401,6 +430,7 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 	}
 	ad, hit := d.dev.ServeSlot(now, func(id auction.ImpressionID) bool { return d.known[id] })
 	if hit {
+		d.cm.cacheHits.Inc()
 		out.CacheHit = true
 		out.Impression = ad.ID
 		msg := reportMsg{Client: d.ID, Impression: int64(ad.ID), NowNS: int64(now)}
@@ -414,6 +444,7 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 			// (or replay, if an attempt landed server-side) is exact.
 			d.deferred = append(d.deferred, deferredReport{key: key, msg: msg})
 			d.net.DeferredReports++
+			d.cm.deferredDepth.Add(1)
 			out.Deferred = true
 			degraded = true
 		}
@@ -423,6 +454,7 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 		}
 		return out, nil
 	}
+	d.cm.cacheMisses.Inc()
 	out.Fetched = true
 	catNames := make([]string, len(cats))
 	for i, c := range cats {
@@ -470,6 +502,7 @@ func (d *Device) FlushDeferred(now simclock.Time) {
 			d.net.LostReports++
 		}
 		d.deferred = d.deferred[1:]
+		d.cm.deferredDepth.Add(-1)
 	}
 }
 
@@ -535,10 +568,11 @@ type Coordinator struct {
 	caller
 }
 
-// NewCoordinator creates a period driver for the server at baseURL. A
-// nil hc defaults to a client with DefaultTimeout per attempt.
-func NewCoordinator(baseURL string, hc *http.Client) *Coordinator {
-	return &Coordinator{caller: newCaller(baseURL, hc, "coord", -1)}
+// NewCoordinator creates a period driver for the server at baseURL.
+// With no options it uses a DefaultTimeout HTTP client and
+// DefaultRetryPolicy; see Option for the knobs.
+func NewCoordinator(baseURL string, opts ...Option) *Coordinator {
+	return &Coordinator{caller: newCaller(baseURL, "coord", -1, buildOptions(opts))}
 }
 
 // StartPeriod opens a prefetch round.

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/simclock"
+)
+
+// Protocol versioning. Every client request carries
+// X-AdPrefetch-Version; the server echoes its own version on every
+// response and answers 426 Upgrade Required when a client speaks a
+// different major version (the protocol has no minor versions yet — the
+// header value is the bare major number). Requests without the header
+// (curl, scrapers, pre-versioning clients) are accepted.
+const (
+	// VersionHeader carries the protocol major version on requests and
+	// responses.
+	VersionHeader = "X-AdPrefetch-Version"
+	// ProtocolVersion is the major version this package speaks.
+	ProtocolVersion = 1
+)
+
+// httpError is a handler-level protocol failure: a status code and a
+// plain-text message. nil means success.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeErr emits a plain-text error reply. 429s always carry
+// Retry-After so well-behaved clients back off before retrying.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, status)
+}
+
+// handle is the one generic pipeline every /v1/* endpoint runs through:
+// decode the request, resolve its dedup scope, execute, encode the
+// reply. Centralizing the plumbing here means body limits, idempotency,
+// shedding headers and error rendering live in exactly one place — an
+// instrumentation or limit change touches this file, not ten handlers.
+//
+//   - decode parses the request into Req and returns the payload bytes
+//     used for idempotency fingerprinting (nil for non-deduped
+//     endpoints). Returning ok=false means decode already wrote a 4xx.
+//   - prep resolves the dedup store and virtual timestamp; a nil store
+//     means the endpoint executes without dedup (idempotent reads).
+//   - exec runs the endpoint and returns the typed reply or an
+//     *httpError.
+func handle[Req, Resp any](
+	decode func(w http.ResponseWriter, r *http.Request) (Req, []byte, bool),
+	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time),
+	exec func(req Req) (Resp, *httpError),
+) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, payload, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		ds, now := prep(r, req)
+		run := func() (int, any) {
+			resp, herr := exec(req)
+			if herr != nil {
+				return herr.status, herr.msg
+			}
+			return http.StatusOK, resp
+		}
+		if ds == nil {
+			status, v := run()
+			if status >= 400 {
+				writeErr(w, status, v.(string))
+				return
+			}
+			writeJSON(w, v)
+			return
+		}
+		serveIdempotent(w, r, ds, payload, now, run)
+	}
+}
+
+// jsonReq decodes a bounded JSON body into Req, returning the raw bytes
+// for idempotency fingerprinting.
+func jsonReq[Req any](w http.ResponseWriter, r *http.Request) (Req, []byte, bool) {
+	var req Req
+	body, ok := readBody(w, r)
+	if !ok {
+		return req, nil, false
+	}
+	if !decodeBytes(w, body, &req) {
+		return req, nil, false
+	}
+	return req, body, true
+}
+
+// noReq is the decoder for endpoints without request content (ledger,
+// stats, health).
+func noReq(http.ResponseWriter, *http.Request) (struct{}, []byte, bool) {
+	return struct{}{}, nil, true
+}
+
+// noDedup is the prep for idempotent reads: no dedup store, no
+// timestamp.
+func noDedup(*http.Request, struct{}) (*dedupStore, simclock.Time) { return nil, 0 }
+
+// versionMiddleware enforces the protocol version contract: the
+// server's version is echoed on every response (including errors), and
+// a request declaring a different major version is refused with 426
+// before any handler state changes. Malformed version headers are 400s.
+func versionMiddleware(next http.Handler) http.Handler {
+	want := strconv.Itoa(ProtocolVersion)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(VersionHeader, want)
+		if raw := r.Header.Get(VersionHeader); raw != "" {
+			got, err := strconv.Atoi(raw)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Sprintf("malformed %s %q", VersionHeader, raw))
+				return
+			}
+			if got != ProtocolVersion {
+				writeErr(w, http.StatusUpgradeRequired,
+					fmt.Sprintf("protocol version %d not supported; server speaks %d", got, ProtocolVersion))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// readBody slurps a bounded request body so handlers can hash it for
+// idempotency before decoding. Returns false after writing a 4xx.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "unreadable request: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status code; the connection will surface it.
+		return
+	}
+}
+
+func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad %s %q", name, raw), http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}

@@ -73,10 +73,10 @@ func TestConservationInvariants(t *testing.T) {
 			}
 			ts := httptest.NewServer(NewShardedServer(pool).Handler())
 			defer ts.Close()
-			coord := NewCoordinator(ts.URL, ts.Client())
+			coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
 			devices := make([]*Device, clients)
 			for i := range devices {
-				if devices[i], err = NewDevice(i, 32, ts.URL, ts.Client()); err != nil {
+				if devices[i], err = NewDevice(i, 32, ts.URL, WithHTTPClient(ts.Client())); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/radio"
+)
+
+// Option configures a Device or Coordinator at construction. The
+// constructors take sensible defaults (DefaultTimeout HTTP client,
+// DefaultRetryPolicy, a per-identity jitter seed, no meter, no
+// registry); options override them piecemeal, so call sites state only
+// what they change.
+type Option func(*options)
+
+type options struct {
+	hc       *http.Client
+	retry    *RetryPolicy
+	seed     *int64
+	meter    *radio.Radio
+	registry *obs.Registry
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithHTTPClient supplies the *http.Client used for every attempt. A
+// nil client keeps the default (DefaultTimeout per attempt). Set the
+// client's Timeout: a zero timeout means attempts can hang on a dead
+// peer and retries never fire.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(o *options) { o.hc = hc }
+}
+
+// WithRetryPolicy replaces DefaultRetryPolicy for the resilience loop.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *options) { o.retry = &p }
+}
+
+// WithJitterSeed overrides the backoff-jitter seed (by default derived
+// from the device id, so fleets don't retry in lockstep). Two callers
+// with the same seed draw identical jitter sequences — the determinism
+// chaos tests lean on.
+func WithJitterSeed(seed int64) Option {
+	return func(o *options) { o.seed = &seed }
+}
+
+// WithMeter attaches a radio-energy meter; retries are charged as
+// transfers owned by RetryOwner. The meter must not be shared with a
+// concurrently-used radio (a Device and its meter are single-threaded).
+func WithMeter(m *radio.Radio) Option {
+	return func(o *options) { o.meter = m }
+}
+
+// WithRegistry attaches client-side instrumentation: attempts, retries,
+// shed replies, unreachable requests, virtual backoff nanoseconds,
+// cache hits/misses, deferred-report queue depth and retry energy are
+// recorded into the registry. Sharing one registry across a device
+// fleet aggregates the counters fleet-wide (the series carry no
+// per-device labels, so cardinality stays flat at any fleet size).
+func WithRegistry(reg *obs.Registry) Option {
+	return func(o *options) { o.registry = reg }
+}
+
+// NewDeviceHTTP creates a device talking to the server at baseURL with
+// an explicit HTTP client (nil hc keeps the DefaultTimeout default).
+//
+// Deprecated: use NewDevice with WithHTTPClient. Kept so pre-options
+// callers compile unchanged.
+func NewDeviceHTTP(id, cacheCap int, baseURL string, hc *http.Client) (*Device, error) {
+	return NewDevice(id, cacheCap, baseURL, WithHTTPClient(hc))
+}
+
+// NewCoordinatorHTTP creates a period driver with an explicit HTTP
+// client (nil hc keeps the DefaultTimeout default).
+//
+// Deprecated: use NewCoordinator with WithHTTPClient. Kept so
+// pre-options callers compile unchanged.
+func NewCoordinatorHTTP(baseURL string, hc *http.Client) *Coordinator {
+	return NewCoordinator(baseURL, WithHTTPClient(hc))
+}
+
+// clientMetrics is the pre-resolved handle set for client-side
+// instrumentation. The zero value (all nil) is the disabled state: obs
+// metrics no-op through nil receivers, so uninstrumented devices pay a
+// nil check and nothing else.
+type clientMetrics struct {
+	attempts      *obs.Counter
+	retries       *obs.Counter
+	shed          *obs.Counter
+	unreachable   *obs.Counter
+	backoffNS     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	deferredDepth *obs.Gauge
+	retryEnergyJ  *obs.Gauge
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{}
+	}
+	reg.SetHelp("client_attempts_total", "HTTP attempts sent, including retries.")
+	reg.SetHelp("client_backoff_virtual_ns_total", "Virtual nanoseconds of retry backoff, fleet-wide.")
+	reg.SetHelp("client_deferred_reports", "Display reports queued while the server is unreachable.")
+	reg.SetHelp("client_retry_energy_joules", "Radio-model joules charged to retries (transfer-time accrual; tails settle at Flush).")
+	return clientMetrics{
+		attempts:      reg.Counter("client_attempts_total"),
+		retries:       reg.Counter("client_retries_total"),
+		shed:          reg.Counter("client_shed_total"),
+		unreachable:   reg.Counter("client_unreachable_total"),
+		backoffNS:     reg.Counter("client_backoff_virtual_ns_total"),
+		cacheHits:     reg.Counter("client_cache_hits_total"),
+		cacheMisses:   reg.Counter("client_cache_misses_total"),
+		deferredDepth: reg.Gauge("client_deferred_reports"),
+		retryEnergyJ:  reg.Gauge("client_retry_energy_joules"),
+	}
+}

@@ -67,7 +67,7 @@ func TestRetryRecoversFromTransientErrors(t *testing.T) {
 			next.ServeHTTP(w, r)
 		})
 	})
-	coord := NewCoordinator(ts.URL, ts.Client())
+	coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
 	reply, err := coord.StartPeriod(0, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestRetryRecoversFromTransientErrors(t *testing.T) {
 		t.Fatalf("retry accounting off: %+v", n)
 	}
 
-	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +98,12 @@ func TestRetryRecoversFromTransientErrors(t *testing.T) {
 // round, bundle downloads, one slot per device, and the closing sweep.
 func runWorkload(t *testing.T, ts *httptest.Server, hc *http.Client, clients int) {
 	t.Helper()
-	coord := NewCoordinator(ts.URL, hc)
+	coord := NewCoordinator(ts.URL, WithHTTPClient(hc))
 	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < clients; i++ {
-		d, err := NewDevice(i, 32, ts.URL, hc)
+		d, err := NewDevice(i, 32, ts.URL, WithHTTPClient(hc))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,11 +153,11 @@ func TestDoubleSendLedgerMatchesFaultFree(t *testing.T) {
 // HTTP level: replay, payload-mismatch conflict, malformed-key rejection.
 func TestIdempotencyKeySemantics(t *testing.T) {
 	ts, _, ex := newResilienceStack(t, 2, nil)
-	coord := NewCoordinator(ts.URL, ts.Client())
+	coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
 	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func itoa(v int64) string {
 func TestLoadSheddingAndHealth(t *testing.T) {
 	ts, sh, ex := newResilienceStack(t, 3, nil)
 	sh.MaxOpenBook = 1
-	coord := NewCoordinator(ts.URL, ts.Client())
+	coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
 	reply, err := coord.StartPeriod(0, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +259,7 @@ func TestLoadSheddingAndHealth(t *testing.T) {
 	}
 
 	// Slot observations are shed: the client retries, then degrades.
-	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +307,11 @@ func TestGracefulDegradationAndDeferredReports(t *testing.T) {
 		outage = &outageHandler{next: next}
 		return outage
 	})
-	coord := NewCoordinator(ts.URL, ts.Client())
+	coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
 	if _, err := coord.StartPeriod(0, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestGracefulDegradationAndDeferredReports(t *testing.T) {
 	}
 
 	// A cache miss during the outage degrades to a house ad.
-	empty, err := NewDevice(1, 32, ts.URL, ts.Client())
+	empty, err := NewDevice(1, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestGracefulDegradationAndDeferredReports(t *testing.T) {
 // exactly zero.
 func TestRetryEnergyCharged(t *testing.T) {
 	ts, _, _ := newResilienceStack(t, 2, nil)
-	clean, err := NewDevice(0, 32, ts.URL, ts.Client())
+	clean, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestRetryEnergyCharged(t *testing.T) {
 
 	plan := &faults.Plan{Seed: 7, Default: faults.Rule{Drop: 1, MaxFaults: 2}}
 	hc := &http.Client{Transport: plan.RoundTripper(nil)}
-	faulty, err := NewDevice(1, 32, ts.URL, hc)
+	faulty, err := NewDevice(1, 32, ts.URL, WithHTTPClient(hc))
 	if err != nil {
 		t.Fatal(err)
 	}

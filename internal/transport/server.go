@@ -15,6 +15,14 @@
 //	POST /v1/period/end     {now_ns, index, of_day, weekend}  -> train predictors, sweep expiries
 //	GET  /v1/ledger                                            -> exchange ledger snapshot (merged across shards)
 //	GET  /v1/stats                                             -> ops snapshot (merged across shards)
+//	GET  /v1/health                                            -> per-shard load + key runtime gauges
+//	GET  /v1/metrics                                           -> Prometheus text exposition (see internal/obs)
+//
+// Every request the clients send carries X-AdPrefetch-Version with the
+// protocol major version (currently 1); the server echoes its own
+// version on every response and refuses a mismatched major with 426
+// Upgrade Required. Requests without the header are accepted for
+// compatibility with pre-versioning clients and plain scrapers.
 //
 // Timestamps ride the virtual clock (nanoseconds since the simulation
 // epoch) so the transport works identically under test harnesses and
@@ -28,15 +36,12 @@
 package transport
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
-	"strconv"
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/simclock"
 )
@@ -56,6 +61,10 @@ func NewServer(srv *adserver.Server) *Server {
 
 // Handler returns the HTTP handler implementing the protocol.
 func (s *Server) Handler() http.Handler { return s.sh.Handler() }
+
+// Registry exposes the server's metrics registry (scraped at
+// GET /v1/metrics), for debug listeners and tests.
+func (s *Server) Registry() *obs.Registry { return s.sh.Registry() }
 
 // StagedAds returns the number of staged (not yet downloaded) bundle
 // ads, for memory-bound monitoring and tests.
@@ -162,49 +171,23 @@ type ShardHealth struct {
 	StagedAds int  `json:"staged_ads"`
 	DedupKeys int  `json:"dedup_keys"`
 	Shedding  bool `json:"shedding"`
+
+	// Requests counts client-scoped requests routed to this shard since
+	// start (from the metrics registry).
+	Requests int64 `json:"requests"`
 }
 
 // HealthReply is the /v1/health response: "ok", or "shedding" when any
-// shard's open book exceeds the configured bound.
+// shard's open book exceeds the configured bound. The totals mirror the
+// key registry gauges so a health probe sees load without parsing the
+// full /v1/metrics exposition.
 type HealthReply struct {
 	Status      string        `json:"status"`
 	MaxOpenBook int           `json:"max_open_book,omitempty"`
 	Shards      []ShardHealth `json:"shards"`
+
+	RequestsTotal int64 `json:"requests_total"`
+	ShedTotal     int64 `json:"shed_total"`
+	ReplayedTotal int64 `json:"replayed_total"`
 }
 
-// readBody slurps a bounded request body so handlers can hash it for
-// idempotency before decoding. Returns false after writing a 4xx.
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, "unreadable request: "+err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	return body, true
-}
-
-func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
-	if err := json.Unmarshal(body, v); err != nil {
-		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late for a status code; the connection will surface it.
-		return
-	}
-}
-
-func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
-	raw := r.URL.Query().Get(name)
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad %s %q", name, raw), http.StatusBadRequest)
-		return 0, false
-	}
-	return v, true
-}

@@ -9,14 +9,24 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
+
+// v1Endpoints lists every protocol path, for metrics pre-registration
+// (unknown paths land in the middleware's "other" bucket).
+var v1Endpoints = []string{
+	"/v1/period/start", "/v1/period/end", "/v1/bundle", "/v1/slot",
+	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/ledger",
+	"/v1/stats", "/v1/health", "/v1/metrics",
+}
 
 // ShardedServer serves the transport protocol over N independent
 // ad-server shards, each behind its own lock. Requests carrying a
@@ -31,9 +41,16 @@ import (
 // sold it (see internal/shard), so routing by client id also routes
 // every impression-carrying request to the shard that owns that
 // impression's state.
+//
+// Every endpoint is instrumented through the internal/obs registry
+// (scraped at GET /v1/metrics): per-endpoint request counts by status
+// class, latency and response-size histograms, byte totals and
+// idempotency-replay counts, plus per-shard request/shed counters and
+// open-book/staged/dedup gauges.
 type ShardedServer struct {
 	shards []*shardState
 	route  func(clientID int) int
+	reg    *obs.Registry
 
 	// MaxOpenBook, when positive, turns on load shedding: a shard whose
 	// open impression book exceeds the bound answers slot observations
@@ -45,18 +62,26 @@ type ShardedServer struct {
 
 	// periodDedup dedups the coordinator's period start/end calls,
 	// which fan out to every shard and so cannot live in one shard's
-	// store.
+	// store. periodSweep carries the latest sweep cutoff out of the
+	// period/end handler: the store's own window cannot be swept while
+	// serveIdempotent holds its lock, so the route wrapper sweeps after
+	// the response is written.
 	periodDedup dedupStore
+	periodSweep atomic.Int64
 }
 
 // shardState is one shard's serving state: the single-threaded engine,
-// its lock, the per-client bundles staged for download, and the
-// idempotency-dedup window for the shard's mutating requests.
+// its lock, the per-client bundles staged for download, the
+// idempotency-dedup window for the shard's mutating requests, and the
+// shard's slice of the metrics registry.
 type shardState struct {
 	mu     sync.Mutex
 	srv    *adserver.Server
 	staged map[int][]client.CachedAd
 	dedup  dedupStore
+
+	requests *obs.Counter // client-scoped requests routed here
+	shed     *obs.Counter // 429s this shard answered
 }
 
 // dedupEntry is one remembered mutating request: the payload hash
@@ -140,18 +165,16 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 		return
 	}
 	write := func(status int, body []byte, replayed bool) {
-		if status >= 400 {
-			if replayed {
-				w.Header().Set("Idempotency-Replayed", "true")
-			}
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.WriteHeader(status)
-			w.Write(body)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
 		if replayed {
-			w.Header().Set("Idempotency-Replayed", "true")
+			w.Header().Set(obs.ReplayedHeader, "true")
+		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		if status >= 400 {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/json")
 		}
 		w.WriteHeader(status)
 		w.Write(body)
@@ -207,15 +230,51 @@ func NewShardedServer(pool *shard.Pool) *ShardedServer {
 // newSharded wraps pre-built shards with an explicit routing function
 // (route must return an index in [0, len(servers))).
 func newSharded(servers []*adserver.Server, route func(clientID int) int) *ShardedServer {
-	s := &ShardedServer{shards: make([]*shardState, len(servers)), route: route}
+	s := &ShardedServer{
+		shards: make([]*shardState, len(servers)),
+		route:  route,
+		reg:    obs.NewRegistry(),
+	}
+	s.reg.SetHelp("shard_requests_total", "Client-scoped requests routed to the shard.")
+	s.reg.SetHelp("shard_shed_total", "Requests the shard answered 429 under load shedding.")
+	s.reg.SetHelp("shard_open_book", "Open (sold, undisplayed, unexpired) impressions on the shard.")
+	s.reg.SetHelp("shard_staged_ads", "Bundle ads staged for download on the shard.")
+	s.reg.SetHelp("shard_dedup_keys", "Live idempotency-dedup entries on the shard.")
 	for i, srv := range servers {
-		s.shards[i] = &shardState{srv: srv, staged: make(map[int][]client.CachedAd)}
+		sh := &shardState{srv: srv, staged: make(map[int][]client.CachedAd)}
+		label := strconv.Itoa(i)
+		sh.requests = s.reg.Counter("shard_requests_total", "shard", label)
+		sh.shed = s.reg.Counter("shard_shed_total", "shard", label)
+		// Gauge callbacks run at scrape time only; each takes its
+		// shard's lock briefly, never more than one at once.
+		s.reg.GaugeFunc("shard_open_book", func() float64 {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			return float64(sh.srv.OpenBook())
+		}, "shard", label)
+		s.reg.GaugeFunc("shard_staged_ads", func() float64 {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			n := 0
+			for _, ads := range sh.staged {
+				n += len(ads)
+			}
+			return float64(n)
+		}, "shard", label)
+		s.reg.GaugeFunc("shard_dedup_keys", func() float64 {
+			return float64(sh.dedup.len())
+		}, "shard", label)
+		s.shards[i] = sh
 	}
 	return s
 }
 
 // Shards returns the shard count.
 func (s *ShardedServer) Shards() int { return len(s.shards) }
+
+// Registry exposes the server's metrics registry (the same one scraped
+// at GET /v1/metrics), for debug listeners, experiments and tests.
+func (s *ShardedServer) Registry() *obs.Registry { return s.reg }
 
 // StagedAds returns the total number of staged (not yet downloaded)
 // bundle ads across shards, for memory-bound monitoring and tests.
@@ -240,20 +299,68 @@ func (s *ShardedServer) shardFor(clientID int) *shardState {
 	return s.shards[i]
 }
 
-// Handler returns the HTTP handler implementing the protocol.
+// clientPrep resolves a client-scoped request's dedup scope and counts
+// it against its shard.
+func (s *ShardedServer) clientPrep(clientID int, nowNS int64) (*dedupStore, simclock.Time) {
+	sh := s.shardFor(clientID)
+	sh.requests.Inc()
+	return &sh.dedup, simclock.Time(nowNS)
+}
+
+// Handler returns the HTTP handler implementing the protocol: the
+// endpoint mux behind the protocol-version gate, wrapped in the metrics
+// middleware so every request (including 426s and unknown paths) is
+// measured.
 func (s *ShardedServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/period/start", s.handlePeriodStart)
-	mux.HandleFunc("POST /v1/period/end", s.handlePeriodEnd)
-	mux.HandleFunc("GET /v1/bundle", s.handleBundle)
-	mux.HandleFunc("POST /v1/slot", s.handleSlot)
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("GET /v1/cancelled", s.handleCancelled)
-	mux.HandleFunc("POST /v1/ondemand", s.handleOnDemand)
-	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/health", s.handleHealth)
-	return mux
+	mux.HandleFunc("POST /v1/period/start", handle(
+		jsonReq[periodMsg],
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time) {
+			return &s.periodDedup, simclock.Time(m.NowNS)
+		},
+		s.execPeriodStart))
+	periodEnd := handle(
+		jsonReq[periodMsg],
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time) {
+			return &s.periodDedup, simclock.Time(m.NowNS)
+		},
+		s.execPeriodEnd)
+	mux.HandleFunc("POST /v1/period/end", func(w http.ResponseWriter, r *http.Request) {
+		periodEnd(w, r)
+		// The period store's own lock is free again; sweep it to the
+		// cutoff the handler recorded.
+		s.periodDedup.sweep(simclock.Time(s.periodSweep.Load()))
+	})
+	mux.HandleFunc("GET /v1/bundle", handle(
+		s.decodeBundle,
+		func(_ *http.Request, q bundleReq) (*dedupStore, simclock.Time) {
+			return s.clientPrep(q.client, q.nowNS)
+		},
+		s.execBundle))
+	mux.HandleFunc("POST /v1/slot", handle(
+		jsonReq[slotMsg],
+		func(_ *http.Request, m slotMsg) (*dedupStore, simclock.Time) {
+			return s.clientPrep(m.Client, m.NowNS)
+		},
+		s.execSlot))
+	mux.HandleFunc("POST /v1/report", handle(
+		jsonReq[reportMsg],
+		func(_ *http.Request, m reportMsg) (*dedupStore, simclock.Time) {
+			return s.clientPrep(m.Client, m.NowNS)
+		},
+		s.execReport))
+	mux.HandleFunc("GET /v1/cancelled", handle(s.decodeCancelled, noDedupCancelled, s.execCancelled))
+	mux.HandleFunc("POST /v1/ondemand", handle(
+		jsonReq[onDemandMsg],
+		func(_ *http.Request, m onDemandMsg) (*dedupStore, simclock.Time) {
+			return s.clientPrep(m.Client, m.NowNS)
+		},
+		s.execOnDemand))
+	mux.HandleFunc("GET /v1/ledger", handle(noReq, noDedup, s.execLedger))
+	mux.HandleFunc("GET /v1/stats", handle(noReq, noDedup, s.execStats))
+	mux.HandleFunc("GET /v1/health", handle(noReq, noDedup, s.execHealth))
+	mux.Handle("GET /v1/metrics", s.reg.Handler())
+	return obs.Middleware(s.reg, versionMiddleware(mux), v1Endpoints...)
 }
 
 // shedding reports whether a shard is over its open-book bound. Callers
@@ -284,176 +391,155 @@ func (s *ShardedServer) fanOut(fn func(i int, sh *shardState) error) error {
 	return nil
 }
 
-func (s *ShardedServer) handlePeriodStart(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	var msg periodMsg
-	if !decodeBytes(w, body, &msg) {
-		return
-	}
+// execPeriodStart opens a prefetch round. Period rounds fan out to
+// every shard, so their dedup window is the server-wide store: a
+// coordinator retry after a lost reply must not sell the round twice.
+func (s *ShardedServer) execPeriodStart(msg periodMsg) (PeriodStartReply, *httpError) {
 	now := simclock.Time(msg.NowNS)
-	// Period rounds fan out to every shard, so their dedup window is
-	// the server-wide store: a coordinator retry after a lost reply
-	// must not sell the round twice.
-	serveIdempotent(w, r, &s.periodDedup, body, now, func() (int, any) {
-		var (
-			mu      sync.Mutex
-			reply   PeriodStartReply
-			bundled int
-		)
-		// Fan-out: each shard runs its own forecast/sale/replication round
-		// under its own lock; the barrier completes when every shard has
-		// staged its bundles.
-		_ = s.fanOut(func(_ int, sh *shardState) error {
-			sh.mu.Lock()
-			bundles, stats := sh.srv.StartPeriod(now, msg.period())
-			for _, b := range bundles {
-				sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
-			}
-			sh.mu.Unlock()
-			mu.Lock()
-			reply.PredictedSlots += stats.PredictedSlots
-			reply.Admitted += stats.Admitted
-			reply.Sold += stats.Sold
-			reply.Placed += stats.Placed
-			reply.Replicas += stats.Replicas
-			bundled += len(bundles)
-			mu.Unlock()
-			return nil
-		})
-		reply.BundledClients = bundled
-		return http.StatusOK, reply
-	})
-}
-
-func (s *ShardedServer) handlePeriodEnd(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	var msg periodMsg
-	if !decodeBytes(w, body, &msg) {
-		return
-	}
-	now := simclock.Time(msg.NowNS)
-	serveIdempotent(w, r, &s.periodDedup, body, now, func() (int, any) {
-		var (
-			mu    sync.Mutex
-			reply PeriodEndReply
-		)
-		_ = s.fanOut(func(_ int, sh *shardState) error {
-			sh.mu.Lock()
-			expired := sh.srv.EndPeriod(now, msg.period())
-			// Bound staged-bundle memory: ads a client never downloaded are
-			// worthless once expired, so sweep them with the period. Without
-			// this, clients that stop contacting the server pin their
-			// bundles forever.
-			for cid, ads := range sh.staged {
-				kept := ads[:0]
-				for _, ad := range ads {
-					if !now.After(ad.Deadline) {
-						kept = append(kept, ad)
-					}
-				}
-				if len(kept) == 0 {
-					delete(sh.staged, cid)
-				} else {
-					sh.staged[cid] = kept
-				}
-			}
-			sh.mu.Unlock()
-			mu.Lock()
-			reply.Expired += expired
-			mu.Unlock()
-			return nil
-		})
-		// The dedup window rides the period cadence: anything older
-		// than two periods can no longer be a live retry (the retry
-		// policy's backoff horizon is seconds), so the period boundary
-		// bounds the stores' memory the same way it bounds staged
-		// bundles.
-		window := 2 * simclock.Time(s.shards[0].srv.Config().Period)
-		for _, sh := range s.shards {
-			sh.dedup.sweep(now - window)
+	var (
+		mu      sync.Mutex
+		reply   PeriodStartReply
+		bundled int
+	)
+	// Fan-out: each shard runs its own forecast/sale/replication round
+	// under its own lock; the barrier completes when every shard has
+	// staged its bundles.
+	_ = s.fanOut(func(_ int, sh *shardState) error {
+		sh.mu.Lock()
+		bundles, stats := sh.srv.StartPeriod(now, msg.period())
+		for _, b := range bundles {
+			sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
 		}
-		return http.StatusOK, reply
+		sh.mu.Unlock()
+		mu.Lock()
+		reply.PredictedSlots += stats.PredictedSlots
+		reply.Admitted += stats.Admitted
+		reply.Sold += stats.Sold
+		reply.Placed += stats.Placed
+		reply.Replicas += stats.Replicas
+		bundled += len(bundles)
+		mu.Unlock()
+		return nil
 	})
-	s.periodDedup.sweep(simclock.Time(msg.NowNS) - 2*simclock.Time(s.shards[0].srv.Config().Period))
+	reply.BundledClients = bundled
+	return reply, nil
 }
 
-func (s *ShardedServer) handleBundle(w http.ResponseWriter, r *http.Request) {
+func (s *ShardedServer) execPeriodEnd(msg periodMsg) (PeriodEndReply, *httpError) {
+	now := simclock.Time(msg.NowNS)
+	var (
+		mu    sync.Mutex
+		reply PeriodEndReply
+	)
+	_ = s.fanOut(func(_ int, sh *shardState) error {
+		sh.mu.Lock()
+		expired := sh.srv.EndPeriod(now, msg.period())
+		// Bound staged-bundle memory: ads a client never downloaded are
+		// worthless once expired, so sweep them with the period. Without
+		// this, clients that stop contacting the server pin their
+		// bundles forever.
+		for cid, ads := range sh.staged {
+			kept := ads[:0]
+			for _, ad := range ads {
+				if !now.After(ad.Deadline) {
+					kept = append(kept, ad)
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.staged, cid)
+			} else {
+				sh.staged[cid] = kept
+			}
+		}
+		sh.mu.Unlock()
+		mu.Lock()
+		reply.Expired += expired
+		mu.Unlock()
+		return nil
+	})
+	// The dedup window rides the period cadence: anything older than
+	// two periods can no longer be a live retry (the retry policy's
+	// backoff horizon is seconds), so the period boundary bounds the
+	// stores' memory the same way it bounds staged bundles.
+	window := 2 * simclock.Time(s.shards[0].srv.Config().Period)
+	for _, sh := range s.shards {
+		sh.dedup.sweep(now - window)
+	}
+	// The period store itself is locked by the caller (serveIdempotent);
+	// record the cutoff for the route wrapper to sweep after the reply.
+	s.periodSweep.Store(int64(now - window))
+	return reply, nil
+}
+
+// bundleReq is the decoded GET /v1/bundle query.
+type bundleReq struct {
+	client int
+	nowNS  int64
+}
+
+func (s *ShardedServer) decodeBundle(w http.ResponseWriter, r *http.Request) (bundleReq, []byte, bool) {
 	cid, ok := intParam(w, r, "client")
 	if !ok {
-		return
+		return bundleReq{}, nil, false
 	}
 	// now_ns stamps the dedup entry; absent (old clients) means the
 	// entry is swept at the first period boundary, which is safe.
 	nowNS, _ := strconv.ParseInt(r.URL.Query().Get("now_ns"), 10, 64)
-	sh := s.shardFor(cid)
-	// The bundle download drains the shelf, so it is a mutating GET:
-	// dedup by key (with the URI as the payload) lets a device whose
-	// response was lost retry and receive the same ads instead of
-	// finding the shelf empty — the staged bundle is never stranded.
-	serveIdempotent(w, r, &sh.dedup, []byte(r.URL.RequestURI()), simclock.Time(nowNS), func() (int, any) {
-		sh.mu.Lock()
-		ads := sh.staged[cid]
-		delete(sh.staged, cid)
-		sh.mu.Unlock()
-		return http.StatusOK, BundleReply{Ads: toAdMsgs(ads)}
-	})
+	// The URI is the idempotency payload: a key reused for a different
+	// client or instant is a conflict, not a replay.
+	return bundleReq{client: cid, nowNS: nowNS}, []byte(r.URL.RequestURI()), true
 }
 
-func (s *ShardedServer) handleSlot(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	var msg slotMsg
-	if !decodeBytes(w, body, &msg) {
-		return
-	}
+// execBundle drains the client's staged shelf. The download is a
+// mutating GET: dedup by key lets a device whose response was lost
+// retry and receive the same ads instead of finding the shelf empty —
+// the staged bundle is never stranded.
+func (s *ShardedServer) execBundle(q bundleReq) (BundleReply, *httpError) {
+	sh := s.shardFor(q.client)
+	sh.mu.Lock()
+	ads := sh.staged[q.client]
+	delete(sh.staged, q.client)
+	sh.mu.Unlock()
+	return BundleReply{Ads: toAdMsgs(ads)}, nil
+}
+
+func (s *ShardedServer) execSlot(msg slotMsg) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
-	serveIdempotent(w, r, &sh.dedup, body, simclock.Time(msg.NowNS), func() (int, any) {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		if s.shedding(sh) {
-			w.Header().Set("Retry-After", "1")
-			return http.StatusTooManyRequests, "shard overloaded: slot observation shed"
-		}
-		sh.srv.ObserveSlot(msg.Client)
-		return http.StatusOK, struct{}{}
-	})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.shedding(sh) {
+		sh.shed.Inc()
+		return struct{}{}, errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
+	}
+	sh.srv.ObserveSlot(msg.Client)
+	return struct{}{}, nil
 }
 
-func (s *ShardedServer) handleReport(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	var msg reportMsg
-	if !decodeBytes(w, body, &msg) {
-		return
-	}
+// execReport bills a display. Reports are never shed: they bill sold
+// inventory and shrink the open book, so refusing them under load would
+// deepen the overload.
+func (s *ShardedServer) execReport(msg reportMsg) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
-	// Reports are never shed: they bill sold inventory and shrink the
-	// open book, so refusing them under load would deepen the overload.
-	serveIdempotent(w, r, &sh.dedup, body, simclock.Time(msg.NowNS), func() (int, any) {
-		sh.mu.Lock()
-		err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
-		sh.mu.Unlock()
-		if err != nil {
-			return http.StatusBadRequest, err.Error()
-		}
-		return http.StatusOK, struct{}{}
-	})
+	sh.mu.Lock()
+	err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
+	sh.mu.Unlock()
+	if err != nil {
+		return struct{}{}, errf(http.StatusBadRequest, "%s", err.Error())
+	}
+	return struct{}{}, nil
 }
 
-func (s *ShardedServer) handleCancelled(w http.ResponseWriter, r *http.Request) {
+// cancelledReq is the decoded GET /v1/cancelled query.
+type cancelledReq struct {
+	sh    *shardState
+	ids   string
+	nowNS int64
+}
+
+func (s *ShardedServer) decodeCancelled(w http.ResponseWriter, r *http.Request) (cancelledReq, []byte, bool) {
 	nowNS, ok := intParam(w, r, "now_ns")
 	if !ok {
-		return
+		return cancelledReq{}, nil, false
 	}
 	// Impression ids are scoped per shard, so the owning client must be
 	// identified to route the query. A single-shard server tolerates the
@@ -463,78 +549,74 @@ func (s *ShardedServer) handleCancelled(w http.ResponseWriter, r *http.Request) 
 		cid, err := strconv.Atoi(raw)
 		if err != nil {
 			http.Error(w, fmt.Sprintf("bad client %q", raw), http.StatusBadRequest)
-			return
+			return cancelledReq{}, nil, false
 		}
 		sh = s.shardFor(cid)
 	} else if len(s.shards) == 1 {
 		sh = s.shards[0]
 	} else {
 		http.Error(w, "missing client parameter (required with >1 shard)", http.StatusBadRequest)
-		return
+		return cancelledReq{}, nil, false
 	}
-	idsRaw := r.URL.Query().Get("ids")
+	sh.requests.Inc()
+	return cancelledReq{sh: sh, ids: r.URL.Query().Get("ids"), nowNS: int64(nowNS)}, nil, true
+}
+
+// noDedupCancelled: cancellation queries are idempotent reads; any key
+// the client sends is ignored rather than stored.
+func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time) { return nil, 0 }
+
+func (s *ShardedServer) execCancelled(q cancelledReq) (CancelledReply, *httpError) {
 	var reply CancelledReply
-	sh.mu.Lock()
-	for _, part := range strings.Split(idsRaw, ",") {
+	q.sh.mu.Lock()
+	defer q.sh.mu.Unlock()
+	for _, part := range strings.Split(q.ids, ",") {
 		if part == "" {
 			continue
 		}
 		id, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
-			sh.mu.Unlock()
-			http.Error(w, fmt.Sprintf("bad id %q", part), http.StatusBadRequest)
-			return
+			return reply, errf(http.StatusBadRequest, "bad id %q", part)
 		}
-		if sh.srv.CancellationKnown(auction.ImpressionID(id), simclock.Time(nowNS)) {
+		if q.sh.srv.CancellationKnown(auction.ImpressionID(id), simclock.Time(q.nowNS)) {
 			reply.Cancelled = append(reply.Cancelled, id)
 		}
 	}
-	sh.mu.Unlock()
-	writeJSON(w, reply)
+	return reply, nil
 }
 
-func (s *ShardedServer) handleOnDemand(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	var msg onDemandMsg
-	if !decodeBytes(w, body, &msg) {
-		return
-	}
+func (s *ShardedServer) execOnDemand(msg onDemandMsg) (OnDemandReply, *httpError) {
 	cats := make([]trace.Category, len(msg.Categories))
 	for i, c := range msg.Categories {
 		cats[i] = trace.Category(c)
 	}
 	now := simclock.Time(msg.NowNS)
 	sh := s.shardFor(msg.Client)
-	serveIdempotent(w, r, &sh.dedup, body, now, func() (int, any) {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		if s.shedding(sh) {
-			// Fresh sales grow the open book; shed them until it drains.
-			// The client's fallback is its cache or a house ad.
-			w.Header().Set("Retry-After", "1")
-			return http.StatusTooManyRequests, "shard overloaded: on-demand sale shed"
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.shedding(sh) {
+		// Fresh sales grow the open book; shed them until it drains.
+		// The client's fallback is its cache or a house ad.
+		sh.shed.Inc()
+		return OnDemandReply{}, errf(http.StatusTooManyRequests, "shard overloaded: on-demand sale shed")
+	}
+	var reply OnDemandReply
+	if !msg.NoRescue {
+		if id, ok := sh.srv.RescueOpen(now, msg.Client); ok {
+			reply.Impression = int64(id)
+			reply.Rescued = true
+			reply.TopUp = toAdMsgs(sh.srv.TopUp(now, msg.Client))
 		}
-		var reply OnDemandReply
-		if !msg.NoRescue {
-			if id, ok := sh.srv.RescueOpen(now, msg.Client); ok {
-				reply.Impression = int64(id)
-				reply.Rescued = true
-				reply.TopUp = toAdMsgs(sh.srv.TopUp(now, msg.Client))
-			}
+	}
+	if !reply.Rescued {
+		if imp, ok := sh.srv.OnDemandSell(now, msg.Client, cats); ok {
+			reply.Impression = int64(imp.ID)
 		}
-		if !reply.Rescued {
-			if imp, ok := sh.srv.OnDemandSell(now, msg.Client, cats); ok {
-				reply.Impression = int64(imp.ID)
-			}
-		}
-		return http.StatusOK, reply
-	})
+	}
+	return reply, nil
 }
 
-func (s *ShardedServer) handleLedger(w http.ResponseWriter, _ *http.Request) {
+func (s *ShardedServer) execLedger(struct{}) (auction.Ledger, *httpError) {
 	var total auction.Ledger
 	// One shard at a time: the merged view never holds more than one
 	// lock, so a ledger scrape cannot stall the fleet.
@@ -551,7 +633,7 @@ func (s *ShardedServer) handleLedger(w http.ResponseWriter, _ *http.Request) {
 		total.ViolatedUSD += l.ViolatedUSD
 		total.PotentialUSD += l.PotentialUSD
 	}
-	writeJSON(w, total)
+	return total, nil
 }
 
 // StatsReply is the merged monitoring view: summed rounds, a
@@ -566,11 +648,17 @@ type StatsReply struct {
 	PerShard       []adserver.OpsStats `json:"per_shard,omitempty"`
 }
 
-// handleHealth reports per-shard load so operators (and tests) can see
+// execHealth reports per-shard load so operators (and tests) can see
 // degradation coming: the open impression book, staged-bundle backlog,
-// dedup-window size, and whether the shard is currently shedding.
-func (s *ShardedServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	reply := HealthReply{Status: "ok", MaxOpenBook: s.MaxOpenBook}
+// dedup-window size, whether the shard is currently shedding, and the
+// registry's key totals.
+func (s *ShardedServer) execHealth(struct{}) (HealthReply, *httpError) {
+	reply := HealthReply{
+		Status:        "ok",
+		MaxOpenBook:   s.MaxOpenBook,
+		RequestsTotal: s.reg.CounterTotal(obs.MetricHTTPRequests),
+		ReplayedTotal: s.reg.CounterTotal(obs.MetricHTTPReplays),
+	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		open := sh.srv.OpenBook()
@@ -583,18 +671,20 @@ func (s *ShardedServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		if shedding {
 			reply.Status = "shedding"
 		}
+		reply.ShedTotal += sh.shed.Value()
 		reply.Shards = append(reply.Shards, ShardHealth{
 			Shard:     i,
 			OpenBook:  open,
 			StagedAds: staged,
 			DedupKeys: sh.dedup.len(),
 			Shedding:  shedding,
+			Requests:  sh.requests.Value(),
 		})
 	}
-	writeJSON(w, reply)
+	return reply, nil
 }
 
-func (s *ShardedServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *ShardedServer) execStats(struct{}) (StatsReply, *httpError) {
 	// Ops metrics are lock-isolated inside each adserver.Server, so this
 	// takes no shard locks at all: stats scrapes never contend with the
 	// serving path.
@@ -610,5 +700,5 @@ func (s *ShardedServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 		reply.ForecastErrP50 /= float64(reply.Rounds)
 		reply.ForecastErrP95 /= float64(reply.Rounds)
 	}
-	writeJSON(w, reply)
+	return reply, nil
 }

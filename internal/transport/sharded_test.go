@@ -47,13 +47,13 @@ func newShardedStack(t *testing.T, shards, clients int) (*httptest.Server, *Coor
 
 	devices := make([]*Device, clients)
 	for i := range devices {
-		d, err := NewDevice(i, 32, ts.URL, ts.Client())
+		d, err := NewDevice(i, 32, ts.URL, WithHTTPClient(ts.Client()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		devices[i] = d
 	}
-	return ts, NewCoordinator(ts.URL, ts.Client()), devices, ss, pool
+	return ts, NewCoordinator(ts.URL, WithHTTPClient(ts.Client())), devices, ss, pool
 }
 
 func TestShardedEndToEnd(t *testing.T) {
@@ -270,8 +270,8 @@ func TestServerStagedAdsAccessor(t *testing.T) {
 	wrapped := NewServer(srv)
 	ts := httptest.NewServer(wrapped.Handler())
 	t.Cleanup(ts.Close)
-	coord := NewCoordinator(ts.URL, ts.Client())
-	d, err := NewDevice(0, 32, ts.URL, ts.Client())
+	coord := NewCoordinator(ts.URL, WithHTTPClient(ts.Client()))
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,13 +50,13 @@ func newTestStack(t *testing.T, clients int) (*httptest.Server, *Coordinator, []
 
 	devices := make([]*Device, clients)
 	for i := range devices {
-		d, err := NewDevice(i, 32, ts.URL, ts.Client())
+		d, err := NewDevice(i, 32, ts.URL, WithHTTPClient(ts.Client()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		devices[i] = d
 	}
-	return ts, NewCoordinator(ts.URL, ts.Client()), devices, ex
+	return ts, NewCoordinator(ts.URL, WithHTTPClient(ts.Client())), devices, ex
 }
 
 func TestEndToEndOverHTTP(t *testing.T) {
