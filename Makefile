@@ -19,9 +19,19 @@ race:
 obs:
 	go test -race -count=1 ./internal/obs
 
-# Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards).
+# Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards)
+# and the wake-up round-trip comparison (sequential vs batched wire).
 bench:
-	go test -bench ShardedServing -benchtime 2s -run '^$$' ./internal/transport
+	go test -bench 'ShardedServing|WakeUp' -benchtime 2s -run '^$$' ./internal/transport
+
+# Batch tier: the coalesced wire protocol. Differential equivalence of
+# the sequential and batched transports (fault-free and under chaos, at
+# shards=1 and shards=4), per-sub-op idempotency properties (intra-batch
+# duplicates, envelope resends, cross-path replays, partial failure),
+# and the envelope fuzz seeds.
+batch:
+	go test -count=1 -run 'TestBatch' ./internal/transport ./internal/sim
+	go test -count=1 -run 'FuzzBatchDecode' ./internal/transport
 
 # Chaos tier: seeded fault injection (drops, 5xx, lost replies, resets,
 # truncated bodies, one timed shard partition) replayed through the HTTP
@@ -33,4 +43,4 @@ chaos:
 	go test -count=1 -run 'TestChaos' ./internal/sim
 	go test -count=1 -run 'TestDoubleSend|TestIdempotency|TestRetry|TestLoadShedding|TestGraceful' ./internal/transport
 
-.PHONY: test race obs bench chaos
+.PHONY: test race obs bench chaos batch

@@ -76,7 +76,7 @@ func TestPublicEnergyStudy(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	ids := adprefetch.Experiments()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	for _, id := range ids {

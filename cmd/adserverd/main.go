@@ -2,7 +2,9 @@
 // auctions, admission control, overbooked replication, claims and
 // billing behind the JSON protocol in internal/transport. Devices (see
 // transport.Device, or examples/httpdemo) speak to it with bundle
-// fetches, slot observations, display reports and on-demand requests.
+// fetches, slot observations, display reports and on-demand requests —
+// either one request per operation, or one POST /v1/batch envelope per
+// wake-up (transport.WithBatching); -max-batch bounds the envelope.
 //
 // With -shards > 1 the client id space is hash-partitioned across that
 // many independent ad-server shards, each behind its own lock, so the
@@ -56,6 +58,7 @@ func main() {
 		pctile    = flag.Float64("percentile", 0.9, "client forecast percentile")
 		seed      = flag.Int64("seed", 1, "demand generation seed")
 		shards    = flag.Int("shards", 1, "ad-server shards (clients hash-partitioned; one lock each)")
+		maxBatch  = flag.Int("max-batch", transport.DefaultMaxBatchOps, "max sub-ops per /v1/batch envelope")
 		statePath = flag.String("state", "", "predictor-state file: loaded at startup, saved on SIGINT/SIGTERM")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables, keep it private")
 	)
@@ -112,6 +115,7 @@ func main() {
 	// in-flight requests on SIGINT/SIGTERM before predictor state is
 	// persisted, so a deploy never truncates a half-served report.
 	ss := transport.NewShardedServer(pool)
+	ss.MaxBatchOps = *maxBatch
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      ss.Handler(),

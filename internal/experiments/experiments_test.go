@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x10", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t1", "t2", "x1", "x10", "x11", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs %v want %v", got, want)
@@ -378,6 +378,38 @@ func TestRunAllSmall(t *testing.T) {
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {
 			t.Errorf("empty table %q", tbl.Title)
+		}
+	}
+}
+
+func TestX11BatchedWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay x6")
+	}
+	tbl, err := Run("x11", Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows=%d want 6 (sequential+batched at 1, 2, 4 shards)", len(tbl.Rows))
+	}
+	// Column 5 is "attempts": every batched row must spend strictly
+	// fewer HTTP round trips than its sequential sibling (runX11 already
+	// errored out unless the ledgers matched exactly).
+	parse := func(row []string, col int) int64 {
+		v, err := strconv.ParseInt(row[col], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[col], err)
+		}
+		return v
+	}
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		seqA, batA := parse(tbl.Rows[i], 5), parse(tbl.Rows[i+1], 5)
+		if batA >= seqA {
+			t.Errorf("shards row %d: batched attempts %d not below sequential %d", i/2, batA, seqA)
+		}
+		if saved := parse(tbl.Rows[i+1], 6); saved == 0 {
+			t.Errorf("shards row %d: batched run saved no round trips", i/2)
 		}
 	}
 }

@@ -53,6 +53,12 @@ const (
 	AttemptHeader        = "X-Retry-Attempt"
 )
 
+// BatchPath is the coalesced-envelope endpoint. Batch requests get
+// per-sub-op fault decisions (see DecideBatch) instead of a single
+// carrier-level draw, so whether a sub-op suffers chaos does not depend
+// on which envelope happened to carry it.
+const BatchPath = "/v1/batch"
+
 // Kind labels one injected fault class.
 type Kind int
 
@@ -284,6 +290,100 @@ func (p *Plan) Decide(endpoint, identity string, attempt int) Kind {
 	return p.decideOnce(r, endpoint, identity, attempt)
 }
 
+// DecideBatch returns the fault injected on the given attempt of a
+// batch envelope carrying the listed sub-op identities (idempotency
+// keys, in op order). Each sub-op draws independently under its own
+// identity — the same draw it would get as a sequential request to
+// endpoint — and the first sub-op whose draw fires sinks the whole
+// carrier (the envelope is one wire request: if any part of it is
+// dropped, delayed or reset, the client loses the entire reply). The
+// MaxFaults budget is counted at the carrier level across attempts, so
+// a retrying client still makes progress within MaxFaults+1 attempts
+// no matter how many sub-ops it coalesced.
+//
+// With no identities (an unkeyed envelope) it falls back to Decide
+// under the carrier's own identity.
+func (p *Plan) DecideBatch(endpoint string, identities []string, attempt int) Kind {
+	if len(identities) == 0 {
+		return p.Decide(endpoint, "", attempt)
+	}
+	r := p.rule(endpoint)
+	if r.total() == 0 {
+		return None
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	decide := func(a int) Kind {
+		for _, id := range identities {
+			if k := p.decideOnce(r, endpoint, id, a); k != None {
+				return k
+			}
+		}
+		return None
+	}
+	if r.MaxFaults > 0 {
+		fired := 0
+		for a := 1; a < attempt; a++ {
+			if decide(a) != None {
+				fired++
+			}
+		}
+		if fired >= r.MaxFaults {
+			return None
+		}
+	}
+	return decide(attempt)
+}
+
+// batchOpsID mirrors the batch envelope's shape just enough to pull the
+// sub-op idempotency keys without importing the transport package.
+type batchOpsID struct {
+	Ops []struct {
+		Key string `json:"key"`
+	} `json:"ops"`
+}
+
+// batchIdentities extracts the sub-op idempotency keys from a batch
+// envelope body (restored for the next reader). Nil when the request is
+// not a parseable batch POST or carries no keyed sub-ops.
+func batchIdentities(r *http.Request) []string {
+	if r.Body == nil || r.Method != http.MethodPost {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if err != nil {
+		return nil
+	}
+	var env batchOpsID
+	if json.Unmarshal(body, &env) != nil {
+		return nil
+	}
+	var ids []string
+	for _, op := range env.Ops {
+		if op.Key != "" {
+			ids = append(ids, op.Key)
+		}
+	}
+	return ids
+}
+
+// decideRequest routes a request to the right decision function: batch
+// envelopes get per-sub-op draws, everything else the single-identity
+// Decide. Both enforcement layers call it, so they keep agreeing on the
+// outcome.
+func (p *Plan) decideRequest(r *http.Request) Kind {
+	identity, attempt := identityOf(r)
+	if r.URL.Path == BatchPath {
+		if ids := batchIdentities(r); len(ids) > 0 {
+			return p.DecideBatch(BatchPath, ids, attempt)
+		}
+	}
+	return p.Decide(r.URL.Path, identity, attempt)
+}
+
 // identityOf extracts the logical request identity and attempt number.
 func identityOf(req *http.Request) (identity string, attempt int) {
 	identity = req.Header.Get(IdempotencyKeyHeader)
@@ -315,9 +415,9 @@ func (p *Plan) RoundTripper(inner http.RoundTripper) http.RoundTripper {
 }
 
 func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
-	identity, attempt := identityOf(req)
+	_, attempt := identityOf(req)
 	endpoint := req.URL.Path
-	kind := t.plan.Decide(endpoint, identity, attempt)
+	kind := t.plan.decideRequest(req)
 	fail := &Error{Kind: kind, Endpoint: endpoint, Attempt: attempt}
 	switch kind {
 	case Drop:
@@ -370,8 +470,7 @@ type requestID struct {
 // its shard index (e.g. a closure over shard.Route).
 func (p *Plan) Middleware(next http.Handler, route func(clientID int) int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		identity, attempt := identityOf(r)
-		if p.Decide(r.URL.Path, identity, attempt) == ServerErr {
+		if p.decideRequest(r) == ServerErr {
 			p.counts[ServerErr].Add(1)
 			http.Error(w, "faults: injected server error", http.StatusServiceUnavailable)
 			return

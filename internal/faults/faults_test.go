@@ -206,3 +206,63 @@ func TestMiddlewareServerErrAndPartition(t *testing.T) {
 		t.Fatalf("middleware consumed the body: %q", rec.Body.String())
 	}
 }
+
+func TestDecideBatchDeterministicAndBudgeted(t *testing.T) {
+	p := &Plan{Seed: 11, Default: Rule{Drop: 0.3, Delay: 0.3, MaxFaults: 2}}
+	q := &Plan{Seed: 11, Default: Rule{Drop: 0.3, Delay: 0.3, MaxFaults: 2}}
+	for i := 0; i < 200; i++ {
+		ids := []string{"a-" + strconv.Itoa(i), "b-" + strconv.Itoa(i), "c-" + strconv.Itoa(i)}
+		// Deterministic: same seed, same identities, same outcome.
+		for a := 1; a <= 4; a++ {
+			if kp, kq := p.DecideBatch(BatchPath, ids, a), q.DecideBatch(BatchPath, ids, a); kp != kq {
+				t.Fatalf("batch %d attempt %d: %v vs %v under one seed", i, a, kp, kq)
+			}
+		}
+		// Carrier-level budget: at most MaxFaults faulted attempts, no
+		// matter how many sub-ops drew — so 4 attempts always reach the
+		// server at least twice.
+		fired := 0
+		for a := 1; a <= 4; a++ {
+			if p.DecideBatch(BatchPath, ids, a) != None {
+				fired++
+			}
+		}
+		if fired > 2 {
+			t.Fatalf("batch %d suffered %d faults past MaxFaults=2", i, fired)
+		}
+	}
+}
+
+func TestDecideBatchCompositionAndFallback(t *testing.T) {
+	p := &Plan{Seed: 5, Default: Rule{Drop: 0.5}}
+	// A batch faults iff some sub-op's own draw faults: adding an
+	// unharmed identity never clears a faulted one, and a batch of one
+	// key agrees with the sequential decision for that key.
+	faulted, clean := 0, 0
+	for i := 0; i < 500; i++ {
+		id := "op-" + strconv.Itoa(i)
+		seq := p.Decide(BatchPath, id, 1)
+		if got := p.DecideBatch(BatchPath, []string{id}, 1); got != seq {
+			t.Fatalf("singleton batch %s: %v, sequential says %v", id, got, seq)
+		}
+		if seq != None {
+			faulted++
+			if p.DecideBatch(BatchPath, []string{"other-" + strconv.Itoa(i), id}, 1) == None {
+				// Only legal if the other identity also drew None — but then
+				// the first non-None is id's, so this must not happen.
+				if p.Decide(BatchPath, "other-"+strconv.Itoa(i), 1) == None {
+					t.Fatalf("batch lost %s's fault", id)
+				}
+			}
+		} else {
+			clean++
+		}
+	}
+	if faulted == 0 || clean == 0 {
+		t.Fatalf("degenerate draw split: %d faulted, %d clean", faulted, clean)
+	}
+	// No identities: fall back to the carrier decision.
+	if got, want := p.DecideBatch(BatchPath, nil, 1), p.Decide(BatchPath, "", 1); got != want {
+		t.Fatalf("empty-identity fallback: %v, want %v", got, want)
+	}
+}

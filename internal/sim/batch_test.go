@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+)
+
+// assertModeEquivalence compares a sequential-wire run against a
+// batched-wire run of the same trace: the batching layer is a pure
+// transport optimization, so every observable outcome — the money
+// ledger, SLA violations, aggregate client counters, per-device
+// counters, server-side sales totals and per-campaign spend — must
+// match field-for-field. Only the wire-economics (Result.Net) may
+// differ, and there the batched run must be strictly cheaper.
+func assertModeEquivalence(t *testing.T, label string, seq, bat *Result) {
+	t.Helper()
+	if seq.Ledger.Sold == 0 || seq.Ledger.Billed == 0 {
+		t.Fatalf("%s: inert sequential run: %+v", label, seq.Ledger)
+	}
+	if got, want := LedgerJSON(bat.Ledger), LedgerJSON(seq.Ledger); got != want {
+		t.Fatalf("%s: ledger differs across wire modes:\n sequential: %s\n batched:    %s", label, want, got)
+	}
+	if seq.Ledger.Violations != bat.Ledger.Violations {
+		t.Fatalf("%s: SLA violations differ: %d sequential vs %d batched",
+			label, seq.Ledger.Violations, bat.Ledger.Violations)
+	}
+	if seq.Counters != bat.Counters {
+		t.Fatalf("%s: aggregate counters differ:\n sequential: %+v\n batched:    %+v",
+			label, seq.Counters, bat.Counters)
+	}
+	if seq.SoldTotal != bat.SoldTotal || seq.Periods != bat.Periods {
+		t.Fatalf("%s: server totals differ: sold %d/%d periods %d/%d",
+			label, seq.SoldTotal, bat.SoldTotal, seq.Periods, bat.Periods)
+	}
+	if len(seq.PerClient) != len(bat.PerClient) {
+		t.Fatalf("%s: device count differs: %d vs %d", label, len(seq.PerClient), len(bat.PerClient))
+	}
+	for id, sc := range seq.PerClient {
+		bc, ok := bat.PerClient[id]
+		if !ok {
+			t.Fatalf("%s: client %d missing from batched run", label, id)
+		}
+		if sc != bc {
+			t.Fatalf("%s: client %d counters differ:\n sequential: %+v\n batched:    %+v", label, id, sc, bc)
+		}
+	}
+	if len(seq.CampaignBilled) != len(bat.CampaignBilled) {
+		t.Fatalf("%s: campaign count differs: %d vs %d",
+			label, len(seq.CampaignBilled), len(bat.CampaignBilled))
+	}
+	for id, s := range seq.CampaignBilled {
+		if b := bat.CampaignBilled[id]; b != s {
+			t.Fatalf("%s: campaign %d billed %v sequential vs %v batched", label, id, s, b)
+		}
+	}
+	// The whole point: identical outcomes for fewer HTTP round trips.
+	if bat.Net.Attempts >= seq.Net.Attempts {
+		t.Fatalf("%s: batching saved nothing: %d attempts vs %d sequential",
+			label, bat.Net.Attempts, seq.Net.Attempts)
+	}
+	t.Logf("%s: attempts %d sequential -> %d batched (%.2fx fewer)",
+		label, seq.Net.Attempts, bat.Net.Attempts,
+		float64(seq.Net.Attempts)/float64(bat.Net.Attempts))
+}
+
+// TestBatchedEquivalenceFaultFree is the differential acceptance for
+// the batched wire protocol: the same seeded trace through the
+// sequential transport and the batched transport, at 1 shard and at 4,
+// must produce identical outcomes on every axis the ledger and the
+// counters can see.
+func TestBatchedEquivalenceFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay x4")
+	}
+	cfg := transportConfig()
+	for _, shards := range []int{1, 4} {
+		seq, err := RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: 4})
+		if err != nil {
+			t.Fatalf("shards=%d sequential: %v", shards, err)
+		}
+		bat, err := RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: 4, Batched: true})
+		if err != nil {
+			t.Fatalf("shards=%d batched: %v", shards, err)
+		}
+		label := map[int]string{1: "shards=1", 4: "shards=4"}[shards]
+		assertModeEquivalence(t, label, seq, bat)
+		if bat.Obs.CounterTotal("batch_round_trips_saved_total") == 0 {
+			t.Fatalf("%s: batched run never used /v1/batch", label)
+		}
+	}
+}
+
+// TestBatchedEquivalenceUnderChaos replays the differential comparison
+// under the PR-2 chaos plan: drops, 5xx, lost replies, resets and
+// truncations hit both wire modes (per-sub-op fault decisions keep the
+// draws aligned with the sequential schedule), and the outcomes must
+// still match exactly — the per-op idempotency keys make a replayed
+// envelope converge to the same exactly-once state.
+//
+// The plan is partition-free on purpose: during a timed blackout the
+// two modes legitimately diverge (a sequential device re-posts a
+// deferred report into the partition window and gives up; a batched
+// device still holds it write-behind and delivers after the window), so
+// partitioned equivalence is not a theorem. The partitioned batched
+// path is covered by TestBatchedChaosPartitionConservation instead.
+func TestBatchedEquivalenceUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP chaos replay x4")
+	}
+	cfg := transportConfig()
+	for _, shards := range []int{1, 4} {
+		seqPlan, batPlan := chaosPlan(4242, false), chaosPlan(4242, false)
+		seq, err := RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: 4, Plan: seqPlan})
+		if err != nil {
+			t.Fatalf("shards=%d sequential: %v", shards, err)
+		}
+		bat, err := RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: 4, Plan: batPlan, Batched: true})
+		if err != nil {
+			t.Fatalf("shards=%d batched: %v", shards, err)
+		}
+		label := map[int]string{1: "chaos shards=1", 4: "chaos shards=4"}[shards]
+		if seqPlan.InjectedTotal() == 0 || batPlan.InjectedTotal() == 0 {
+			t.Fatalf("%s: chaos did not fire: %d sequential, %d batched faults",
+				label, seqPlan.InjectedTotal(), batPlan.InjectedTotal())
+		}
+		assertModeEquivalence(t, label, seq, bat)
+	}
+}
+
+// TestBatchedChaosPartitionConservation covers the one chaos case the
+// differential suite excludes: a timed shard blackout under the batched
+// wire. Exact equivalence with the sequential mode is not required
+// there, but the money invariants are — every sold impression is billed
+// or violated, nothing is billed twice — and the run must stay
+// deterministic under its seed.
+func TestBatchedChaosPartitionConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP chaos replay x2")
+	}
+	cfg := transportConfig()
+	run := func() *Result {
+		res, err := RunTransportWith(cfg, TransportOpts{
+			Shards: 4, Workers: 4, Plan: chaosPlan(1234, true), Batched: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	l := a.Ledger
+	if l.Sold == 0 || l.Billed == 0 {
+		t.Fatalf("inert partitioned run: %+v", l)
+	}
+	if l.Billed+l.Violations != l.Sold {
+		t.Fatalf("conservation broken: billed %d + violations %d != sold %d", l.Billed, l.Violations, l.Sold)
+	}
+	if l.FreeShows != 0 || l.FreeUSD != 0 {
+		t.Fatalf("duplicate displays under batched retries: %d shows, %v USD", l.FreeShows, l.FreeUSD)
+	}
+	if a.Net.DegradedSlots == 0 {
+		t.Fatalf("partition degraded nothing: %+v", a.Net)
+	}
+	if LedgerJSON(a.Ledger) != LedgerJSON(b.Ledger) || a.Net != b.Net {
+		t.Fatalf("partitioned batched run not deterministic:\n%s %+v\n%s %+v",
+			LedgerJSON(a.Ledger), a.Net, LedgerJSON(b.Ledger), b.Net)
+	}
+}

@@ -201,6 +201,12 @@ type Result struct {
 	FaultsInjected int64
 	Net            transport.NetCounters
 
+	// PerClient maps user id to that device's own counters on the
+	// transport path (nil on the in-process path). The differential
+	// batching suite compares it field-for-field between wire modes; the
+	// aggregate Counters above is its sum.
+	PerClient map[int]client.Counters
+
 	// Obs is the server-side metrics registry of a transport run (nil on
 	// the in-process path): per-endpoint latency/size histograms, status
 	// counts, per-shard gauges — everything GET /v1/metrics would serve.

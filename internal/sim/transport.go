@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/auction"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -42,7 +43,7 @@ import (
 // (additive admission). The TestShardCountInvariance suite pins that
 // contract; outside it, totals may legitimately vary with scheduling.
 func RunTransport(cfg Config, shards, workers int) (*Result, error) {
-	return RunTransportChaos(cfg, shards, workers, nil)
+	return RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: workers})
 }
 
 // RunTransportChaos is RunTransport under a seeded fault plan: the
@@ -56,6 +57,32 @@ func RunTransport(cfg Config, shards, workers int) (*Result, error) {
 // and the device request sequences are deterministic per device. Pass a
 // fresh Plan per run: its injection counters accumulate.
 func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Result, error) {
+	return RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: workers, Plan: plan})
+}
+
+// TransportOpts selects the wire-path variants of a transport replay.
+type TransportOpts struct {
+	// Shards is the server shard count (must be >= 1).
+	Shards int
+	// Workers bounds device concurrency; <1 means GOMAXPROCS.
+	Workers int
+	// Plan, when non-nil, runs the replay under that fault plan (see
+	// RunTransportChaos).
+	Plan *faults.Plan
+	// Batched switches every device to the coalesced wire mode
+	// (transport.WithBatching): one POST /v1/batch envelope per wake-up
+	// instead of one request per op, display reports delivered
+	// write-behind. Outcomes are equivalent to the sequential mode — the
+	// differential suite pins ledger, violation and counter equality —
+	// but the run spends far fewer HTTP round trips (Result.Net).
+	Batched bool
+}
+
+// RunTransportWith is the generalized transport replay: RunTransport
+// and RunTransportChaos are thin wrappers over it. See their docs for
+// the replay contract.
+func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
+	shards, workers, plan := o.Shards, o.Workers, o.Plan
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,6 +192,9 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 			meters[i] = radio.New(radio.Profile3G())
 			opts = append(opts, transport.WithMeter(meters[i]))
 		}
+		if o.Batched {
+			opts = append(opts, transport.WithBatching())
+		}
 		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, opts...)
 		if err != nil {
 			return nil, err
@@ -237,12 +267,23 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 		}); err != nil {
 			return nil, err
 		}
+		// Batched devices hold display reports write-behind; deliver them
+		// before the boundary closes the period so the server's sweep
+		// state matches the sequential path at every EndPeriod.
+		if o.Batched && selling {
+			if err := eachDevice(len(devices), workers, func(i int) error {
+				devices[i].FlushDeferred(end)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	// Settle deferred display reports while the server is still up:
 	// devices that rode out a partition deliver their queued billing
 	// under the original keys and timestamps.
-	if plan != nil {
+	if plan != nil || o.Batched {
 		if err := eachDevice(len(devices), workers, func(i int) error {
 			devices[i].FlushDeferred(pop.Span)
 			return nil
@@ -259,8 +300,10 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 	}
 	res.Ledger = pool.Ledger()
 	res.Days = pop.Days() - cfg.WarmupDays
-	for _, d := range devices {
+	res.PerClient = make(map[int]client.Counters, len(devices))
+	for i, d := range devices {
 		c := d.Counters()
+		res.PerClient[users[i].ID] = c
 		res.Counters.SlotsServed += c.SlotsServed
 		res.Counters.CacheHits += c.CacheHits
 		res.Counters.OnDemandFetches += c.OnDemandFetches
@@ -269,13 +312,18 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 		res.Counters.DroppedOverflow += c.DroppedOverflow
 		res.Counters.DroppedExpired += c.DroppedExpired
 	}
+	// Net is collected on every transport run (the batching experiments
+	// compare round-trip counts of fault-free runs); the energy and
+	// fault tallies stay chaos-only.
+	for _, d := range devices {
+		res.Net.Add(d.Net())
+	}
+	res.Net.Add(coord.Net())
 	if plan != nil {
 		for i, d := range devices {
 			meters[i].Flush() // settle the final radio tail
 			res.RetryEnergyJ += d.RetryEnergyJ()
-			res.Net.Add(d.Net())
 		}
-		res.Net.Add(coord.Net())
 		res.FaultsInjected = plan.InjectedTotal()
 	}
 	res.CampaignBilled = make(map[auction.CampaignID]float64, cfg.Demand.Campaigns)

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/predict"
+	"repro/internal/shard"
+)
+
+// newBatchStack builds a sharded stack for batch-protocol property
+// tests, returning the server and its pool (for ledger assertions).
+func newBatchStack(t *testing.T, shards, clients int) (*ShardedServer, *shard.Pool) {
+	t.Helper()
+	cfg := adserver.DefaultConfig()
+	cfg.Period = time.Hour
+	cfg.Overbook.FixedReplicas = 1
+	cfg.Overbook.AdmissionEpsilon = 0.45
+	cfg.ReportLatency = 0
+	ids := make([]int, clients)
+	for i := range ids {
+		ids[i] = i
+	}
+	pool, err := shard.New(shards, cfg, ids,
+		func(int) (*auction.Exchange, error) {
+			return auction.NewExchange([]auction.Campaign{
+				{ID: 0, Name: "acme", BidCPM: 2000, BudgetUSD: 1e6},
+			}, 0.0001)
+		},
+		func(int) predict.Predictor {
+			return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewShardedServer(pool), pool
+}
+
+// postBatch sends one envelope straight at the handler.
+func postBatch(t *testing.T, h http.Handler, env batchMsg) (int, BatchReply) {
+	t.Helper()
+	body, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var reply BatchReply
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+			t.Fatalf("decoding batch reply %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec.Code, reply
+}
+
+// startPeriod opens a selling period so slots and reports have stock.
+func startPeriod(t *testing.T, h http.Handler) {
+	t.Helper()
+	body := `{"now_ns":0,"index":0,"of_day":0,"weekend":false}`
+	req := httptest.NewRequest("POST", "/v1/period/start", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("period start: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// fetchImpression downloads a client's bundle and returns its first
+// staged impression id.
+func fetchImpression(t *testing.T, h http.Handler, client int) int64 {
+	t.Helper()
+	req := httptest.NewRequest("GET", fmt.Sprintf("/v1/bundle?client=%d&now_ns=60000000000", client), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bundle: %d %s", rec.Code, rec.Body.String())
+	}
+	var b BundleReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ads) == 0 {
+		t.Fatal("empty bundle")
+	}
+	return b.Ads[0].ID
+}
+
+// dedupLen sums the dedup entries across shards.
+func dedupLen(ss *ShardedServer) int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.dedup.len()
+	}
+	return n
+}
+
+// TestBatchIntraBatchDuplicateKey pins the per-sub-op idempotency
+// property inside a single envelope: a duplicate key replays the first
+// result (billing exactly once), and a key reuse with a different
+// payload answers 409 without executing.
+func TestBatchIntraBatchDuplicateKey(t *testing.T) {
+	ss, pool := newBatchStack(t, 2, 4)
+	h := ss.Handler()
+	startPeriod(t, h)
+	imp := fetchImpression(t, h, 0)
+
+	now := int64(3600 * 1e9)
+	code, reply := postBatch(t, h, batchMsg{Client: 0, NowNS: now, Ops: []BatchOp{
+		{Op: OpReport, Key: "dup-key", Impression: imp},
+		{Op: OpReport, Key: "dup-key", Impression: imp},
+		{Op: OpReport, Key: "dup-key", Impression: imp + 999}, // same key, different request
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("carrier status %d", code)
+	}
+	if reply.Results[0].Status != http.StatusOK || reply.Results[0].Replayed {
+		t.Fatalf("first op: %+v", reply.Results[0])
+	}
+	if reply.Results[1].Status != http.StatusOK || !reply.Results[1].Replayed {
+		t.Fatalf("duplicate key not replayed: %+v", reply.Results[1])
+	}
+	if reply.Results[2].Status != http.StatusConflict {
+		t.Fatalf("key reuse with new payload: %+v, want 409", reply.Results[2])
+	}
+	l := pool.Ledger()
+	if l.Billed != 1 || l.FreeShows != 0 {
+		t.Fatalf("duplicate sub-op double-billed: %+v", l)
+	}
+	if dedupLen(ss) != 1 {
+		t.Fatalf("dedup holds %d entries for one key", dedupLen(ss))
+	}
+}
+
+// TestBatchResendReplaysPerOp pins the envelope-replay property: a
+// resent batch (same ops, same keys) replays every keyed sub-op
+// individually — no side effect runs twice, and the results match the
+// originals byte-for-byte.
+func TestBatchResendReplaysPerOp(t *testing.T) {
+	ss, pool := newBatchStack(t, 2, 4)
+	h := ss.Handler()
+	startPeriod(t, h)
+	imp := fetchImpression(t, h, 1)
+
+	env := batchMsg{Client: 1, NowNS: int64(3600 * 1e9), Ops: []BatchOp{
+		{Op: OpSlot, Key: "rs-slot"},
+		{Op: OpReport, Key: "rs-report", Impression: imp},
+		{Op: OpOnDemand, Key: "rs-od", NoRescue: true},
+	}}
+	code1, first := postBatch(t, h, env)
+	after1 := pool.Ledger()
+	code2, second := postBatch(t, h, env)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("carrier statuses %d, %d", code1, code2)
+	}
+	for i := range env.Ops {
+		f, s := first.Results[i], second.Results[i]
+		if f.Replayed {
+			t.Fatalf("op %d replayed on first send: %+v", i, f)
+		}
+		if !s.Replayed {
+			t.Fatalf("op %d not replayed on resend: %+v", i, s)
+		}
+		if s.Status != f.Status || string(s.Body) != string(f.Body) || s.Error != f.Error {
+			t.Fatalf("op %d replay drift:\n first: %+v\n again: %+v", i, f, s)
+		}
+	}
+	// The resend changed nothing: every side effect ran on send one.
+	if l := pool.Ledger(); l != after1 {
+		t.Fatalf("envelope resend re-executed side effects:\n after 1st: %+v\n after 2nd: %+v", after1, l)
+	}
+}
+
+// TestBatchCrossPathReplay pins hash compatibility between the wire
+// modes: a keyed request delivered sequentially then retried inside a
+// batch (or the reverse) is recognized as the same logical request and
+// replayed, never re-executed — a device may switch modes mid-retry.
+func TestBatchCrossPathReplay(t *testing.T) {
+	ss, pool := newBatchStack(t, 2, 4)
+	h := ss.Handler()
+	startPeriod(t, h)
+	imp := fetchImpression(t, h, 0)
+	now := int64(3600 * 1e9)
+
+	// Sequential first: POST /v1/report under key "xp".
+	body, _ := json.Marshal(reportMsg{Client: 0, Impression: imp, NowNS: now})
+	req := httptest.NewRequest("POST", "/v1/report", strings.NewReader(string(body)))
+	req.Header.Set(idempotencyKeyHeader, "xp")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sequential report: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Batched retry of the same logical request must replay.
+	code, reply := postBatch(t, h, batchMsg{Client: 0, NowNS: now, Ops: []BatchOp{
+		{Op: OpReport, Key: "xp", Impression: imp},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("carrier status %d", code)
+	}
+	if r := reply.Results[0]; r.Status != http.StatusOK || !r.Replayed {
+		t.Fatalf("batched retry of sequential request not replayed: %+v", r)
+	}
+
+	// Reverse direction: a slot op keyed in a batch, retried sequentially.
+	code, reply = postBatch(t, h, batchMsg{Client: 1, NowNS: now, Ops: []BatchOp{
+		{Op: OpSlot, Key: "xp2"},
+	}})
+	if code != http.StatusOK || reply.Results[0].Status != http.StatusOK {
+		t.Fatalf("batched slot: %d %+v", code, reply.Results)
+	}
+	sb, _ := json.Marshal(slotMsg{Client: 1, NowNS: now})
+	req = httptest.NewRequest("POST", "/v1/slot", strings.NewReader(string(sb)))
+	req.Header.Set(idempotencyKeyHeader, "xp2")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sequential retry of batched slot: %d %s", rec.Code, rec.Body.String())
+	}
+	if dedupLen(ss) != 2 {
+		t.Fatalf("dedup holds %d entries for two keys", dedupLen(ss))
+	}
+	if l := pool.Ledger(); l.Billed != 1 || l.FreeShows != 0 {
+		t.Fatalf("cross-path retry double-billed: %+v", l)
+	}
+}
+
+// TestBatchPartialFailure pins the envelope's partial-failure contract:
+// invalid sub-ops fail per-op while the valid ones execute, and the
+// carrier still answers 200.
+func TestBatchPartialFailure(t *testing.T) {
+	ss, _ := newBatchStack(t, 2, 4)
+	h := ss.Handler()
+	startPeriod(t, h)
+
+	code, reply := postBatch(t, h, batchMsg{Client: 0, NowNS: int64(3600 * 1e9), Ops: []BatchOp{
+		{Op: OpSlot},
+		{Op: "transmogrify"},
+		{Op: OpSlot, Key: "bad key with spaces"},
+		{Op: OpReport, Impression: 123456789}, // unknown impression
+		{Op: OpCancelled, IDs: []int64{1, 2}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("carrier status %d, want 200 with per-op failures", code)
+	}
+	want := []int{200, 400, 400, 400, 200}
+	for i, w := range want {
+		if reply.Results[i].Status != w {
+			t.Fatalf("op %d: status %d (%q), want %d", i, reply.Results[i].Status, reply.Results[i].Error, w)
+		}
+	}
+	if reply.Results[1].Error == "" || reply.Results[2].Error == "" {
+		t.Fatalf("invalid ops carry no error message: %+v", reply.Results)
+	}
+	if dedupLen(ss) != 0 {
+		t.Fatalf("rejected sub-ops left %d dedup entries", dedupLen(ss))
+	}
+}
+
+// TestBatchEnvelopeValidation pins whole-envelope rejection: an empty
+// or oversized envelope answers a clean 400 and commits nothing.
+func TestBatchEnvelopeValidation(t *testing.T) {
+	ss, pool := newBatchStack(t, 2, 4)
+	h := ss.Handler()
+	startPeriod(t, h)
+
+	if code, _ := postBatch(t, h, batchMsg{Client: 0}); code != http.StatusBadRequest {
+		t.Fatalf("empty envelope: %d, want 400", code)
+	}
+	big := make([]BatchOp, DefaultMaxBatchOps+1)
+	for i := range big {
+		big[i] = BatchOp{Op: OpSlot, Key: fmt.Sprintf("k%d", i)}
+	}
+	if code, _ := postBatch(t, h, batchMsg{Client: 0, Ops: big}); code != http.StatusBadRequest {
+		t.Fatalf("oversized envelope: %d, want 400", code)
+	}
+	if dedupLen(ss) != 0 {
+		t.Fatalf("rejected envelope committed %d dedup entries", dedupLen(ss))
+	}
+	if l := pool.Ledger(); l.Billed != 0 {
+		t.Fatalf("rejected envelope billed: %+v", l)
+	}
+
+	// A raised limit admits the same envelope.
+	ss.MaxBatchOps = DefaultMaxBatchOps + 8
+	if code, _ := postBatch(t, h, batchMsg{Client: 0, Ops: big}); code != http.StatusOK {
+		t.Fatalf("envelope under raised limit: %d, want 200", code)
+	}
+}

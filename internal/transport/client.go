@@ -284,13 +284,18 @@ func (c *caller) RetryEnergyJ() float64 {
 	return c.meter.UsageOf(RetryOwner).TotalJ()
 }
 
-// deferredReport is a display report that could not reach the server:
-// it keeps its original idempotency key and timestamp, so a later
+// deferredReport is a display report queued for later delivery: it
+// keeps its original idempotency key and timestamp, so the eventual
 // delivery bills the display at display time — or replays the stored
-// answer if an earlier attempt actually landed.
+// answer if an earlier attempt actually landed. The sequential path
+// queues these only when the server is unreachable; the batched path
+// queues every report write-behind so it rides the next envelope.
+// counted marks entries already tallied in NetCounters.DeferredReports
+// (batched write-behinds only count if a flush actually fails).
 type deferredReport struct {
-	key string
-	msg reportMsg
+	key     string
+	msg     reportMsg
+	counted bool
 }
 
 // Device is the phone-side runtime speaking the transport protocol: it
@@ -319,8 +324,12 @@ type Device struct {
 	// known caches cancellation knowledge fetched from the server.
 	known map[auction.ImpressionID]bool
 
-	// deferred holds display reports awaiting a reachable server.
+	// deferred holds display reports awaiting delivery: the unreachable
+	// queue in sequential mode, the write-behind outbox in batched mode.
 	deferred []deferredReport
+
+	// batching selects the coalesced wire mode (see WithBatching).
+	batching bool
 }
 
 // NewDevice creates a device talking to the server at baseURL. With no
@@ -331,11 +340,13 @@ func NewDevice(id, cacheCap int, baseURL string, opts ...Option) (*Device, error
 	if err != nil {
 		return nil, err
 	}
+	o := buildOptions(opts)
 	return &Device{
-		ID:     id,
-		caller: newCaller(baseURL, fmt.Sprintf("c%d", id), int64(id)+1, buildOptions(opts)),
-		dev:    dev,
-		known:  make(map[auction.ImpressionID]bool),
+		ID:       id,
+		caller:   newCaller(baseURL, fmt.Sprintf("c%d", id), int64(id)+1, o),
+		dev:      dev,
+		known:    make(map[auction.ImpressionID]bool),
+		batching: o.batching,
 	}, nil
 }
 
@@ -356,6 +367,9 @@ func (d *Device) PendingReports() int { return len(d.deferred) }
 // unreachable the bundle is abandoned for this period (the ads expire
 // server-side) and the device carries on from its cache.
 func (d *Device) FetchBundle(now simclock.Time) (int, error) {
+	if d.batching {
+		return d.batchedFetchBundle(now)
+	}
 	d.FlushDeferred(now)
 	q := url.Values{
 		"client": {strconv.Itoa(d.ID)},
@@ -397,6 +411,9 @@ type SlotOutcome struct {
 // nothing is sold or displayed). A lost observation only costs training
 // data, so an unreachable server is not an error.
 func (d *Device) ObserveSlot(now simclock.Time) error {
+	if d.batching {
+		return d.batchedObserveSlot(now)
+	}
 	err := d.post(now, "/v1/slot", slotMsg{Client: d.ID, NowNS: int64(now)}, d.nextKey(), &struct{}{})
 	if errors.Is(err, ErrUnreachable) {
 		d.net.LostObservations++
@@ -412,6 +429,9 @@ func (d *Device) ObserveSlot(now simclock.Time) error {
 // last-known cancellation state with the report deferred, and cache
 // misses show a house ad (Impression 0, Degraded set).
 func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutcome, error) {
+	if d.batching {
+		return d.batchedHandleSlot(now, cats)
+	}
 	var out SlotOutcome
 	d.FlushDeferred(now)
 	degraded := false
@@ -442,7 +462,7 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 			// The display happened; the bill must not be lost with the
 			// link. Queue the report under its original key so delivery
 			// (or replay, if an attempt landed server-side) is exact.
-			d.deferred = append(d.deferred, deferredReport{key: key, msg: msg})
+			d.deferred = append(d.deferred, deferredReport{key: key, msg: msg, counted: true})
 			d.net.DeferredReports++
 			d.cm.deferredDepth.Add(1)
 			out.Deferred = true
@@ -489,8 +509,13 @@ func (d *Device) HandleSlot(now simclock.Time, cats []trace.Category) (SlotOutco
 // reports the server definitively rejects (e.g. the impression expired
 // while the device was offline — the sweep already settled it).
 // HandleSlot and FetchBundle flush opportunistically; call this at the
-// end of a run to settle the queue.
+// end of a run to settle the queue. In batched mode the queue is the
+// write-behind outbox and one envelope settles all of it.
 func (d *Device) FlushDeferred(now simclock.Time) {
+	if d.batching {
+		d.flushBatched(now)
+		return
+	}
 	for len(d.deferred) > 0 {
 		dr := d.deferred[0]
 		err := d.post(now, "/v1/report", dr.msg, dr.key, &struct{}{})
@@ -506,21 +531,32 @@ func (d *Device) FlushDeferred(now simclock.Time) {
 	}
 }
 
-// refreshCancellations asks the server which cached impressions are
-// already claimed elsewhere, so the cache can skip them.
-func (d *Device) refreshCancellations(now simclock.Time) error {
+// unknownCancellationIDs lists cached impressions whose cancellation
+// state is not yet known, in cache snapshot order.
+func (d *Device) unknownCancellationIDs() []int64 {
 	snapshot := d.dev.Cache.Snapshot()
 	if len(snapshot) == 0 {
 		return nil
 	}
-	ids := make([]string, 0, len(snapshot))
+	ids := make([]int64, 0, len(snapshot))
 	for _, ad := range snapshot {
 		if !d.known[ad.ID] {
-			ids = append(ids, strconv.FormatInt(int64(ad.ID), 10))
+			ids = append(ids, int64(ad.ID))
 		}
 	}
-	if len(ids) == 0 {
+	return ids
+}
+
+// refreshCancellations asks the server which cached impressions are
+// already claimed elsewhere, so the cache can skip them.
+func (d *Device) refreshCancellations(now simclock.Time) error {
+	raw := d.unknownCancellationIDs()
+	if len(raw) == 0 {
 		return nil
+	}
+	ids := make([]string, len(raw))
+	for i, id := range raw {
+		ids[i] = strconv.FormatInt(id, 10)
 	}
 	q := url.Values{
 		"client": {strconv.Itoa(d.ID)},

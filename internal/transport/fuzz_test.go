@@ -206,3 +206,76 @@ func FuzzWireRoundTrip(f *testing.F) {
 		check(AdMsg{ID: imp, DeadlineNS: nowNS, Tie: uint64(imp)}, &AdMsg{})
 	})
 }
+
+// FuzzBatchDecode throws arbitrary envelopes at POST /v1/batch: the
+// server must answer per-op errors or a clean 400 — never panic, never
+// 5xx — and a rejected envelope must commit nothing.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(`{"client":0,"now_ns":0,"ops":[{"op":"slot","key":"k1"},{"op":"bundle"}]}`)
+	f.Add(`{"client":0,"ops":[]}`)
+	f.Add(`{"ops":[{"op":"transmogrify"},{"op":"slot"},{"op":"report","impression":-1}]}`)
+	f.Add(`{"ops":[{"op":"slot","key":"bad key"},{"op":"ondemand","categories":["x"],"no_rescue":true}]}`)
+	f.Add(`{"client":1,"ops":[{"op":"cancelled","ids":[1,2,3]},{"op":"slot","client":-5,"now_ns":-1}]}`)
+	f.Add(`{"ops":[` + strings.Repeat(`{"op":"slot"},`, 128) + `{"op":"slot"}]}`)
+	f.Add(`{not json`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`{"ops":[{"op":"report","key":"k","client":999999,"impression":1e300}]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// A fresh stack per input: the no-partial-commit check needs a
+		// dedup store that starts empty.
+		ex, err := auction.NewExchange([]auction.Campaign{
+			{ID: 0, Name: "acme", BidCPM: 2000, BudgetUSD: 1e6},
+		}, 0.0001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := adserver.DefaultConfig()
+		cfg.Period = time.Hour
+		srv, err := adserver.New(cfg, ex, []int{0, 1, 2, 3}, func(int) predict.Predictor {
+			return constPredictor{est: predict.Estimate{Slots: 2, Mean: 2, NoShowProb: 0.1}}
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := newSharded([]*adserver.Server{srv}, func(int) int { return 0 })
+		h := ss.Handler()
+
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /v1/batch with %q: status %d", body, rec.Code)
+		}
+		if rec.Code != 200 {
+			// A rejected envelope commits nothing: no dedup entries, no
+			// money moved.
+			if n := ss.shards[0].dedup.len(); n != 0 {
+				t.Fatalf("rejected envelope (%d) left %d dedup entries", rec.Code, n)
+			}
+			if l := ex.Ledger(); l.Billed != 0 || l.Sold != 0 {
+				t.Fatalf("rejected envelope (%d) moved money: %+v", rec.Code, l)
+			}
+			return
+		}
+		// A 200 carrier answers exactly one result per op, statuses in the
+		// sequential endpoints' range.
+		var env batchMsg
+		if json.Unmarshal([]byte(body), &env) != nil {
+			t.Fatalf("carrier 200 for an undecodable envelope %q", body)
+		}
+		var reply BatchReply
+		if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+			t.Fatalf("undecodable batch reply %q: %v", rec.Body.String(), err)
+		}
+		if len(reply.Results) != len(env.Ops) {
+			t.Fatalf("%d results for %d ops", len(reply.Results), len(env.Ops))
+		}
+		for i, r := range reply.Results {
+			if r.Status >= 500 {
+				t.Fatalf("op %d answered %d: %+v", i, r.Status, r)
+			}
+		}
+	})
+}

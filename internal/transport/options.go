@@ -20,6 +20,7 @@ type options struct {
 	seed     *int64
 	meter    *radio.Radio
 	registry *obs.Registry
+	batching bool
 }
 
 func buildOptions(opts []Option) options {
@@ -56,6 +57,19 @@ func WithJitterSeed(seed int64) Option {
 // concurrently-used radio (a Device and its meter are single-threaded).
 func WithMeter(m *radio.Radio) Option {
 	return func(o *options) { o.meter = m }
+}
+
+// WithBatching switches a Device to the coalesced wire mode: the ops of
+// one wake-up travel in a single POST /v1/batch envelope instead of one
+// request each, display reports are queued write-behind and ride the
+// next envelope (or a FlushDeferred call), and the radio model is
+// charged once per batch instead of once per op. Sub-ops keep their
+// individual idempotency keys, so retries and mode switches never
+// double-execute; outcomes are equivalent to the sequential mode (the
+// differential suite in internal/sim pins this). Coordinators ignore
+// the option.
+func WithBatching() Option {
+	return func(o *options) { o.batching = true }
 }
 
 // WithRegistry attaches client-side instrumentation: attempts, retries,

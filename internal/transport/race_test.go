@@ -14,8 +14,9 @@ import (
 
 // TestShardedStress hammers a live sharded server from 32 goroutines
 // with a mixed workload — slot observations, display reports, bundle
-// downloads, cancellation queries, on-demand sales, stats and ledger
-// scrapes — while a coordinator concurrently cycles period start/end.
+// downloads, cancellation queries, on-demand sales, batch envelopes,
+// stats and ledger scrapes — while a coordinator concurrently cycles
+// period start/end.
 // It exists for `go test -race ./internal/transport` (`make race`): any
 // unsynchronized access on the serving path is a failure even if every
 // response looks fine.
@@ -89,7 +90,7 @@ func TestShardedStress(t *testing.T) {
 				}
 				now := simclock.Time(g*iterations+i) * simclock.Second
 				var err error
-				switch i % 7 {
+				switch i % 8 {
 				case 0:
 					err = drain(hc.Post(ts.URL+"/v1/slot", "application/json",
 						strings.NewReader(fmt.Sprintf(`{"client":%d,"now_ns":%d}`, cid, now))))
@@ -108,6 +109,13 @@ func TestShardedStress(t *testing.T) {
 					err = drain(hc.Get(ts.URL + "/v1/stats"))
 				case 6:
 					err = drain(hc.Get(ts.URL + "/v1/ledger"))
+				case 7:
+					// A multi-kind envelope with keyed sub-ops: batch dedup and
+					// group execution race the sequential endpoints above.
+					err = drain(hc.Post(ts.URL+"/v1/batch", "application/json",
+						strings.NewReader(fmt.Sprintf(
+							`{"client":%d,"now_ns":%d,"ops":[{"op":"slot","key":"st-%d-%d"},{"op":"cancelled","ids":[%d,%d]},{"op":"ondemand","key":"od-%d-%d","no_rescue":true},{"op":"bundle"}]}`,
+							cid, now, g, i, i+1, i+2, g, i))))
 				}
 				if err != nil {
 					errs[g] = err

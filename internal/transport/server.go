@@ -12,11 +12,19 @@
 //	POST /v1/report         {client, impression, now_ns}      -> display report (billing + claims)
 //	GET  /v1/cancelled?client=N&ids=1,2,3&now_ns=T            -> which of the ids are claimed, per sync policy
 //	POST /v1/ondemand       {client, now_ns, categories}      -> rescue or fresh sale for a cache miss
+//	POST /v1/batch          {client, now_ns, ops:[...]}       -> one wake-up's sub-ops in a single envelope
 //	POST /v1/period/end     {now_ns, index, of_day, weekend}  -> train predictors, sweep expiries
 //	GET  /v1/ledger                                            -> exchange ledger snapshot (merged across shards)
 //	GET  /v1/stats                                             -> ops snapshot (merged across shards)
 //	GET  /v1/health                                            -> per-shard load + key runtime gauges
 //	GET  /v1/metrics                                           -> Prometheus text exposition (see internal/obs)
+//
+// POST /v1/batch is the coalesced form of the client-scoped endpoints:
+// an ordered list of sub-operations (slot, report, ondemand, cancelled,
+// bundle), each carrying its own idempotency key, executed per shard
+// under a single lock acquisition and answered per-op — the envelope
+// succeeds whenever it was well-formed, and a client retries only the
+// sub-ops that failed. See batch.go and DESIGN.md §5c.
 //
 // Every request the clients send carries X-AdPrefetch-Version with the
 // protocol major version (currently 1); the server echoes its own

@@ -24,8 +24,8 @@ import (
 // (unknown paths land in the middleware's "other" bucket).
 var v1Endpoints = []string{
 	"/v1/period/start", "/v1/period/end", "/v1/bundle", "/v1/slot",
-	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/ledger",
-	"/v1/stats", "/v1/health", "/v1/metrics",
+	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch",
+	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
 }
 
 // ShardedServer serves the transport protocol over N independent
@@ -60,6 +60,10 @@ type ShardedServer struct {
 	// while requests are in flight.
 	MaxOpenBook int
 
+	// MaxBatchOps bounds the sub-operations one POST /v1/batch envelope
+	// may carry; zero means DefaultMaxBatchOps. Set before serving.
+	MaxBatchOps int
+
 	// periodDedup dedups the coordinator's period start/end calls,
 	// which fan out to every shard and so cannot live in one shard's
 	// store. periodSweep carries the latest sweep cutoff out of the
@@ -68,6 +72,13 @@ type ShardedServer struct {
 	// the response is written.
 	periodDedup dedupStore
 	periodSweep atomic.Int64
+
+	// Batch instrumentation: envelope sizes, sub-ops by kind, and the
+	// round trips batching saved versus one request per op.
+	batchSize    *obs.Histogram
+	batchSaved   *obs.Counter
+	batchSubops  map[string]*obs.Counter
+	batchInvalid *obs.Counter
 }
 
 // shardState is one shard's serving state: the single-threaded engine,
@@ -240,6 +251,16 @@ func newSharded(servers []*adserver.Server, route func(clientID int) int) *Shard
 	s.reg.SetHelp("shard_open_book", "Open (sold, undisplayed, unexpired) impressions on the shard.")
 	s.reg.SetHelp("shard_staged_ads", "Bundle ads staged for download on the shard.")
 	s.reg.SetHelp("shard_dedup_keys", "Live idempotency-dedup entries on the shard.")
+	s.reg.SetHelp("batch_ops", "Sub-operations per accepted /v1/batch envelope.")
+	s.reg.SetHelp("batch_subops_total", "Batch sub-operations received, by op kind (invalid = unknown kind or malformed key).")
+	s.reg.SetHelp("batch_round_trips_saved_total", "HTTP round trips batching avoided: sub-ops beyond the first of each accepted envelope.")
+	s.batchSize = s.reg.Histogram("batch_ops")
+	s.batchSaved = s.reg.Counter("batch_round_trips_saved_total")
+	s.batchSubops = make(map[string]*obs.Counter, len(batchOpKinds))
+	for _, k := range batchOpKinds {
+		s.batchSubops[k] = s.reg.Counter("batch_subops_total", "op", k)
+	}
+	s.batchInvalid = s.reg.Counter("batch_subops_total", "op", "invalid")
 	for i, srv := range servers {
 		sh := &shardState{srv: srv, staged: make(map[int][]client.CachedAd)}
 		label := strconv.Itoa(i)
@@ -356,6 +377,7 @@ func (s *ShardedServer) Handler() http.Handler {
 			return s.clientPrep(m.Client, m.NowNS)
 		},
 		s.execOnDemand))
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/ledger", handle(noReq, noDedup, s.execLedger))
 	mux.HandleFunc("GET /v1/stats", handle(noReq, noDedup, s.execStats))
 	mux.HandleFunc("GET /v1/health", handle(noReq, noDedup, s.execHealth))
@@ -497,22 +519,32 @@ func (s *ShardedServer) decodeBundle(w http.ResponseWriter, r *http.Request) (bu
 func (s *ShardedServer) execBundle(q bundleReq) (BundleReply, *httpError) {
 	sh := s.shardFor(q.client)
 	sh.mu.Lock()
-	ads := sh.staged[q.client]
-	delete(sh.staged, q.client)
-	sh.mu.Unlock()
-	return BundleReply{Ads: toAdMsgs(ads)}, nil
+	defer sh.mu.Unlock()
+	return s.bundleLocked(sh, q.client), nil
+}
+
+// bundleLocked drains the client's staged shelf; sh.mu must be held.
+func (s *ShardedServer) bundleLocked(sh *shardState, client int) BundleReply {
+	ads := sh.staged[client]
+	delete(sh.staged, client)
+	return BundleReply{Ads: toAdMsgs(ads)}
 }
 
 func (s *ShardedServer) execSlot(msg slotMsg) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return struct{}{}, s.slotLocked(sh, msg.Client)
+}
+
+// slotLocked observes a slot firing; sh.mu must be held.
+func (s *ShardedServer) slotLocked(sh *shardState, client int) *httpError {
 	if s.shedding(sh) {
 		sh.shed.Inc()
-		return struct{}{}, errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
+		return errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
 	}
-	sh.srv.ObserveSlot(msg.Client)
-	return struct{}{}, nil
+	sh.srv.ObserveSlot(client)
+	return nil
 }
 
 // execReport bills a display. Reports are never shed: they bill sold
@@ -521,12 +553,16 @@ func (s *ShardedServer) execSlot(msg slotMsg) (struct{}, *httpError) {
 func (s *ShardedServer) execReport(msg reportMsg) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
-	err := sh.srv.ReportDisplay(auction.ImpressionID(msg.Impression), simclock.Time(msg.NowNS))
-	sh.mu.Unlock()
-	if err != nil {
-		return struct{}{}, errf(http.StatusBadRequest, "%s", err.Error())
+	defer sh.mu.Unlock()
+	return struct{}{}, s.reportLocked(sh, msg.Impression, msg.NowNS)
+}
+
+// reportLocked bills a display; sh.mu must be held.
+func (s *ShardedServer) reportLocked(sh *shardState, impression, nowNS int64) *httpError {
+	if err := sh.srv.ReportDisplay(auction.ImpressionID(impression), simclock.Time(nowNS)); err != nil {
+		return errf(http.StatusBadRequest, "%s", err.Error())
 	}
-	return struct{}{}, nil
+	return nil
 }
 
 // cancelledReq is the decoded GET /v1/cancelled query.
@@ -567,33 +603,59 @@ func (s *ShardedServer) decodeCancelled(w http.ResponseWriter, r *http.Request) 
 func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time) { return nil, 0 }
 
 func (s *ShardedServer) execCancelled(q cancelledReq) (CancelledReply, *httpError) {
-	var reply CancelledReply
+	ids, herr := parseIDList(q.ids)
+	if herr != nil {
+		return CancelledReply{}, herr
+	}
 	q.sh.mu.Lock()
 	defer q.sh.mu.Unlock()
-	for _, part := range strings.Split(q.ids, ",") {
+	return s.cancelledLocked(q.sh, ids, simclock.Time(q.nowNS)), nil
+}
+
+// parseIDList parses a comma-separated impression-id list (empty parts
+// skipped, as the query form always allowed).
+func parseIDList(raw string) ([]int64, *httpError) {
+	var ids []int64
+	for _, part := range strings.Split(raw, ",") {
 		if part == "" {
 			continue
 		}
 		id, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
-			return reply, errf(http.StatusBadRequest, "bad id %q", part)
+			return nil, errf(http.StatusBadRequest, "bad id %q", part)
 		}
-		if q.sh.srv.CancellationKnown(auction.ImpressionID(id), simclock.Time(q.nowNS)) {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// cancelledLocked answers which of the ids are known claimed; sh.mu
+// must be held. The reply preserves query order.
+func (s *ShardedServer) cancelledLocked(sh *shardState, ids []int64, now simclock.Time) CancelledReply {
+	var reply CancelledReply
+	for _, id := range ids {
+		if sh.srv.CancellationKnown(auction.ImpressionID(id), now) {
 			reply.Cancelled = append(reply.Cancelled, id)
 		}
 	}
-	return reply, nil
+	return reply
 }
 
 func (s *ShardedServer) execOnDemand(msg onDemandMsg) (OnDemandReply, *httpError) {
+	sh := s.shardFor(msg.Client)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.onDemandLocked(sh, msg)
+}
+
+// onDemandLocked runs the cache-miss fallback (rescue, then a fresh
+// sale); sh.mu must be held.
+func (s *ShardedServer) onDemandLocked(sh *shardState, msg onDemandMsg) (OnDemandReply, *httpError) {
 	cats := make([]trace.Category, len(msg.Categories))
 	for i, c := range msg.Categories {
 		cats[i] = trace.Category(c)
 	}
 	now := simclock.Time(msg.NowNS)
-	sh := s.shardFor(msg.Client)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.shedding(sh) {
 		// Fresh sales grow the open book; shed them until it drains.
 		// The client's fallback is its cache or a house ad.
