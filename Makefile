@@ -9,7 +9,7 @@ test:
 # under the race detector. Includes the 32-goroutine stress test in
 # internal/transport/race_test.go.
 race:
-	go test -race ./internal/transport ./internal/sim ./internal/adserver ./internal/shard ./internal/obs
+	go test -race -timeout 30m ./internal/transport ./internal/sim ./internal/adserver ./internal/shard ./internal/obs ./internal/wal
 
 # Observability tier: the metrics registry (atomic counters/gauges,
 # log-bucketed histograms, Prometheus exposition) under the race
@@ -43,4 +43,17 @@ chaos:
 	go test -count=1 -run 'TestChaos' ./internal/sim
 	go test -count=1 -run 'TestDoubleSend|TestIdempotency|TestRetry|TestLoadShedding|TestGraceful' ./internal/transport
 
-.PHONY: test race obs bench chaos batch
+# Crash tier: durability and kill/restart recovery. The WAL unit suite
+# (framing, corruption truncation, generation rotation, torn-tail
+# fuzz seeds), the snapshot/replay round-trip and replay-idempotence
+# properties, the dedup-window-straddles-restart regression, and the
+# kill/restart equivalence matrix: the service killed mid-period,
+# mid-batch, during the period-end sweep, and at every single record
+# position of a small run — each recovered run must match the
+# uninterrupted baseline on every accounting observable.
+crash:
+	go test -count=1 ./internal/wal
+	go test -count=1 -run 'TestCheckpoint|TestDedupWindow|TestWALReplay' ./internal/transport
+	go test -count=1 -run 'TestCrash' ./internal/sim
+
+.PHONY: test race obs bench chaos batch crash

@@ -11,6 +11,14 @@
 // serving path scales with cores (campaign budgets are split evenly
 // across shards, as a real deployment would).
 //
+// With -wal DIR the server is crash-safe: every mutating operation is
+// appended to a write-ahead log in DIR before its response is
+// acknowledged, a full-state snapshot truncates the log every
+// -snapshot-every period-end rounds, and boot replays whatever the
+// directory holds — a kill -9 at any instant loses nothing that was
+// acked, and client retries ride the recovered idempotency window
+// instead of double-executing (see internal/wal and DESIGN.md §5d).
+//
 // The serving handler instruments every endpoint into a metrics
 // registry scraped at GET /v1/metrics (Prometheus text format). With
 // -debug-addr set, a second listener — keep it off the public network —
@@ -42,6 +50,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -60,6 +69,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "ad-server shards (clients hash-partitioned; one lock each)")
 		maxBatch  = flag.Int("max-batch", transport.DefaultMaxBatchOps, "max sub-ops per /v1/batch envelope")
 		statePath = flag.String("state", "", "predictor-state file: loaded at startup, saved on SIGINT/SIGTERM")
+		walDir    = flag.String("wal", "", "durability directory (write-ahead log + snapshots); empty disables crash safety")
+		snapEvery = flag.Int("snapshot-every", 6, "with -wal: full-state checkpoint every N period-end rounds (0 = log only, never truncated)")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables, keep it private")
 	)
 	flag.Parse()
@@ -116,6 +127,24 @@ func main() {
 	// persisted, so a deploy never truncates a half-served report.
 	ss := transport.NewShardedServer(pool)
 	ss.MaxBatchOps = *maxBatch
+
+	// Durability: every mutating operation is logged before its response
+	// is acknowledged, and boot recovers whatever the directory holds —
+	// a kill -9 at any instant loses nothing that was acked.
+	if *walDir != "" {
+		l, err := wal.Open(*walDir, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer l.Close()
+		ss.AttachWAL(l, *snapEvery)
+		st, err := ss.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("adserverd: recovered from %s (snapshot=%v, %d ops replayed)\n",
+			*walDir, st.SnapshotRestored, st.Replayed)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      ss.Handler(),
@@ -166,14 +195,9 @@ func main() {
 	<-drained
 
 	if *statePath != "" {
-		f, err := os.Create(*statePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pool.SavePredictors(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic save: a crash mid-write must leave the previous state
+		// file intact, never a torn one.
+		if err := wal.WriteFileAtomic(*statePath, pool.SavePredictors); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("adserverd: saved predictor state to %s\n", *statePath)

@@ -42,6 +42,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/simclock"
@@ -518,4 +519,76 @@ func clientAndNow(r *http.Request) (client int, now simclock.Time, ok bool) {
 		return 0, 0, false
 	}
 	return *id.Client, simclock.Time(id.NowNS), true
+}
+
+// CrashPoint schedules one process kill: the crash fires when After
+// more WAL records of the given op kind have been appended. An empty
+// Op counts every record. Counting append events — the instant between
+// durability and acknowledgement — is what makes the kill adversarial:
+// the downed server has executed and logged the operation, but the
+// client never saw the reply.
+type CrashPoint struct {
+	Op    string // WAL record kind ("slot", "report", "batch", "period_end", ...); "" = any
+	After int    // fire when this many further matching records have been appended
+}
+
+// CrashSchedule arms a sequence of process-crash points for the
+// kill/restart harness (sim.RunTransportCrash). Counts are cumulative
+// across restarts — the replacement process keeps consuming the same
+// schedule — so a multi-point schedule kills the service repeatedly at
+// deterministic instants in the record stream.
+type CrashSchedule struct {
+	mu     sync.Mutex
+	points []CrashPoint
+	next   int
+	total  int
+	perOp  map[string]int
+	fired  int
+}
+
+// NewCrashSchedule arms the points in order.
+func NewCrashSchedule(points ...CrashPoint) *CrashSchedule {
+	return &CrashSchedule{points: points, perOp: make(map[string]int)}
+}
+
+// Observe records one appended WAL record and reports whether the
+// currently armed crash point fires on it. Safe for concurrent use;
+// each point fires exactly once.
+func (c *CrashSchedule) Observe(op string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	c.perOp[op]++
+	if c.next >= len(c.points) {
+		return false
+	}
+	p := c.points[c.next]
+	count := c.total
+	if p.Op != "" {
+		count = c.perOp[p.Op]
+	}
+	if count < p.After {
+		return false
+	}
+	// Consume the point and reset the counters so the next point counts
+	// records appended after this crash.
+	c.next++
+	c.fired++
+	c.total = 0
+	c.perOp = make(map[string]int)
+	return true
+}
+
+// Fired returns how many crash points have fired.
+func (c *CrashSchedule) Fired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Pending returns how many crash points are still armed.
+func (c *CrashSchedule) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points) - c.next
 }

@@ -266,3 +266,42 @@ func TestDecideBatchCompositionAndFallback(t *testing.T) {
 		t.Fatalf("empty-identity fallback: %v, want %v", got, want)
 	}
 }
+
+func TestCrashScheduleFiresAndResets(t *testing.T) {
+	s := NewCrashSchedule(
+		CrashPoint{Op: "report", After: 2},
+		CrashPoint{After: 3}, // wildcard: any three records after the first crash
+	)
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("pending %d want 2", got)
+	}
+	// Point 1 counts only "report" records.
+	for i, op := range []string{"slot", "report", "slot", "batch"} {
+		if s.Observe(op) {
+			t.Fatalf("fired early at record %d (%s)", i, op)
+		}
+	}
+	if !s.Observe("report") {
+		t.Fatal("second report must fire point 1")
+	}
+	if s.Fired() != 1 || s.Pending() != 1 {
+		t.Fatalf("after point 1: fired %d pending %d", s.Fired(), s.Pending())
+	}
+	// Counters reset at the crash: point 2 counts records appended by
+	// the replacement process, not the 5 already observed.
+	if s.Observe("report") || s.Observe("slot") {
+		t.Fatal("point 2 fired before 3 post-crash records")
+	}
+	if !s.Observe("period_end") {
+		t.Fatal("third post-crash record must fire the wildcard point")
+	}
+	if s.Fired() != 2 || s.Pending() != 0 {
+		t.Fatalf("after point 2: fired %d pending %d", s.Fired(), s.Pending())
+	}
+	// An exhausted schedule never fires again.
+	for i := 0; i < 10; i++ {
+		if s.Observe("report") {
+			t.Fatal("exhausted schedule fired")
+		}
+	}
+}

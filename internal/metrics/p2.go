@@ -107,6 +107,39 @@ func (p *P2Quantile) linear(i int, d float64) float64 {
 	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
 }
 
+// P2State is the serializable form of a P2Quantile, for durability
+// snapshots: the estimator's full marker state round-trips, so a
+// restored estimator continues the stream bit-for-bit.
+type P2State struct {
+	Q       float64    `json:"q"`
+	N       int64      `json:"n"`
+	Heights [5]float64 `json:"heights"`
+	Pos     [5]float64 `json:"pos"`
+	Want    [5]float64 `json:"want"`
+	Incr    [5]float64 `json:"incr"`
+	Initial []float64  `json:"initial,omitempty"`
+}
+
+// State captures the estimator for serialization.
+func (p *P2Quantile) State() P2State {
+	return P2State{
+		Q: p.q, N: p.n,
+		Heights: p.heights, Pos: p.pos, Want: p.want, Incr: p.incr,
+		Initial: append([]float64(nil), p.initial...),
+	}
+}
+
+// SetState overwrites the estimator with a previously captured state.
+func (p *P2Quantile) SetState(s P2State) error {
+	if s.Q <= 0 || s.Q >= 1 {
+		return fmt.Errorf("metrics: P2 state quantile must be in (0,1), got %v", s.Q)
+	}
+	p.q, p.n = s.Q, s.N
+	p.heights, p.pos, p.want, p.incr = s.Heights, s.Pos, s.Want, s.Incr
+	p.initial = append([]float64(nil), s.Initial...)
+	return nil
+}
+
 // Value returns the current estimate. With fewer than five observations
 // it falls back to the exact small-sample quantile; with none it
 // returns NaN.

@@ -209,6 +209,47 @@ func (p *Pool) LoadPredictors(r io.Reader) error {
 	return nil
 }
 
+// poolState is the pool's serializable form: one full adserver.State
+// per shard, in shard order.
+type poolState struct {
+	Shards []*adserver.State `json:"shards"`
+}
+
+// Snapshot writes every shard's complete state (exchange, open book,
+// claims, frequency caps, predictors — see adserver.State) as one JSON
+// document, for the durability layer's full-state checkpoints.
+func (p *Pool) Snapshot(w io.Writer) error {
+	st := poolState{Shards: make([]*adserver.State, len(p.shards))}
+	for i, s := range p.shards {
+		ss, err := s.Snapshot()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		st.Shards[i] = ss
+	}
+	return json.NewEncoder(w).Encode(st)
+}
+
+// Restore overwrites every shard with state saved by Snapshot. Like
+// LoadPredictors, a snapshot from a pool with a different shard count
+// is rejected outright — the stable partition means shard i's state is
+// only meaningful for shard i of an equally sized pool.
+func (p *Pool) Restore(r io.Reader) error {
+	var st poolState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("shard: decoding pool snapshot: %w", err)
+	}
+	if len(st.Shards) != len(p.shards) {
+		return fmt.Errorf("shard: snapshot has %d shards, pool has %d", len(st.Shards), len(p.shards))
+	}
+	for i, s := range p.shards {
+		if err := s.Restore(st.Shards[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Ops aggregates the shards' monitoring snapshots: rounds are summed
 // and the forecast-error quantiles are rounds-weighted means of the
 // per-shard streams. Safe to call concurrently with period processing

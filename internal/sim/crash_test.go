@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/wal"
+)
+
+// crashConfig shrinks transportConfig so the kill/restart matrix stays
+// affordable; the shard/interleaving-invariance contract is unchanged.
+func crashConfig() Config {
+	cfg := transportConfig()
+	cfg.TraceCfg.Users = 24
+	cfg.MaxUsers = 24
+	cfg.TraceCfg.Days = 3
+	return cfg
+}
+
+// assertCrashEquivalence compares a kill/restart run against the
+// uninterrupted baseline of the same trace: recovery must be invisible
+// to every accounting observable — the money ledger, SLA violations,
+// per-device and aggregate client counters, server sales totals and
+// per-campaign spend. Only the wire economics (Result.Net, retries
+// burned riding out the outages) and Result.Restarts may differ.
+func assertCrashEquivalence(t *testing.T, label string, base, crash *Result) {
+	t.Helper()
+	if base.Ledger.Sold == 0 || base.Ledger.Billed == 0 {
+		t.Fatalf("%s: inert baseline: %+v", label, base.Ledger)
+	}
+	if got, want := LedgerJSON(crash.Ledger), LedgerJSON(base.Ledger); got != want {
+		t.Fatalf("%s: ledger diverged across kills:\n baseline:  %s\n recovered: %s", label, want, got)
+	}
+	if base.Ledger.Violations != crash.Ledger.Violations {
+		t.Fatalf("%s: SLA violations differ: %d baseline vs %d recovered",
+			label, base.Ledger.Violations, crash.Ledger.Violations)
+	}
+	if base.Counters != crash.Counters {
+		t.Fatalf("%s: aggregate counters differ:\n baseline:  %+v\n recovered: %+v",
+			label, base.Counters, crash.Counters)
+	}
+	if base.SoldTotal != crash.SoldTotal || base.Periods != crash.Periods {
+		t.Fatalf("%s: server totals differ: sold %d/%d periods %d/%d",
+			label, base.SoldTotal, crash.SoldTotal, base.Periods, crash.Periods)
+	}
+	if len(base.PerClient) != len(crash.PerClient) {
+		t.Fatalf("%s: device count differs: %d vs %d", label, len(base.PerClient), len(crash.PerClient))
+	}
+	for id, bc := range base.PerClient {
+		if cc := crash.PerClient[id]; cc != bc {
+			t.Fatalf("%s: client %d counters differ:\n baseline:  %+v\n recovered: %+v", label, id, bc, cc)
+		}
+	}
+	if len(base.CampaignBilled) != len(crash.CampaignBilled) {
+		t.Fatalf("%s: campaign count differs: %d vs %d",
+			label, len(base.CampaignBilled), len(crash.CampaignBilled))
+	}
+	for id, b := range base.CampaignBilled {
+		if c := crash.CampaignBilled[id]; c != b {
+			t.Fatalf("%s: campaign %d billed %v baseline vs %v recovered", label, id, b, c)
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalence is the tentpole acceptance: the service
+// is killed at adversarial instants — mid-period between a WAL append
+// and its ack, inside a batch envelope, during the period-end sweep,
+// and again on the very first record the replacement appends — and the
+// recovered runs must be indistinguishable from the uninterrupted
+// baseline at 1 shard and at 4, on both wire modes.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay with kill/restart")
+	}
+	cfg := crashConfig()
+	for _, shards := range []int{1, 4} {
+		for _, batched := range []bool{false, true} {
+			wire := "sequential"
+			if batched {
+				wire = "batched"
+			}
+			label := fmt.Sprintf("shards=%d/%s", shards, wire)
+			base, err := RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: 4, Batched: batched})
+			if err != nil {
+				t.Fatalf("%s baseline: %v", label, err)
+			}
+
+			// Mid-period kills, two of them, with checkpoints between:
+			// the second recovery starts from a snapshot plus a log tail.
+			var midPeriod *faults.CrashSchedule
+			if batched {
+				midPeriod = faults.NewCrashSchedule(
+					faults.CrashPoint{Op: "batch", After: 3},
+					faults.CrashPoint{Op: "batch", After: 40},
+				)
+			} else {
+				midPeriod = faults.NewCrashSchedule(
+					faults.CrashPoint{Op: "report", After: 3},
+					faults.CrashPoint{Op: "slot", After: 40},
+				)
+			}
+			res, err := RunTransportCrash(cfg, shards, 4, t.TempDir(), 2, midPeriod, batched)
+			if err != nil {
+				t.Fatalf("%s mid-period: %v", label, err)
+			}
+			if res.Restarts != 2 || midPeriod.Fired() != 2 {
+				t.Fatalf("%s mid-period: restarts %d fired %d, want 2", label, res.Restarts, midPeriod.Fired())
+			}
+			assertCrashEquivalence(t, label+" mid-period", base, res)
+
+			// A kill during the period-end round, then another on the
+			// first record the replacement makes durable — recovery under
+			// immediate re-crash, with no checkpoints (pure log replay).
+			boundary := faults.NewCrashSchedule(
+				faults.CrashPoint{Op: "period_end", After: 1},
+				faults.CrashPoint{After: 1},
+			)
+			res, err = RunTransportCrash(cfg, shards, 4, t.TempDir(), 0, boundary, batched)
+			if err != nil {
+				t.Fatalf("%s period-end: %v", label, err)
+			}
+			if res.Restarts != 2 || boundary.Fired() != 2 {
+				t.Fatalf("%s period-end: restarts %d fired %d, want 2", label, res.Restarts, boundary.Fired())
+			}
+			assertCrashEquivalence(t, label+" period-end", base, res)
+		}
+	}
+}
+
+// With durability on but no kills, the WAL must be a pure observer:
+// identical outcomes to a bare run of the same trace.
+func TestCrashWALIsPureObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay")
+	}
+	cfg := crashConfig()
+	bare, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walled, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 4, WALDir: t.TempDir(), SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walled.Restarts != 0 {
+		t.Fatalf("restarts without a crash schedule: %d", walled.Restarts)
+	}
+	assertCrashEquivalence(t, "wal-on", bare, walled)
+}
+
+// TestCrashAtEveryRecord kills the service once at record K for every
+// K in the log of a tiny run: no append position — mid-batch, between
+// append and ack, inside a period round — may exist where a crash loses
+// or double-executes an operation.
+func TestCrashAtEveryRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one full replay per WAL record")
+	}
+	if raceEnabled {
+		t.Skip("correctness matrix, not a concurrency test: hundreds of replays blow the race-detector time budget (the kill matrix still runs under -race)")
+	}
+	cfg := transportConfig()
+	cfg.TraceCfg.Users = 2
+	cfg.MaxUsers = 2
+	cfg.TraceCfg.Days = 1
+	cfg.WarmupDays = 0
+
+	base, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the records an uninterrupted durable run appends.
+	refDir := t.TempDir()
+	if _, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 2, WALDir: refDir}); err != nil {
+		t.Fatal(err)
+	}
+	n := countWALRecords(t, refDir)
+	if n == 0 {
+		t.Fatal("reference run appended no WAL records")
+	}
+	t.Logf("sweeping a kill across %d record positions", n)
+	for k := 1; k <= n; k++ {
+		sched := faults.NewCrashSchedule(faults.CrashPoint{After: k})
+		res, err := RunTransportCrash(cfg, 2, 2, t.TempDir(), 0, sched, false)
+		if err != nil {
+			t.Fatalf("kill at record %d: %v", k, err)
+		}
+		if res.Restarts != 1 {
+			t.Fatalf("kill at record %d: restarts %d", k, res.Restarts)
+		}
+		assertCrashEquivalence(t, fmt.Sprintf("kill at record %d", k), base, res)
+	}
+}
+
+func countWALRecords(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "wal-") || !strings.HasSuffix(e.Name(), ".log") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wal.Scan(f, nil)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Damaged {
+			t.Fatalf("%s: damaged log from a clean run", e.Name())
+		}
+		total += int(res.Records)
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled lets heavyweight correctness matrices (hundreds of full
+// replays) step aside under the race detector, whose 5-10x slowdown
+// would blow the package past go test's timeout; the concurrency-
+// sensitive crash tests still run there.
+const raceEnabled = true

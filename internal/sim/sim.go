@@ -201,6 +201,10 @@ type Result struct {
 	FaultsInjected int64
 	Net            transport.NetCounters
 
+	// Restarts counts the process kills the crash harness injected and
+	// recovered from (RunTransportCrash; zero elsewhere).
+	Restarts int
+
 	// PerClient maps user id to that device's own counters on the
 	// transport path (nil on the in-process path). The differential
 	// batching suite compares it field-for-field between wire modes; the

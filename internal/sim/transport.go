@@ -19,6 +19,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // RunTransport replays the same deterministic trace a Config describes
@@ -60,6 +61,25 @@ func RunTransportChaos(cfg Config, shards, workers int, plan *faults.Plan) (*Res
 	return RunTransportWith(cfg, TransportOpts{Shards: shards, Workers: workers, Plan: plan})
 }
 
+// RunTransportCrash is RunTransport with durability on and scheduled
+// process kills: the server logs every mutating op to a WAL under
+// walDir, and at each armed crash point — observed at the instant
+// between a record becoming durable and its response being acknowledged
+// — the serving process is torn down mid-request and a replacement is
+// built from scratch, recovering from the newest snapshot plus WAL
+// replay. Requests arriving while the server is down block until the
+// replacement is up; the aborted in-flight requests ride the devices'
+// normal retry + idempotency machinery. Under the shard-invariance
+// contract (see RunTransport), a crash run's monetary and per-client
+// outcomes are identical to an uninterrupted run's — the crash suite
+// pins exactly that.
+func RunTransportCrash(cfg Config, shards, workers int, walDir string, snapshotEvery int, crashes *faults.CrashSchedule, batched bool) (*Result, error) {
+	return RunTransportWith(cfg, TransportOpts{
+		Shards: shards, Workers: workers, Batched: batched,
+		WALDir: walDir, SnapshotEvery: snapshotEvery, Crashes: crashes,
+	})
+}
+
 // TransportOpts selects the wire-path variants of a transport replay.
 type TransportOpts struct {
 	// Shards is the server shard count (must be >= 1).
@@ -76,6 +96,16 @@ type TransportOpts struct {
 	// differential suite pins ledger, violation and counter equality —
 	// but the run spends far fewer HTTP round trips (Result.Net).
 	Batched bool
+	// WALDir, when non-empty, attaches a write-ahead log under that
+	// directory (fsync disabled — the harness emulates process crashes,
+	// not power loss, and the page cache survives those).
+	WALDir string
+	// SnapshotEvery checkpoints the full state every N period-end
+	// rounds (0 = never; the log then carries the whole run).
+	SnapshotEvery int
+	// Crashes, when non-nil, kills and restarts the serving process at
+	// the scheduled WAL-append instants. Requires WALDir.
+	Crashes *faults.CrashSchedule
 }
 
 // RunTransportWith is the generalized transport replay: RunTransport
@@ -102,6 +132,8 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		return nil, fmt.Errorf("sim: transport replay supports scheduled delivery only")
 	case cfg.ChurnProb > 0 || cfg.ReportLossProb > 0:
 		return nil, fmt.Errorf("sim: transport replay does not support failure injection")
+	case o.Crashes != nil && o.WALDir == "":
+		return nil, fmt.Errorf("sim: a crash schedule requires a WAL directory")
 	}
 
 	pop := cfg.Population
@@ -138,27 +170,138 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 	hintsOf := topCategories(users, cat)
 
 	// One exchange per shard, generated from the same derived stream so
-	// every shard sees an identical campaign set.
-	rng := simclock.NewRand(cfg.Seed).Stream("sim")
-	pool, err := shard.New(shards, cfg.Core.Server, ids,
-		func(int) (*auction.Exchange, error) {
-			return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
-		},
-		func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, oracleSeries) },
-		func(id int) []trace.Category { return hintsOf[id] })
+	// every shard sees an identical campaign set. mkPool derives a fresh
+	// identical stream each call: the crash harness rebuilds the pool
+	// from scratch after every kill, and stream derivation is pure, so a
+	// replacement process regenerates the exact same demand before
+	// recovery overwrites its mutable state.
+	mkPool := func() (*shard.Pool, error) {
+		rng := simclock.NewRand(cfg.Seed).Stream("sim")
+		return shard.New(shards, cfg.Core.Server, ids,
+			func(int) (*auction.Exchange, error) {
+				return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
+			},
+			func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, oracleSeries) },
+			func(id int) []trace.Category { return hintsOf[id] })
+	}
+
+	// The crash gate: while a kill is being recovered, new requests
+	// block here until the replacement handler is installed, so clients
+	// ride out the outage inside their retry budget instead of burning
+	// attempts against a dead socket.
+	gate := &crashGate{}
+	gate.cond = sync.NewCond(&gate.mu)
+	restartCh := make(chan struct{}, 1)
+	var hook func(wal.Record)
+	if o.Crashes != nil {
+		hook = func(rec wal.Record) {
+			if !o.Crashes.Observe(rec.Op) {
+				return
+			}
+			gate.mu.Lock()
+			if !gate.down {
+				gate.down = true
+				gate.log.Seal() // no further op can become durable or acked
+				restartCh <- struct{}{}
+			}
+			gate.mu.Unlock()
+			// Abort the request that tripped the kill: its client never
+			// learns the outcome and must retry against the recovered
+			// process.
+			panic(http.ErrAbortHandler)
+		}
+	}
+
+	// mkServer builds one serving incarnation: pool, transport server,
+	// and — with durability on — an opened WAL plus recovery of whatever
+	// state the directory already holds.
+	mkServer := func() (*shard.Pool, *transport.ShardedServer, *wal.Log, error) {
+		pool, err := mkPool()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ts := transport.NewShardedServer(pool)
+		if o.WALDir == "" {
+			return pool, ts, nil, nil
+		}
+		l, err := wal.Open(o.WALDir, wal.Options{NoSync: true, Hook: hook})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ts.AttachWAL(l, o.SnapshotEvery)
+		if _, err := ts.Recover(); err != nil {
+			l.Close()
+			return nil, nil, nil, err
+		}
+		return pool, ts, l, nil
+	}
+	mkHandler := func(ts *transport.ShardedServer, pool *shard.Pool) http.Handler {
+		h := http.Handler(ts.Handler())
+		if plan != nil {
+			h = plan.Middleware(h, pool.IndexFor)
+		}
+		return h
+	}
+
+	pool, ts, wlog, err := mkServer()
 	if err != nil {
 		return nil, err
 	}
+	gate.pool, gate.log = pool, wlog
 
 	// Serve the sharded transport on a loopback listener.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("sim: transport listener: %w", err)
 	}
-	ts := transport.NewShardedServer(pool)
-	handler := http.Handler(ts.Handler())
-	if plan != nil {
-		handler = plan.Middleware(handler, pool.IndexFor)
+	handler := mkHandler(ts, pool)
+	if o.Crashes != nil {
+		gate.handler = handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			gate.mu.Lock()
+			for gate.down {
+				gate.cond.Wait()
+			}
+			h := gate.handler
+			gate.mu.Unlock()
+			h.ServeHTTP(w, r)
+		})
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-restartCh:
+				case <-done:
+					return
+				}
+				// Quiesce the dying incarnation's log before reopening the
+				// directory: Close waits out an append already past the seal
+				// check, so the replacement reads a complete tail (such a
+				// record was acked and must be replayed, not truncated).
+				gate.mu.Lock()
+				old := gate.log
+				gate.mu.Unlock()
+				if old != nil {
+					_ = old.Close()
+				}
+				p2, ts2, l2, rerr := mkServer()
+				gate.mu.Lock()
+				if rerr != nil {
+					gate.err = rerr
+					gate.handler = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+						http.Error(w, "sim: crash restart failed", http.StatusInternalServerError)
+					})
+				} else {
+					gate.pool, gate.log = p2, l2
+					gate.handler = mkHandler(ts2, p2)
+					gate.restarts++
+				}
+				gate.down = false
+				gate.cond.Broadcast()
+				gate.mu.Unlock()
+			}
+		}()
 	}
 	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
@@ -293,8 +436,22 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 	}
 
 	// The HTTP phase is over: release the port, then sweep impressions
-	// still open at trace end directly on the pool.
+	// still open at trace end directly on the pool. After crashes, the
+	// live state is the latest incarnation's.
 	_ = httpSrv.Shutdown(context.Background())
+	if o.Crashes != nil {
+		gate.mu.Lock()
+		pool, wlog = gate.pool, gate.log
+		res.Restarts = gate.restarts
+		gerr := gate.err
+		gate.mu.Unlock()
+		if gerr != nil {
+			return nil, fmt.Errorf("sim: crash restart: %w", gerr)
+		}
+	}
+	if wlog != nil {
+		defer wlog.Close()
+	}
 	for i := 0; i < pool.Shards(); i++ {
 		pool.Shard(i).Exchange().SweepExpired(pop.Span + simclock.Week)
 	}
@@ -336,6 +493,23 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// crashGate serializes the crash harness's kill/restart cycle: the
+// WAL hook marks the service down and seals the dying log, the restart
+// goroutine swaps in the recovered incarnation, and the outer handler
+// parks requests on the condition variable in between. Everything the
+// current incarnation owns (handler, pool, log) lives behind mu so the
+// swap is atomic from the requests' point of view.
+type crashGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	down     bool
+	handler  http.Handler
+	pool     *shard.Pool
+	log      *wal.Log
+	restarts int
+	err      error
 }
 
 // transportPredictor mirrors core.New's per-mode predictor factory for

@@ -180,8 +180,22 @@ func (s *ShardedServer) execBatchGroup(sh *shardState, env batchMsg, idxs []int,
 	defer sh.dedup.mu.Unlock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var logged []BatchOp
 	for _, i := range idxs {
 		results[i] = s.execBatchOp(sh, env, env.Ops[i])
+		// The WAL records exactly what executed here and now. Replays,
+		// key conflicts and shed (429) ops mutated nothing — if a shed
+		// op's retry later succeeds, that retry is logged at its own
+		// position, and replaying the original too would run it twice.
+		// Reads (cancelled) have nothing to replay.
+		r := results[i]
+		if env.Ops[i].Op != OpCancelled && !r.Replayed &&
+			r.Status != http.StatusTooManyRequests && r.Status != http.StatusConflict {
+			logged = append(logged, env.Ops[i])
+		}
+	}
+	if len(logged) > 0 {
+		s.walAppend(sh, opBatch, "", batchMsg{Client: env.Client, NowNS: env.NowNS, Ops: logged})
 	}
 }
 

@@ -56,11 +56,14 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 //   - prep resolves the dedup store and virtual timestamp; a nil store
 //     means the endpoint executes without dedup (idempotent reads).
 //   - exec runs the endpoint and returns the typed reply or an
-//     *httpError.
+//     *httpError. It receives the request's (validated) idempotency key
+//     — empty for unkeyed requests — so mutating executors can stamp
+//     the operation's write-ahead-log record with the same fingerprint
+//     the dedup window uses.
 func handle[Req, Resp any](
 	decode func(w http.ResponseWriter, r *http.Request) (Req, []byte, bool),
 	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time),
-	exec func(req Req) (Resp, *httpError),
+	exec func(req Req, key string) (Resp, *httpError),
 ) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, payload, ok := decode(w, r)
@@ -68,15 +71,15 @@ func handle[Req, Resp any](
 			return
 		}
 		ds, now := prep(r, req)
-		run := func() (int, any) {
-			resp, herr := exec(req)
+		run := func(key string) (int, any) {
+			resp, herr := exec(req, key)
 			if herr != nil {
 				return herr.status, herr.msg
 			}
 			return http.StatusOK, resp
 		}
 		if ds == nil {
-			status, v := run()
+			status, v := run("")
 			if status >= 400 {
 				writeErr(w, status, v.(string))
 				return

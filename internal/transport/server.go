@@ -197,5 +197,13 @@ type HealthReply struct {
 	RequestsTotal int64 `json:"requests_total"`
 	ShedTotal     int64 `json:"shed_total"`
 	ReplayedTotal int64 `json:"replayed_total"`
+
+	// Durability state (internal/wal). With the WAL disabled,
+	// wal_enabled is false and last_fsync_ok is vacuously true, so a
+	// probe alerting on last_fsync_ok == false works on any deployment.
+	WALEnabled         bool  `json:"wal_enabled"`
+	ReplayedOps        int64 `json:"replayed_ops"`
+	SnapshotAgePeriods int64 `json:"snapshot_age_periods"`
+	LastFsyncOK        bool  `json:"last_fsync_ok"`
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // v1Endpoints lists every protocol path, for metrics pre-registration
@@ -79,6 +80,17 @@ type ShardedServer struct {
 	batchSaved   *obs.Counter
 	batchSubops  map[string]*obs.Counter
 	batchInvalid *obs.Counter
+
+	// Durability (see durable.go). A nil wlog means the WAL is off and
+	// every durability hook is a no-op. recovering suppresses appends
+	// and load shedding while Recover replays the log; the round
+	// counters drive the snapshot cadence and the health report's
+	// snapshot age.
+	wlog            *wal.Log
+	snapEvery       int
+	recovering      atomic.Bool
+	periodEndRounds atomic.Int64
+	lastSnapRound   atomic.Int64
 }
 
 // shardState is one shard's serving state: the single-threaded engine,
@@ -86,10 +98,22 @@ type ShardedServer struct {
 // idempotency-dedup window for the shard's mutating requests, and the
 // shard's slice of the metrics registry.
 type shardState struct {
+	idx    int // position in ShardedServer.shards, stamped on WAL records
 	mu     sync.Mutex
 	srv    *adserver.Server
 	staged map[int][]client.CachedAd
 	dedup  dedupStore
+
+	// startRounds/endRounds cache the outcome of this shard's slice of
+	// every period round in the current WAL generation (guarded by mu;
+	// pruned to the latest round at each checkpoint). A repeat of a
+	// cached round — a coordinator retry after a lost reply, or a WAL
+	// replay — returns the cached outcome instead of re-running it, so
+	// period rounds are exactly-once per shard even when the
+	// server-wide period dedup window was lost with the process, and
+	// replaying a log is idempotent.
+	startRounds map[periodKey]*periodRound
+	endRounds   map[periodKey]*periodRound
 
 	requests *obs.Counter // client-scoped requests routed here
 	shed     *obs.Counter // 429s this shard answered
@@ -168,8 +192,9 @@ func validIdemKey(key string) bool {
 // is rejected with 409, and a malformed key is rejected with 400 before
 // exec runs. Requests without a key execute without dedup. Responses
 // that asked the client to come back later (429) are not stored, so the
-// retry re-executes once the shard is healthy.
-func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, exec func() (int, any)) {
+// retry re-executes once the shard is healthy. exec receives the
+// validated key so the durability layer can stamp its WAL records.
+func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, exec func(key string) (int, any)) {
 	key := r.Header.Get(idempotencyKeyHeader)
 	if key != "" && !validIdemKey(key) {
 		http.Error(w, "malformed Idempotency-Key", http.StatusBadRequest)
@@ -191,7 +216,7 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 		w.Write(body)
 	}
 	run := func() (int, []byte) {
-		status, v := exec()
+		status, v := exec(key)
 		if status >= 400 {
 			msg, _ := v.(string)
 			return status, []byte(msg + "\n")
@@ -262,7 +287,11 @@ func newSharded(servers []*adserver.Server, route func(clientID int) int) *Shard
 	}
 	s.batchInvalid = s.reg.Counter("batch_subops_total", "op", "invalid")
 	for i, srv := range servers {
-		sh := &shardState{srv: srv, staged: make(map[int][]client.CachedAd)}
+		sh := &shardState{
+			idx: i, srv: srv, staged: make(map[int][]client.CachedAd),
+			startRounds: make(map[periodKey]*periodRound),
+			endRounds:   make(map[periodKey]*periodRound),
+		}
 		label := strconv.Itoa(i)
 		sh.requests = s.reg.Counter("shard_requests_total", "shard", label)
 		sh.shed = s.reg.Counter("shard_shed_total", "shard", label)
@@ -351,6 +380,10 @@ func (s *ShardedServer) Handler() http.Handler {
 		// The period store's own lock is free again; sweep it to the
 		// cutoff the handler recorded.
 		s.periodDedup.sweep(simclock.Time(s.periodSweep.Load()))
+		// Checkpoint cadence rides the period boundary too, after the
+		// reply is on the wire: a crash mid-checkpoint leaves the
+		// previous snapshot+log generation intact.
+		s.maybeCheckpoint()
 	})
 	mux.HandleFunc("GET /v1/bundle", handle(
 		s.decodeBundle,
@@ -386,25 +419,40 @@ func (s *ShardedServer) Handler() http.Handler {
 }
 
 // shedding reports whether a shard is over its open-book bound. Callers
-// must hold sh.mu.
+// must hold sh.mu. Recovery replays every logged op regardless of load
+// — a replayed op already executed once, so shedding it would diverge
+// from the pre-crash state.
 func (s *ShardedServer) shedding(sh *shardState) bool {
+	if s.recovering.Load() {
+		return false
+	}
 	return s.MaxOpenBook > 0 && sh.srv.OpenBook() > s.MaxOpenBook
 }
 
 // fanOut runs fn once per shard concurrently and returns the first
 // error (errgroup-style fan-out/fan-in barrier; shards share nothing,
-// so per-shard rounds are independent).
+// so per-shard rounds are independent). A panic inside fn — the WAL's
+// fail-stop append path, or a crash-emulation hook — is carried back to
+// the request goroutine and re-raised there, instead of killing the
+// process from an untended goroutine.
 func (s *ShardedServer) fanOut(fn func(i int, sh *shardState) error) error {
 	errs := make([]error, len(s.shards))
+	panics := make([]any, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
+			defer func() { panics[i] = recover() }()
 			errs[i] = fn(i, sh)
 		}(i, sh)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -416,8 +464,7 @@ func (s *ShardedServer) fanOut(fn func(i int, sh *shardState) error) error {
 // execPeriodStart opens a prefetch round. Period rounds fan out to
 // every shard, so their dedup window is the server-wide store: a
 // coordinator retry after a lost reply must not sell the round twice.
-func (s *ShardedServer) execPeriodStart(msg periodMsg) (PeriodStartReply, *httpError) {
-	now := simclock.Time(msg.NowNS)
+func (s *ShardedServer) execPeriodStart(msg periodMsg, _ string) (PeriodStartReply, *httpError) {
 	var (
 		mu      sync.Mutex
 		reply   PeriodStartReply
@@ -427,19 +474,19 @@ func (s *ShardedServer) execPeriodStart(msg periodMsg) (PeriodStartReply, *httpE
 	// under its own lock; the barrier completes when every shard has
 	// staged its bundles.
 	_ = s.fanOut(func(_ int, sh *shardState) error {
+		// Deferred unlock: the durability hook inside the round may
+		// panic (fail-stop or crash emulation), and the lock must not
+		// stay held on that path.
 		sh.mu.Lock()
-		bundles, stats := sh.srv.StartPeriod(now, msg.period())
-		for _, b := range bundles {
-			sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
-		}
-		sh.mu.Unlock()
+		defer sh.mu.Unlock()
+		stats, nb := s.periodStartShardLocked(sh, msg)
 		mu.Lock()
 		reply.PredictedSlots += stats.PredictedSlots
 		reply.Admitted += stats.Admitted
 		reply.Sold += stats.Sold
 		reply.Placed += stats.Placed
 		reply.Replicas += stats.Replicas
-		bundled += len(bundles)
+		bundled += nb
 		mu.Unlock()
 		return nil
 	})
@@ -447,7 +494,26 @@ func (s *ShardedServer) execPeriodStart(msg periodMsg) (PeriodStartReply, *httpE
 	return reply, nil
 }
 
-func (s *ShardedServer) execPeriodEnd(msg periodMsg) (PeriodEndReply, *httpError) {
+// periodStartShardLocked runs one shard's slice of a period-start
+// round; sh.mu must be held. The per-shard cache makes the round
+// exactly-once: a repeat of the same (instant, index) — a coordinator
+// retry racing a crash, or a WAL replay of a round whose reply was
+// already acked — returns the cached outcome without selling again.
+func (s *ShardedServer) periodStartShardLocked(sh *shardState, msg periodMsg) (adserver.PeriodStats, int) {
+	if r := sh.startRounds[periodKey{msg.NowNS, msg.Index}]; r != nil {
+		return r.Stats, r.Bundled
+	}
+	now := simclock.Time(msg.NowNS)
+	bundles, stats := sh.srv.StartPeriod(now, msg.period())
+	for _, b := range bundles {
+		sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
+	}
+	sh.startRounds[periodKey{msg.NowNS, msg.Index}] = &periodRound{NowNS: msg.NowNS, Index: msg.Index, Stats: stats, Bundled: len(bundles)}
+	s.walAppend(sh, opPeriodStart, "", msg)
+	return stats, len(bundles)
+}
+
+func (s *ShardedServer) execPeriodEnd(msg periodMsg, _ string) (PeriodEndReply, *httpError) {
 	now := simclock.Time(msg.NowNS)
 	var (
 		mu    sync.Mutex
@@ -455,25 +521,8 @@ func (s *ShardedServer) execPeriodEnd(msg periodMsg) (PeriodEndReply, *httpError
 	)
 	_ = s.fanOut(func(_ int, sh *shardState) error {
 		sh.mu.Lock()
-		expired := sh.srv.EndPeriod(now, msg.period())
-		// Bound staged-bundle memory: ads a client never downloaded are
-		// worthless once expired, so sweep them with the period. Without
-		// this, clients that stop contacting the server pin their
-		// bundles forever.
-		for cid, ads := range sh.staged {
-			kept := ads[:0]
-			for _, ad := range ads {
-				if !now.After(ad.Deadline) {
-					kept = append(kept, ad)
-				}
-			}
-			if len(kept) == 0 {
-				delete(sh.staged, cid)
-			} else {
-				sh.staged[cid] = kept
-			}
-		}
-		sh.mu.Unlock()
+		defer sh.mu.Unlock()
+		expired := s.periodEndShardLocked(sh, msg)
 		mu.Lock()
 		reply.Expired += expired
 		mu.Unlock()
@@ -491,6 +540,46 @@ func (s *ShardedServer) execPeriodEnd(msg periodMsg) (PeriodEndReply, *httpError
 	// record the cutoff for the route wrapper to sweep after the reply.
 	s.periodSweep.Store(int64(now - window))
 	return reply, nil
+}
+
+// periodEndShardLocked closes one shard's slice of a period round;
+// sh.mu must be held. Cached like periodStartShardLocked, and for the
+// same reason. The dedup sweeps stay with the caller (or, on replay,
+// with applyWALRecord): sweeping sh.dedup here would take ds.mu while
+// holding sh.mu, inverting the batch executor's lock order.
+func (s *ShardedServer) periodEndShardLocked(sh *shardState, msg periodMsg) int {
+	if r := sh.endRounds[periodKey{msg.NowNS, msg.Index}]; r != nil {
+		return r.Expired
+	}
+	now := simclock.Time(msg.NowNS)
+	expired := sh.srv.EndPeriod(now, msg.period())
+	// Bound staged-bundle memory: ads a client never downloaded are
+	// worthless once expired, so sweep them with the period. Without
+	// this, clients that stop contacting the server pin their
+	// bundles forever.
+	for cid, ads := range sh.staged {
+		kept := ads[:0]
+		for _, ad := range ads {
+			if !now.After(ad.Deadline) {
+				kept = append(kept, ad)
+			}
+		}
+		if len(kept) == 0 {
+			delete(sh.staged, cid)
+		} else {
+			sh.staged[cid] = kept
+		}
+	}
+	sh.endRounds[periodKey{msg.NowNS, msg.Index}] = &periodRound{NowNS: msg.NowNS, Index: msg.Index, Expired: expired}
+	if sh.idx == 0 {
+		// Count executed rounds once (shard 0 stands in for the round):
+		// the counter must advance identically live and under replay,
+		// since it drives the snapshot cadence and the health report's
+		// snapshot age.
+		s.periodEndRounds.Add(1)
+	}
+	s.walAppend(sh, opPeriodEnd, "", msg)
+	return expired
 }
 
 // bundleReq is the decoded GET /v1/bundle query.
@@ -516,11 +605,13 @@ func (s *ShardedServer) decodeBundle(w http.ResponseWriter, r *http.Request) (bu
 // mutating GET: dedup by key lets a device whose response was lost
 // retry and receive the same ads instead of finding the shelf empty —
 // the staged bundle is never stranded.
-func (s *ShardedServer) execBundle(q bundleReq) (BundleReply, *httpError) {
+func (s *ShardedServer) execBundle(q bundleReq, key string) (BundleReply, *httpError) {
 	sh := s.shardFor(q.client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.bundleLocked(sh, q.client), nil
+	reply := s.bundleLocked(sh, q.client)
+	s.walAppend(sh, OpBundle, key, singleOpEnv(q.client, q.nowNS, BatchOp{Op: OpBundle, Key: key}))
+	return reply, nil
 }
 
 // bundleLocked drains the client's staged shelf; sh.mu must be held.
@@ -530,11 +621,15 @@ func (s *ShardedServer) bundleLocked(sh *shardState, client int) BundleReply {
 	return BundleReply{Ads: toAdMsgs(ads)}
 }
 
-func (s *ShardedServer) execSlot(msg slotMsg) (struct{}, *httpError) {
+func (s *ShardedServer) execSlot(msg slotMsg, key string) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return struct{}{}, s.slotLocked(sh, msg.Client)
+	herr := s.slotLocked(sh, msg.Client)
+	if herr == nil {
+		s.walAppend(sh, OpSlot, key, singleOpEnv(msg.Client, msg.NowNS, BatchOp{Op: OpSlot, Key: key}))
+	}
+	return struct{}{}, herr
 }
 
 // slotLocked observes a slot firing; sh.mu must be held.
@@ -550,11 +645,17 @@ func (s *ShardedServer) slotLocked(sh *shardState, client int) *httpError {
 // execReport bills a display. Reports are never shed: they bill sold
 // inventory and shrink the open book, so refusing them under load would
 // deepen the overload.
-func (s *ShardedServer) execReport(msg reportMsg) (struct{}, *httpError) {
+func (s *ShardedServer) execReport(msg reportMsg, key string) (struct{}, *httpError) {
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return struct{}{}, s.reportLocked(sh, msg.Impression, msg.NowNS)
+	herr := s.reportLocked(sh, msg.Impression, msg.NowNS)
+	// Logged even when rejected: a failed report still mutates state
+	// (the claim table learns the id before billing can refuse it) and
+	// its response is dedup-stored, so replay must reproduce both.
+	s.walAppend(sh, OpReport, key, singleOpEnv(msg.Client, msg.NowNS,
+		BatchOp{Op: OpReport, Key: key, Impression: msg.Impression}))
+	return struct{}{}, herr
 }
 
 // reportLocked bills a display; sh.mu must be held.
@@ -602,7 +703,7 @@ func (s *ShardedServer) decodeCancelled(w http.ResponseWriter, r *http.Request) 
 // the client sends is ignored rather than stored.
 func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time) { return nil, 0 }
 
-func (s *ShardedServer) execCancelled(q cancelledReq) (CancelledReply, *httpError) {
+func (s *ShardedServer) execCancelled(q cancelledReq, _ string) (CancelledReply, *httpError) {
 	ids, herr := parseIDList(q.ids)
 	if herr != nil {
 		return CancelledReply{}, herr
@@ -641,11 +742,16 @@ func (s *ShardedServer) cancelledLocked(sh *shardState, ids []int64, now simcloc
 	return reply
 }
 
-func (s *ShardedServer) execOnDemand(msg onDemandMsg) (OnDemandReply, *httpError) {
+func (s *ShardedServer) execOnDemand(msg onDemandMsg, key string) (OnDemandReply, *httpError) {
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.onDemandLocked(sh, msg)
+	reply, herr := s.onDemandLocked(sh, msg)
+	if herr == nil {
+		s.walAppend(sh, OpOnDemand, key, singleOpEnv(msg.Client, msg.NowNS,
+			BatchOp{Op: OpOnDemand, Key: key, Categories: msg.Categories, NoRescue: msg.NoRescue}))
+	}
+	return reply, herr
 }
 
 // onDemandLocked runs the cache-miss fallback (rescue, then a fresh
@@ -678,7 +784,7 @@ func (s *ShardedServer) onDemandLocked(sh *shardState, msg onDemandMsg) (OnDeman
 	return reply, nil
 }
 
-func (s *ShardedServer) execLedger(struct{}) (auction.Ledger, *httpError) {
+func (s *ShardedServer) execLedger(struct{}, string) (auction.Ledger, *httpError) {
 	var total auction.Ledger
 	// One shard at a time: the merged view never holds more than one
 	// lock, so a ledger scrape cannot stall the fleet.
@@ -714,12 +820,20 @@ type StatsReply struct {
 // degradation coming: the open impression book, staged-bundle backlog,
 // dedup-window size, whether the shard is currently shedding, and the
 // registry's key totals.
-func (s *ShardedServer) execHealth(struct{}) (HealthReply, *httpError) {
+func (s *ShardedServer) execHealth(struct{}, string) (HealthReply, *httpError) {
 	reply := HealthReply{
 		Status:        "ok",
 		MaxOpenBook:   s.MaxOpenBook,
 		RequestsTotal: s.reg.CounterTotal(obs.MetricHTTPRequests),
 		ReplayedTotal: s.reg.CounterTotal(obs.MetricHTTPReplays),
+		LastFsyncOK:   true,
+	}
+	if s.wlog != nil {
+		st := s.wlog.Stats()
+		reply.WALEnabled = true
+		reply.ReplayedOps = st.Replayed
+		reply.SnapshotAgePeriods = s.periodEndRounds.Load() - s.lastSnapRound.Load()
+		reply.LastFsyncOK = st.LastFsyncOK
 	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
@@ -746,7 +860,7 @@ func (s *ShardedServer) execHealth(struct{}) (HealthReply, *httpError) {
 	return reply, nil
 }
 
-func (s *ShardedServer) execStats(struct{}) (StatsReply, *httpError) {
+func (s *ShardedServer) execStats(struct{}, string) (StatsReply, *httpError) {
 	// Ops metrics are lock-isolated inside each adserver.Server, so this
 	// takes no shard locks at all: stats scrapes never contend with the
 	// serving path.

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"testing"
+)
+
+// frame encodes one well-formed record frame, for seeding the corpus.
+func frame(rec Record) []byte {
+	payload, _ := json.Marshal(rec)
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// FuzzWALDecode: Scan must never panic on arbitrary bytes — truncated
+// frames, bit flips, hostile length fields, garbage payloads — and must
+// always report a consistent salvageable prefix: Records intact ops,
+// Valid bytes that re-scan to exactly the same records.
+func FuzzWALDecode(f *testing.F) {
+	var good bytes.Buffer
+	good.WriteString(fileMagic)
+	good.Write(frame(Record{Shard: 0, Op: "batch", Key: "c1-1", Body: json.RawMessage(`{"client":1}`)}))
+	good.Write(frame(Record{Shard: 3, Op: "period_end", Body: json.RawMessage(`{"index":2}`)}))
+
+	f.Add([]byte{})
+	f.Add([]byte(fileMagic))
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:good.Len()-5])                     // torn tail
+	f.Add(append([]byte("notawal!"), good.Bytes()[8:]...)) // wrong magic
+	flipped := append([]byte(nil), good.Bytes()...)
+	flipped[20] ^= 0x40 // bit flip inside the first payload
+	f.Add(flipped)
+	huge := append([]byte(fileMagic), 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4)
+	f.Add(huge) // hostile length field
+	nonjson := append([]byte(fileMagic), 0, 0, 0, 2, 0, 0, 0, 0)
+	nonjson = append(nonjson, '{', '{')
+	binary.BigEndian.PutUint32(nonjson[12:16], crc32.ChecksumIEEE([]byte("{{")))
+	f.Add(nonjson) // checksum fine, payload not a record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []Record
+		res, err := Scan(bytes.NewReader(data), func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("scan returned error for raw bytes: %v", err)
+		}
+		if res.Records != int64(len(recs)) {
+			t.Fatalf("Records=%d but fn saw %d", res.Records, len(recs))
+		}
+		if res.Valid < 0 || res.Valid > int64(len(data)) {
+			t.Fatalf("Valid=%d outside [0,%d]", res.Valid, len(data))
+		}
+		if res.Records > 0 && res.Valid == 0 {
+			t.Fatalf("salvaged %d records from a zero-byte prefix", res.Records)
+		}
+		// The reported valid prefix must be self-consistent: scanning it
+		// again salvages exactly the same records, with no damage.
+		again, err := Scan(bytes.NewReader(data[:res.Valid]), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Valid > 0 && (again.Damaged || again.Records != res.Records || again.Valid != res.Valid) {
+			t.Fatalf("prefix rescan %+v != original %+v", again, res)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendN(t *testing.T, l *Log, n, from int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		body, _ := json.Marshal(map[string]int{"seq": i})
+		if err := l.Append(i%3, "op", fmt.Sprintf("k-%d", i), body); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	if _, err := l.Recover(func(io.Reader) error { return nil }, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return recs
+}
+
+// TestAppendRecoverRoundTrip: records written survive close/reopen in
+// order with shard, op, key, and body intact.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Shard != i%3 || r.Op != "op" || r.Key != fmt.Sprintf("k-%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+		var body map[string]int
+		if err := json.Unmarshal(r.Body, &body); err != nil || body["seq"] != i {
+			t.Fatalf("record %d body = %s (err %v)", i, r.Body, err)
+		}
+	}
+	st := l2.Stats()
+	if st.Replayed != 10 || st.Records != 10 || !st.LastFsyncOK {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSnapshotRotation: a checkpoint moves state into the snapshot,
+// starts a fresh generation, and removes the old files; recovery
+// restores the snapshot then replays only post-checkpoint records.
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5, 0)
+	if err := l.Snapshot(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"upto":5}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, gone := range []string{walName(0), snapName(0)} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); err == nil {
+			t.Fatalf("%s survived rotation", gone)
+		}
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var snap []byte
+	var recs []Record
+	st, err := l2.Recover(func(r io.Reader) error {
+		var rerr error
+		snap, rerr = io.ReadAll(r)
+		return rerr
+	}, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SnapshotRestored || string(snap) != `{"upto":5}` {
+		t.Fatalf("snapshot restore: stats=%+v snap=%q", st, snap)
+	}
+	if len(recs) != 3 || recs[0].Key != "k-5" {
+		t.Fatalf("post-snapshot replay = %+v", recs)
+	}
+	if g := l2.Stats().Gen; g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+}
+
+// TestRecoverTruncatesCorruptTail: a torn final record is dropped, the
+// intact prefix replays, and appends after recovery land on a clean log.
+func TestRecoverTruncatesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4, 0)
+	l.Close()
+
+	// Tear the last record: chop off its final 3 bytes.
+	path := filepath.Join(dir, walName(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	st, err := l2.Recover(func(io.Reader) error { return nil }, func(Record) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || st.Replayed != 3 || !st.Damaged || st.DroppedBytes == 0 {
+		t.Fatalf("salvage: n=%d stats=%+v", n, st)
+	}
+	appendN(t, l2, 1, 100)
+	l2.Close()
+
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	recs := collect(t, l3)
+	if len(recs) != 4 || recs[3].Key != "k-100" {
+		t.Fatalf("after truncate+append: %+v", recs)
+	}
+}
+
+// TestSealBlocksAppends: after Seal, appends fail with ErrSealed and
+// nothing new becomes durable.
+func TestSealBlocksAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 0)
+	l.Seal()
+	if err := l.Append(0, "op", "late", nil); err != ErrSealed {
+		t.Fatalf("append after seal: %v, want ErrSealed", err)
+	}
+	if err := l.Snapshot(func(io.Writer) error { return nil }); err != ErrSealed {
+		t.Fatalf("snapshot after seal: %v, want ErrSealed", err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if recs := collect(t, l2); len(recs) != 2 {
+		t.Fatalf("sealed log replayed %d records, want 2", len(recs))
+	}
+}
+
+// TestHookRunsAfterDurability: the hook observes the record only after
+// it is on disk, so a crash fired from the hook never loses the record.
+func TestHookRunsAfterDurability(t *testing.T) {
+	dir := t.TempDir()
+	var hooked []string
+	var l *Log
+	l, err := Open(dir, Options{Hook: func(r Record) {
+		// The record must already be durable: a fresh scan of the file
+		// sees it.
+		f, err := os.Open(filepath.Join(dir, walName(0)))
+		if err != nil {
+			t.Errorf("hook open: %v", err)
+			return
+		}
+		defer f.Close()
+		res, _ := Scan(f, nil)
+		if res.Records == 0 {
+			t.Errorf("hook for %s ran before the record hit disk", r.Key)
+		}
+		hooked = append(hooked, r.Key)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	l.Close()
+	if len(hooked) != 3 || hooked[0] != "k-0" {
+		t.Fatalf("hooked = %v", hooked)
+	}
+}
+
+// TestOpenPicksNewestGeneration: with files from an interrupted
+// rotation lying around, Open selects the highest complete generation
+// and prunes the rest.
+func TestOpenPicksNewestGeneration(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 0)
+	if err := l.Snapshot(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 2)
+	l.Close()
+	// Emulate interrupted-rotation leftovers from a stale generation.
+	if err := os.WriteFile(filepath.Join(dir, walName(0)), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if g := l2.Stats().Gen; g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walName(0))); err == nil {
+		t.Fatal("stale wal-0 not pruned")
+	}
+	if recs := collect(t, l2); len(recs) != 1 || recs[0].Key != "k-2" {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+// TestWriteFileAtomic: content lands complete, the temp file is gone,
+// and a failing writer leaves the previous content untouched.
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half")
+		return fmt.Errorf("writer failed")
+	}); err == nil {
+		t.Fatal("want error from failing writer")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content after failed write = %q, want v1 intact", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Fatal("temp file left behind")
+	}
+}
+
+// TestScanRejectsOversizedLength: a frame whose length field exceeds
+// the record cap stops the scan without allocating the claimed size.
+func TestScanRejectsOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	res, err := Scan(&buf, nil)
+	if err != nil || !res.Damaged || res.Records != 0 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// BenchmarkWALAppend measures the append path: frame + CRC + write
+// (+fsync in the durable variant).
+func BenchmarkWALAppend(b *testing.B) {
+	body, _ := json.Marshal(map[string]any{
+		"client": 7, "now_ns": int64(123456789), "ops": []map[string]any{
+			{"op": "slot", "key": "c7-41"}, {"op": "report", "key": "c7-42", "impression": 991},
+		},
+	})
+	for _, bc := range []struct {
+		name   string
+		nosync bool
+	}{{"fsync", false}, {"nosync", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{NoSync: bc.nosync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.Recover(nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(8 + len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(0, "batch", "k", body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
