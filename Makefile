@@ -24,14 +24,31 @@ obs:
 bench:
 	go test -bench 'ShardedServing|WakeUp' -benchtime 2s -run '^$$' ./internal/transport
 
+# The serving-path benchmark sweep piped through tools/benchjson. Shared
+# by benchsnap (record a new BENCH_<n>.json trajectory point) and
+# benchgate (fail if ns/op or allocs/op regress >10% vs the newest
+# committed point). Not part of tier-1: benchmark numbers are
+# machine-sensitive, so the gate is run deliberately, on one machine.
+BENCH_SWEEP = go test -bench 'SequentialServing|BatchCodec|ShardedServing|WakeUp' -benchtime 1s -run '^$$' ./internal/transport && \
+	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal
+
+benchsnap:
+	{ $(BENCH_SWEEP); } | go run ./tools/benchjson -snap
+
+benchgate:
+	{ $(BENCH_SWEEP); } | go run ./tools/benchjson -gate
+
 # Batch tier: the coalesced wire protocol. Differential equivalence of
 # the sequential and batched transports (fault-free and under chaos, at
 # shards=1 and shards=4), per-sub-op idempotency properties (intra-batch
 # duplicates, envelope resends, cross-path replays, partial failure),
-# and the envelope fuzz seeds.
+# and the envelope fuzz seeds — now for both the JSON and the binary
+# codec (binary-vs-JSON differential, golden-frame cross-pin, fault-layer
+# identity agnosticism).
 batch:
-	go test -count=1 -run 'TestBatch' ./internal/transport ./internal/sim
-	go test -count=1 -run 'FuzzBatchDecode' ./internal/transport
+	go test -count=1 -run 'TestBatch|TestBinary' ./internal/transport ./internal/sim
+	go test -count=1 -run 'TestBinBatchWalk|TestBatchIdentities' ./internal/faults
+	go test -count=1 -run 'FuzzBatchDecode|FuzzBinaryBatchDecode' ./internal/transport
 
 # Chaos tier: seeded fault injection (drops, 5xx, lost replies, resets,
 # truncated bodies, one timed shard partition) replayed through the HTTP
@@ -45,15 +62,16 @@ chaos:
 
 # Crash tier: durability and kill/restart recovery. The WAL unit suite
 # (framing, corruption truncation, generation rotation, torn-tail
-# fuzz seeds), the snapshot/replay round-trip and replay-idempotence
-# properties, the dedup-window-straddles-restart regression, and the
-# kill/restart equivalence matrix: the service killed mid-period,
-# mid-batch, during the period-end sweep, and at every single record
-# position of a small run — each recovered run must match the
-# uninterrupted baseline on every accounting observable.
+# fuzz seeds, group-commit coverage), the snapshot/replay round-trip and
+# replay-idempotence properties, the dedup-window-straddles-restart
+# regression, and the kill/restart equivalence matrix: the service
+# killed mid-period, mid-batch, during the period-end sweep, in the
+# group-commit window between a batched fsync and its ack, and at every
+# single record position of a small run — each recovered run must match
+# the uninterrupted baseline on every accounting observable.
 crash:
 	go test -count=1 ./internal/wal
 	go test -count=1 -run 'TestCheckpoint|TestDedupWindow|TestWALReplay' ./internal/transport
 	go test -count=1 -run 'TestCrash' ./internal/sim
 
-.PHONY: test race obs bench chaos batch crash
+.PHONY: test race obs bench benchsnap benchgate chaos batch crash

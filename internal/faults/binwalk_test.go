@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// goldenBinFrame is the binary batch frame for the transport codec's
+// golden envelope (client 5, now 60; ops slot/"k1", report/"k2" with a
+// client override and impression 77, ondemand with a now override +
+// no_rescue + one category, cancelled with 2 ids, bundle/"k5"). The
+// transport package asserts its encoder produces exactly these bytes
+// (TestBinaryCodecGoldenFrame), so the two tests together pin this
+// package's independent frame walker to the real codec byte-for-byte.
+func goldenBinFrame() []byte {
+	return []byte{
+		'A', 'P', 'B', '1',
+		5, 0, 0, 0, 0, 0, 0, 0, // client
+		60, 0, 0, 0, 0, 0, 0, 0, // now_ns
+		5, 0, // nops
+		1, 0, 2, 'k', '1', // slot, key "k1"
+		2, 1, 2, 'k', '2', 9, 0, 0, 0, 0, 0, 0, 0, 77, 0, 0, 0, 0, 0, 0, 0, // report, client override, impression
+		3, 6, 0, 70, 0, 0, 0, 0, 0, 0, 0, 1, 4, 'n', 'e', 'w', 's', // ondemand, now override + no_rescue, 1 category
+		4, 0, 0, 2, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, // cancelled, 2 ids
+		5, 0, 2, 'k', '5', // bundle, key "k5"
+	}
+}
+
+func TestBinBatchWalkGoldenFrame(t *testing.T) {
+	keys, client, now, ok := binBatchWalk(goldenBinFrame())
+	if !ok {
+		t.Fatal("walker rejected the golden frame")
+	}
+	if client != 5 || now != 60 {
+		t.Fatalf("envelope identity: client %d now %d, want 5 / 60", client, now)
+	}
+	if want := []string{"k1", "k2", "k5"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys %v, want %v", keys, want)
+	}
+}
+
+// TestBinBatchWalkMalformed: anything short of a complete frame must be
+// rejected (ok=false falls back to the JSON identity path, never a
+// misparse).
+func TestBinBatchWalkMalformed(t *testing.T) {
+	frame := goldenBinFrame()
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, ok := binBatchWalk(frame[:cut]); ok {
+			t.Fatalf("accepted %d-byte truncation", cut)
+		}
+	}
+	if _, _, _, ok := binBatchWalk(append(append([]byte{}, frame...), 0)); ok {
+		t.Fatal("accepted trailing byte")
+	}
+	bad := append([]byte{}, frame...)
+	bad[22] = 99 // first op's kind
+	if _, _, _, ok := binBatchWalk(bad); ok {
+		t.Fatal("accepted unknown op kind")
+	}
+	if _, _, _, ok := binBatchWalk([]byte(`{"ops":[{"key":"k1"}]}`)); ok {
+		t.Fatal("accepted a JSON body as a binary frame")
+	}
+}
+
+// TestBatchIdentitiesCodecAgnostic: the chaos layer must draw the same
+// per-sub-op identities whichever codec carried the envelope, so fault
+// schedules stay aligned across the binary-vs-JSON differential runs.
+func TestBatchIdentitiesCodecAgnostic(t *testing.T) {
+	jsonBody := []byte(`{"client":5,"now_ns":60,"ops":[` +
+		`{"op":"slot","key":"k1"},` +
+		`{"op":"report","key":"k2","client":9,"impression":77},` +
+		`{"op":"ondemand","now_ns":70,"no_rescue":true,"categories":["news"]},` +
+		`{"op":"cancelled","ids":[1,2]},` +
+		`{"op":"bundle","key":"k5"}]}`)
+	ids := func(body []byte) []string {
+		r := httptest.NewRequest(http.MethodPost, BatchPath, bytes.NewReader(body))
+		got := batchIdentities(r)
+		// The body must be restored for the next reader in the chain.
+		rest, err := io.ReadAll(r.Body)
+		if err != nil || !bytes.Equal(rest, body) {
+			t.Fatalf("batchIdentities consumed the body: %d of %d bytes left (err %v)", len(rest), len(body), err)
+		}
+		return got
+	}
+	binIDs := ids(goldenBinFrame())
+	jsonIDs := ids(jsonBody)
+	if !reflect.DeepEqual(binIDs, jsonIDs) {
+		t.Fatalf("identities differ across codecs: binary %v vs json %v", binIDs, jsonIDs)
+	}
+	if want := []string{"k1", "k2", "k5"}; !reflect.DeepEqual(binIDs, want) {
+		t.Fatalf("identities %v, want %v", binIDs, want)
+	}
+}

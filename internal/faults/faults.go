@@ -36,6 +36,7 @@ package faults
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -345,9 +346,98 @@ type batchOpsID struct {
 	} `json:"ops"`
 }
 
+// binBatchMagic is the binary batch request frame's magic (the
+// transport codec's "APB1"). The fault layer mirrors just enough of the
+// frame to walk it for identities, so a sub-op's chaos draw does not
+// depend on which codec carried it — the property the binary-vs-JSON
+// chaos differential rests on. A cross-package test pins this walker
+// against the transport encoder.
+const binBatchMagic = "APB1"
+
+// binBatchWalk parses a binary batch frame and reports the sub-op
+// idempotency keys plus the envelope's default client id and timestamp.
+// ok is false for anything that is not a complete well-formed frame.
+func binBatchWalk(body []byte) (keys []string, client int, now int64, ok bool) {
+	if len(body) < 4+8+8+2 || string(body[:4]) != binBatchMagic {
+		return nil, 0, 0, false
+	}
+	client = int(int64(binary.LittleEndian.Uint64(body[4:])))
+	now = int64(binary.LittleEndian.Uint64(body[12:]))
+	nops := int(binary.LittleEndian.Uint16(body[20:]))
+	off := 22
+	take := func(n int) ([]byte, bool) {
+		if off+n > len(body) {
+			return nil, false
+		}
+		b := body[off : off+n]
+		off += n
+		return b, true
+	}
+	for i := 0; i < nops; i++ {
+		hdr, hok := take(3) // kind, flags, keyLen
+		if !hok {
+			return nil, 0, 0, false
+		}
+		kind, flags, keyLen := hdr[0], hdr[1], int(hdr[2])
+		key, kok := take(keyLen)
+		if !kok {
+			return nil, 0, 0, false
+		}
+		if keyLen > 0 {
+			keys = append(keys, string(key))
+		}
+		skip := 0
+		if flags&1 != 0 { // client override
+			skip += 8
+		}
+		if flags&2 != 0 { // now override
+			skip += 8
+		}
+		if _, sok := take(skip); !sok {
+			return nil, 0, 0, false
+		}
+		switch kind {
+		case 2: // report: impression int64
+			if _, sok := take(8); !sok {
+				return nil, 0, 0, false
+			}
+		case 3: // ondemand: ncats × (len + bytes)
+			nc, cok := take(1)
+			if !cok {
+				return nil, 0, 0, false
+			}
+			for j := 0; j < int(nc[0]); j++ {
+				cl, lok := take(1)
+				if !lok {
+					return nil, 0, 0, false
+				}
+				if _, sok := take(int(cl[0])); !sok {
+					return nil, 0, 0, false
+				}
+			}
+		case 4: // cancelled: nids × int64
+			nb, iok := take(2)
+			if !iok {
+				return nil, 0, 0, false
+			}
+			if _, sok := take(8 * int(binary.LittleEndian.Uint16(nb))); !sok {
+				return nil, 0, 0, false
+			}
+		case 1, 5: // slot, bundle: no payload
+		default:
+			return nil, 0, 0, false
+		}
+	}
+	if off != len(body) {
+		return nil, 0, 0, false
+	}
+	return keys, client, now, true
+}
+
 // batchIdentities extracts the sub-op idempotency keys from a batch
-// envelope body (restored for the next reader). Nil when the request is
-// not a parseable batch POST or carries no keyed sub-ops.
+// envelope body (restored for the next reader), sniffing the binary
+// frame by magic so both codecs yield the same identity list. Nil when
+// the request is not a parseable batch POST or carries no keyed sub-ops.
 func batchIdentities(r *http.Request) []string {
 	if r.Body == nil || r.Method != http.MethodPost {
 		return nil
@@ -357,6 +447,9 @@ func batchIdentities(r *http.Request) []string {
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	if err != nil {
 		return nil
+	}
+	if keys, _, _, ok := binBatchWalk(body); ok {
+		return keys
 	}
 	var env batchOpsID
 	if json.Unmarshal(body, &env) != nil {
@@ -513,6 +606,9 @@ func clientAndNow(r *http.Request) (client int, now simclock.Time, ok bool) {
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, false
+	}
+	if _, c, ns, ok := binBatchWalk(body); ok {
+		return c, simclock.Time(ns), true
 	}
 	var id requestID
 	if json.Unmarshal(body, &id) != nil || id.Client == nil {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -58,11 +59,16 @@ func (e *endpointStats) code(status int) *Counter {
 }
 
 // respWriter counts bytes and captures the status code on the way out.
+// Instances are pooled: a request borrows one for the duration of
+// ServeHTTP and returns it before the middleware unwinds, so steady-state
+// instrumentation adds no per-request heap allocation.
 type respWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
 }
+
+var respWriterPool = sync.Pool{New: func() any { return new(respWriter) }}
 
 func (w *respWriter) WriteHeader(code int) {
 	if w.status == 0 {
@@ -125,7 +131,12 @@ func (in *instrumented) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		st = in.other
 	}
-	rw := &respWriter{ResponseWriter: w}
+	rw := respWriterPool.Get().(*respWriter)
+	rw.ResponseWriter, rw.status, rw.bytes = w, 0, 0
+	defer func() {
+		rw.ResponseWriter = nil // drop the conn reference before pooling
+		respWriterPool.Put(rw)
+	}()
 	start := time.Now()
 	in.next.ServeHTTP(rw, r)
 	elapsed := time.Since(start)

@@ -223,3 +223,50 @@ func countWALRecords(t *testing.T, dir string) int {
 	}
 	return total
 }
+
+// TestCrashGroupCommitFsync runs the kill/restart matrix with real
+// group-commit fsync on (TransportOpts.Fsync): one flush covers every
+// envelope framed before it, and wal.Options.Hook fires after that
+// covering flush but before the append returns — so each scheduled kill
+// lands exactly between the batched fsync and the client ack, the
+// group-commit window where an op is durable but unacknowledged. The
+// client's retry straddles the restart and hits the replayed dedup
+// window, so the recovered run must equal the uninterrupted baseline on
+// every accounting observable, on both wire modes.
+func TestCrashGroupCommitFsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay with kill/restart and fsync")
+	}
+	cfg := crashConfig()
+	for _, batched := range []bool{false, true} {
+		wire := "sequential"
+		crashOp := "report"
+		if batched {
+			wire = "batched"
+			crashOp = "batch"
+		}
+		label := "group-commit/" + wire
+		base, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 4, Batched: batched})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", label, err)
+		}
+		// One kill inside the serving flow, one during the period-end
+		// round, with a checkpoint between: the second recovery replays a
+		// snapshot plus a fsynced log tail.
+		sched := faults.NewCrashSchedule(
+			faults.CrashPoint{Op: crashOp, After: 3},
+			faults.CrashPoint{Op: "period_end", After: 1},
+		)
+		res, err := RunTransportWith(cfg, TransportOpts{
+			Shards: 2, Workers: 4, Batched: batched,
+			WALDir: t.TempDir(), SnapshotEvery: 2, Crashes: sched, Fsync: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Restarts != 2 || sched.Fired() != 2 {
+			t.Fatalf("%s: restarts %d fired %d, want 2", label, res.Restarts, sched.Fired())
+		}
+		assertCrashEquivalence(t, label, base, res)
+	}
+}

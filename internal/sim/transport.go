@@ -96,10 +96,20 @@ type TransportOpts struct {
 	// differential suite pins ledger, violation and counter equality —
 	// but the run spends far fewer HTTP round trips (Result.Net).
 	Batched bool
+	// BinaryBatch additionally switches batched devices to the binary
+	// envelope codec (transport.WithBinaryBatch). Requires Batched; the
+	// codec differential suite pins outcome equality against the JSON
+	// envelope.
+	BinaryBatch bool
 	// WALDir, when non-empty, attaches a write-ahead log under that
-	// directory (fsync disabled — the harness emulates process crashes,
-	// not power loss, and the page cache survives those).
+	// directory (fsync disabled by default — the harness emulates process
+	// crashes, not power loss, and the page cache survives those).
 	WALDir string
+	// Fsync turns real group-commit fsync on for the WAL (wal.Options
+	// NoSync off): one flush covers every envelope written before it, and
+	// no op is acknowledged before its covering flush. The group-commit
+	// crash tier runs with this set to pin that ack-after-flush ordering.
+	Fsync bool
 	// SnapshotEvery checkpoints the full state every N period-end
 	// rounds (0 = never; the log then carries the whole run).
 	SnapshotEvery int
@@ -224,7 +234,7 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		if o.WALDir == "" {
 			return pool, ts, nil, nil
 		}
-		l, err := wal.Open(o.WALDir, wal.Options{NoSync: true, Hook: hook})
+		l, err := wal.Open(o.WALDir, wal.Options{NoSync: !o.Fsync, Hook: hook})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -337,6 +347,9 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		}
 		if o.Batched {
 			opts = append(opts, transport.WithBatching())
+		}
+		if o.BinaryBatch {
+			opts = append(opts, transport.WithBinaryBatch())
 		}
 		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, opts...)
 		if err != nil {

@@ -125,8 +125,19 @@ func (s *ShardedServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer putBodyBuf(body)
+	// The envelope codec follows the request's Content-Type; the reply
+	// answers in kind. Decoded envelopes are value-identical across
+	// codecs, so everything below this branch is codec-blind.
+	binFrame := isBinaryBatch(r.Header.Get("Content-Type"))
 	var env batchMsg
-	if !decodeBytes(w, body, &env) {
+	if binFrame {
+		var err error
+		if env, err = decodeBatchMsg(body); err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed request: "+err.Error())
+			return
+		}
+	} else if !decodeBytes(w, body, &env) {
 		return
 	}
 	limit := s.MaxBatchOps
@@ -166,6 +177,10 @@ func (s *ShardedServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchSize.Observe(int64(len(env.Ops)))
 	s.batchSaved.Add(int64(len(env.Ops) - 1))
+	if binFrame {
+		writeBatchReplyBinary(w, results)
+		return
+	}
 	writeJSON(w, BatchReply{Results: results})
 }
 
@@ -310,7 +325,14 @@ func (s *ShardedServer) batchExecLocked(sh *shardState, env batchMsg, op BatchOp
 	case OpCancelled:
 		return http.StatusOK, s.cancelledLocked(sh, op.IDs, simclock.Time(now))
 	case OpBundle:
-		return http.StatusOK, s.bundleLocked(sh, client)
+		// The batch path holds sh.mu; take stagedMu inside it (the
+		// global mu -> stagedMu order) just for the shelf drain. The
+		// group's WAL record is appended later under sh.mu, which is
+		// still ordered against period rounds — they hold sh.mu too.
+		sh.stagedMu.Lock()
+		reply := s.bundleStagedLocked(sh, client)
+		sh.stagedMu.Unlock()
+		return http.StatusOK, reply
 	}
 	// Unreachable: validateBatchOp filtered unknown kinds.
 	return http.StatusBadRequest, fmt.Sprintf("unknown batch op %q", op.Op)

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -163,4 +165,191 @@ func BenchmarkWakeUp(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchNopWriter is the cheapest possible ResponseWriter: benchmarks
+// that measure the serving path use it so recorder allocations don't
+// drown the signal.
+type benchNopWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *benchNopWriter) Header() http.Header { return w.h }
+func (w *benchNopWriter) WriteHeader(code int) {
+	if code >= 300 {
+		w.n = code
+	}
+}
+func (w *benchNopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// reusableBody lets one request object carry a resettable body across
+// benchmark iterations without re-allocating a closer per request.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }
+
+// BenchmarkSequentialServing measures the sequential hot path end to
+// end — mux, version gate, metrics middleware, pooled body read, shard
+// execution, pre-marshaled reply — for the highest-volume request in
+// the protocol (POST /v1/slot). This is the zero-alloc target the
+// pooled buffers and constant replies exist for; allocs/op here is the
+// number the benchmark gate defends.
+//
+// Run: make bench
+func BenchmarkSequentialServing(b *testing.B) {
+	const (
+		clients   = 256
+		campaigns = 50
+		slotsEach = 400
+	)
+	demand := auction.DefaultDemand()
+	demand.Campaigns = campaigns
+	demand.TargetedFrac = 0
+	demand.BudgetImpressions = 1_000_000_000
+	h := benchHandler(b, 1, clients, campaigns, slotsEach, demand)
+
+	bodies := make([][]byte, clients)
+	for c := range bodies {
+		bodies[c] = []byte(fmt.Sprintf(`{"client":%d,"now_ns":1000}`, c))
+	}
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rd := &reusableBody{bytes.NewReader(nil)}
+		req := httptest.NewRequest("POST", "/v1/slot", nil)
+		req.Body = rd
+		w := &benchNopWriter{h: make(http.Header, 4)}
+		for pb.Next() {
+			cid := int(seq.Add(1)) % clients
+			rd.Reset(bodies[cid])
+			req.ContentLength = int64(len(bodies[cid]))
+			clear(w.h)
+			h.ServeHTTP(w, req)
+			if w.n != 0 {
+				b.Fatalf("/v1/slot: %d", w.n)
+			}
+		}
+	})
+}
+
+// batchCodecEnvelopes pre-encodes one steady-state wake-up envelope per
+// client — slot observation, cancellation probe, bundle poll; unkeyed,
+// so the dedup window stays empty and iterations don't compound — in
+// the requested codec.
+func batchCodecEnvelopes(tb testing.TB, clients int, binary bool) [][]byte {
+	bodies := make([][]byte, clients)
+	for c := range bodies {
+		env := batchMsg{Client: c, NowNS: 1000, Ops: []BatchOp{
+			{Op: OpSlot},
+			{Op: OpCancelled, IDs: []int64{int64(c), int64(c) + 1}},
+			{Op: OpBundle},
+		}}
+		if binary {
+			frame, err := appendBatchMsg(nil, env)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			bodies[c] = frame
+		} else {
+			js, err := json.Marshal(env)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			bodies[c] = js
+		}
+	}
+	return bodies
+}
+
+// runBatchCodec drives b.N envelopes of one codec through the full
+// handler stack; shared by BenchmarkBatchCodec and the alloc-advantage
+// acceptance test.
+func runBatchCodec(b *testing.B, h http.Handler, binary bool) {
+	const clients = 256
+	bodies := batchCodecEnvelopes(b, clients, binary)
+	contentType := "application/json"
+	if binary {
+		contentType = BinaryBatchContentType
+	}
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.SetBytes(int64(len(bodies[0])))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rd := &reusableBody{bytes.NewReader(nil)}
+		req := httptest.NewRequest("POST", "/v1/batch", nil)
+		req.Body = rd
+		req.Header.Set("Content-Type", contentType)
+		w := &benchNopWriter{h: make(http.Header, 4)}
+		for pb.Next() {
+			cid := int(seq.Add(1)) % clients
+			rd.Reset(bodies[cid])
+			req.ContentLength = int64(len(bodies[cid]))
+			clear(w.h)
+			h.ServeHTTP(w, req)
+			if w.n != 0 {
+				b.Fatalf("/v1/batch: %d", w.n)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchCodec compares the two /v1/batch envelope codecs over
+// identical steady-state wake-up envelopes. The binary rows must show
+// at least 25% fewer allocs/op than the JSON rows (pinned by
+// TestBatchCodecAllocAdvantage); B/op and the SetBytes throughput show
+// the wire-size win alongside.
+//
+// Run: make bench
+func BenchmarkBatchCodec(b *testing.B) {
+	const (
+		clients   = 256
+		campaigns = 50
+		slotsEach = 400
+	)
+	demand := auction.DefaultDemand()
+	demand.Campaigns = campaigns
+	demand.TargetedFrac = 0
+	demand.BudgetImpressions = 1_000_000_000
+	for _, codec := range []string{"json", "binary"} {
+		b.Run("codec="+codec, func(b *testing.B) {
+			h := benchHandler(b, 1, clients, campaigns, slotsEach, demand)
+			runBatchCodec(b, h, codec == "binary")
+		})
+	}
+}
+
+// TestBatchCodecAllocAdvantage is the codec acceptance: the binary
+// envelope must allocate at least 25% less per request than JSON on the
+// same workload.
+func TestBatchCodecAllocAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two benchmarks")
+	}
+	const (
+		clients   = 256
+		campaigns = 50
+		slotsEach = 400
+	)
+	demand := auction.DefaultDemand()
+	demand.Campaigns = campaigns
+	demand.TargetedFrac = 0
+	demand.BudgetImpressions = 1_000_000_000
+	measure := func(binary bool) float64 {
+		var h http.Handler
+		r := testing.Benchmark(func(b *testing.B) {
+			if h == nil {
+				h = benchHandler(b, 1, clients, campaigns, slotsEach, demand)
+			}
+			runBatchCodec(b, h, binary)
+		})
+		return float64(r.AllocsPerOp())
+	}
+	js, bin := measure(false), measure(true)
+	if bin > 0.75*js {
+		t.Fatalf("binary codec allocates %.0f allocs/op vs %.0f JSON — less than a 25%% reduction", bin, js)
+	}
+	t.Logf("allocs/op: json %.0f, binary %.0f (%.0f%% fewer)", js, bin, 100*(1-bin/js))
 }

@@ -192,6 +192,15 @@ func (c *caller) chargeRetry(at simclock.Time, bytes int64) {
 // virtual timeline of the attempts. key may be empty for requests that
 // need no server-side dedup (idempotent reads).
 func (c *caller) do(now simclock.Time, method, path string, body []byte, key string, out any) error {
+	return c.doDecode(now, method, path, "application/json", body, key, func(resp *http.Response) error {
+		return readJSON(path, resp, out)
+	})
+}
+
+// doDecode is do with an explicit request content type and response
+// decoder, for requests that speak something other than plain JSON
+// (the binary batch codec).
+func (c *caller) doDecode(now simclock.Time, method, path, contentType string, body []byte, key string, decode func(*http.Response) error) error {
 	attempts := c.Retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -209,7 +218,7 @@ func (c *caller) do(now simclock.Time, method, path string, body []byte, key str
 		}
 		c.net.Attempts++
 		c.cm.attempts.Inc()
-		err := c.send(method, path, body, key, attempt, out)
+		err := c.send(method, path, contentType, body, key, attempt, decode)
 		if err == nil {
 			return nil
 		}
@@ -229,7 +238,7 @@ func (c *caller) do(now simclock.Time, method, path string, body []byte, key str
 	return fmt.Errorf("%w: %s %s after %d attempts: %v", ErrUnreachable, method, path, attempts, lastErr)
 }
 
-func (c *caller) send(method, path string, body []byte, key string, attempt int, out any) error {
+func (c *caller) send(method, path, contentType string, body []byte, key string, attempt int, decode func(*http.Response) error) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -239,18 +248,25 @@ func (c *caller) send(method, path string, body []byte, key string, attempt int,
 		return fmt.Errorf("transport: %s %s: %w", method, path, err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if key != "" {
 		req.Header.Set(idempotencyKeyHeader, key)
 	}
 	req.Header.Set(attemptHeader, strconv.Itoa(attempt))
-	req.Header.Set(VersionHeader, strconv.Itoa(ProtocolVersion))
+	version := strconv.Itoa(ProtocolVersion)
+	if contentType == BinaryBatchContentType {
+		// Advertise the binary capability as a version token; servers
+		// that predate it ignore unknown tokens and the 400 their JSON
+		// decode answers drives the client's JSON fallback.
+		version += ";" + binVersionToken
+	}
+	req.Header.Set(VersionHeader, version)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("transport: %s %s: %w", method, path, err)
 	}
-	return readJSON(path, resp, out)
+	return decode(resp)
 }
 
 // post marshals in and POSTs it under the given idempotency key.
@@ -328,8 +344,11 @@ type Device struct {
 	// queue in sequential mode, the write-behind outbox in batched mode.
 	deferred []deferredReport
 
-	// batching selects the coalesced wire mode (see WithBatching).
-	batching bool
+	// batching selects the coalesced wire mode (see WithBatching);
+	// binaryBatch additionally selects the binary envelope codec for it
+	// (see WithBinaryBatch).
+	batching    bool
+	binaryBatch bool
 }
 
 // NewDevice creates a device talking to the server at baseURL. With no
@@ -342,11 +361,12 @@ func NewDevice(id, cacheCap int, baseURL string, opts ...Option) (*Device, error
 	}
 	o := buildOptions(opts)
 	return &Device{
-		ID:       id,
-		caller:   newCaller(baseURL, fmt.Sprintf("c%d", id), int64(id)+1, o),
-		dev:      dev,
-		known:    make(map[auction.ImpressionID]bool),
-		batching: o.batching,
+		ID:          id,
+		caller:      newCaller(baseURL, fmt.Sprintf("c%d", id), int64(id)+1, o),
+		dev:         dev,
+		known:       make(map[auction.ImpressionID]bool),
+		batching:    o.batching,
+		binaryBatch: o.binaryBat,
 	}, nil
 }
 
@@ -592,6 +612,41 @@ func readJSON(path string, resp *http.Response, out any) error {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("transport: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// readBatchReply consumes a /v1/batch response in whichever codec the
+// server answered: the binary frame when the reply Content-Type declares
+// it, JSON otherwise (the fallback when a server did not speak the
+// binary codec). Non-200 statuses become StatusError exactly like
+// readJSON.
+func readBatchReply(resp *http.Response, out *BatchReply) error {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{
+			Status: resp.StatusCode,
+			Msg:    fmt.Sprintf("transport: /v1/batch: %s: %s", resp.Status, strings.TrimSpace(string(msg))),
+		}
+	}
+	if isBinaryBatch(resp.Header.Get("Content-Type")) {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("transport: reading /v1/batch reply: %w", err)
+		}
+		reply, err := decodeBatchReply(data)
+		if err != nil {
+			return fmt.Errorf("transport: decoding /v1/batch: %w", err)
+		}
+		*out = reply
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("transport: decoding /v1/batch: %w", err)
 	}
 	return nil
 }

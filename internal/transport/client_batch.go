@@ -64,7 +64,7 @@ func (d *Device) sendBatch(now simclock.Time, ops []BatchOp) ([]BatchOpResult, e
 		}
 	}
 	var reply BatchReply
-	if err := d.post(now, "/v1/batch", batchMsg{Client: d.ID, NowNS: int64(now), Ops: ops}, d.nextKey(), &reply); err != nil {
+	if _, err := d.postBatch(now, batchMsg{Client: d.ID, NowNS: int64(now), Ops: ops}, d.nextKey(), &reply); err != nil {
 		return nil, err
 	}
 	if len(reply.Results) != len(ops) {
@@ -95,13 +95,12 @@ func (d *Device) sendBatch(now simclock.Time, ops []BatchOp) ([]BatchOpResult, e
 			sub[j] = ops[i]
 		}
 		env := batchMsg{Client: d.ID, NowNS: int64(at), Ops: sub}
-		body, _ := json.Marshal(env)
-		d.chargeRetry(at, int64(len(body))+retryOverheadBytes)
+		d.chargeRetry(at, int64(d.envelopeLen(env))+retryOverheadBytes)
 		d.net.Retries++
 		d.cm.retries.Inc()
 		d.cm.backoffNS.Add(int64(bo))
 		var subReply BatchReply
-		if err := d.post(at, "/v1/batch", env, d.nextKey(), &subReply); err != nil {
+		if _, err := d.postBatch(at, env, d.nextKey(), &subReply); err != nil {
 			break // carrier down again; callers see the stale statuses
 		}
 		if len(subReply.Results) != len(sub) {
@@ -112,6 +111,46 @@ func (d *Device) sendBatch(now simclock.Time, ops []BatchOp) ([]BatchOpResult, e
 		}
 	}
 	return results, nil
+}
+
+// postBatch delivers one envelope in the device's wire codec — the
+// binary frame under WithBinaryBatch, JSON otherwise — and decodes the
+// reply by its response Content-Type (JSON fallback). Returns the
+// encoded envelope length for radio accounting.
+func (d *Device) postBatch(at simclock.Time, env batchMsg, key string, reply *BatchReply) (int, error) {
+	if d.binaryBatch {
+		body, err := appendBatchMsg(nil, env)
+		if err != nil {
+			return 0, fmt.Errorf("transport: encoding /v1/batch: %w", err)
+		}
+		return len(body), d.doDecode(at, http.MethodPost, "/v1/batch", BinaryBatchContentType, body, key, func(resp *http.Response) error {
+			return readBatchReply(resp, reply)
+		})
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return 0, fmt.Errorf("transport: encoding /v1/batch: %w", err)
+	}
+	return len(body), d.doDecode(at, http.MethodPost, "/v1/batch", "application/json", body, key, func(resp *http.Response) error {
+		return readBatchReply(resp, reply)
+	})
+}
+
+// envelopeLen sizes an envelope in the device's wire codec, for the
+// radio model's byte accounting.
+func (d *Device) envelopeLen(env batchMsg) int {
+	if d.binaryBatch {
+		b, err := appendBatchMsg(nil, env)
+		if err != nil {
+			return 0
+		}
+		return len(b)
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return 0
+	}
+	return len(b)
 }
 
 // outboxOps renders the queued display reports as the leading sub-ops

@@ -1,0 +1,459 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Binary batch codec. The JSON envelope on POST /v1/batch dominates the
+// serving hot path's allocation profile (field names, escaping, and a
+// reflective marshal per envelope each way), so devices can opt into a
+// length-prefixed binary frame for the same batchMsg / BatchReply
+// values. Negotiation rides the existing version header: a binary-capable
+// client sends "1;bin" (the server ignores tokens it does not know) and
+// a binary Content-Type on the envelope; the server answers in the
+// request's codec, so plain-JSON clients are untouched. Everything past
+// the wire bytes — validation, grouping, idempotency fingerprints
+// (hashed over sequentialForm, which is codec-independent), WAL records,
+// and dedup-stored response bodies — is shared with the JSON path, which
+// is what keeps the two codecs observably equivalent.
+//
+// Request frame (all integers little-endian):
+//
+//	magic "APB1"
+//	client  int64      envelope default client id
+//	now_ns  int64      envelope default virtual timestamp
+//	nops    uint16
+//	per op:
+//	  kind    uint8    1=slot 2=report 3=ondemand 4=cancelled 5=bundle
+//	  flags   uint8    1=has client override, 2=has now override, 4=no_rescue
+//	  keyLen  uint8    idempotency key length (0 = unkeyed)
+//	  key     bytes
+//	  client  int64    present iff flag 1
+//	  now_ns  int64    present iff flag 2
+//	  kind-specific payload:
+//	    report:    impression int64
+//	    ondemand:  ncats uint8, then per category: len uint8 + bytes
+//	    cancelled: nids uint16, then nids × int64
+//	    slot, bundle: none
+//
+// Reply frame:
+//
+//	magic "APR1"
+//	n uint16
+//	per result:
+//	  kind   uint8    op kind code (0 for unknown ops echoed from JSON)
+//	  flags  uint8    1=replayed
+//	  status uint16   HTTP status of the sub-op
+//	  len    uint32   body length
+//	  body   bytes    error text when status >= 400, else the JSON reply
+//
+// Sub-op result bodies stay JSON on purpose: they are the dedup store's
+// stored responses, byte-shared with the sequential endpoints, so a
+// keyed op replays identically whichever codec (or sequential request)
+// delivered it first.
+
+// BinaryBatchContentType marks a binary batch envelope (request) or
+// reply (response). The server answers in the codec the request used.
+const BinaryBatchContentType = "application/x-adprefetch-batch"
+
+// binVersionToken is the capability token a binary-capable client
+// appends to the version header ("1;bin").
+const binVersionToken = "bin"
+
+var (
+	binReqMagic = [4]byte{'A', 'P', 'B', '1'}
+	binRepMagic = [4]byte{'A', 'P', 'R', '1'}
+)
+
+// Binary op-kind codes, in protocol order (batchOpKinds).
+const (
+	binKindSlot      = 1
+	binKindReport    = 2
+	binKindOnDemand  = 3
+	binKindCancelled = 4
+	binKindBundle    = 5
+)
+
+// Per-op flag bits.
+const (
+	binFlagClient   = 1 // op overrides the envelope client
+	binFlagNow      = 2 // op overrides the envelope timestamp
+	binFlagNoRescue = 4 // ondemand: skip the rescue path
+)
+
+// Reply flag bits.
+const binFlagReplayed = 1 // result served from the idempotency window
+
+func opKindCode(op string) uint8 {
+	switch op {
+	case OpSlot:
+		return binKindSlot
+	case OpReport:
+		return binKindReport
+	case OpOnDemand:
+		return binKindOnDemand
+	case OpCancelled:
+		return binKindCancelled
+	case OpBundle:
+		return binKindBundle
+	}
+	return 0
+}
+
+func opKindName(code uint8) string {
+	switch code {
+	case binKindSlot:
+		return OpSlot
+	case binKindReport:
+		return OpReport
+	case binKindOnDemand:
+		return OpOnDemand
+	case binKindCancelled:
+		return OpCancelled
+	case binKindBundle:
+		return OpBundle
+	}
+	return ""
+}
+
+// isBinaryBatch reports whether a Content-Type declares the binary
+// envelope codec (parameters after ';' tolerated).
+func isBinaryBatch(contentType string) bool {
+	ct := contentType
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == BinaryBatchContentType
+}
+
+// appendBatchMsg encodes an envelope into the binary request frame,
+// appending to dst. Returns an error (and the partial dst) when a field
+// exceeds the frame's length prefixes — keys and categories over 255
+// bytes, more than 65535 ops or cancellation ids — which a conforming
+// client never produces (validIdemKey caps keys at 128 bytes).
+func appendBatchMsg(dst []byte, env batchMsg) ([]byte, error) {
+	if len(env.Ops) > 0xFFFF {
+		return dst, fmt.Errorf("binary batch: %d ops exceed the frame limit", len(env.Ops))
+	}
+	dst = append(dst, binReqMagic[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(env.Client))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(env.NowNS))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(env.Ops)))
+	for _, op := range env.Ops {
+		kind := opKindCode(op.Op)
+		if kind == 0 {
+			return dst, fmt.Errorf("binary batch: unknown op kind %q", op.Op)
+		}
+		if len(op.Key) > 0xFF {
+			return dst, fmt.Errorf("binary batch: %d-byte key exceeds the frame limit", len(op.Key))
+		}
+		var flags uint8
+		if op.Client != nil {
+			flags |= binFlagClient
+		}
+		if op.NowNS != nil {
+			flags |= binFlagNow
+		}
+		if op.NoRescue {
+			flags |= binFlagNoRescue
+		}
+		dst = append(dst, kind, flags, uint8(len(op.Key)))
+		dst = append(dst, op.Key...)
+		if op.Client != nil {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*op.Client))
+		}
+		if op.NowNS != nil {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*op.NowNS))
+		}
+		switch kind {
+		case binKindReport:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(op.Impression))
+		case binKindOnDemand:
+			if len(op.Categories) > 0xFF {
+				return dst, fmt.Errorf("binary batch: %d categories exceed the frame limit", len(op.Categories))
+			}
+			dst = append(dst, uint8(len(op.Categories)))
+			for _, c := range op.Categories {
+				if len(c) > 0xFF {
+					return dst, fmt.Errorf("binary batch: %d-byte category exceeds the frame limit", len(c))
+				}
+				dst = append(dst, uint8(len(c)))
+				dst = append(dst, c...)
+			}
+		case binKindCancelled:
+			if len(op.IDs) > 0xFFFF {
+				return dst, fmt.Errorf("binary batch: %d ids exceed the frame limit", len(op.IDs))
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(op.IDs)))
+			for _, id := range op.IDs {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// binCursor walks a binary frame with bounds checking; every read
+// reports truncation instead of panicking (the decode surface is fuzzed).
+type binCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *binCursor) take(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.data) {
+		return nil, fmt.Errorf("binary batch: truncated at byte %d", c.off)
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *binCursor) u8() (uint8, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *binCursor) u16() (uint16, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (c *binCursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *binCursor) i64() (int64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// str reads a length-prefixed string, copying out of the frame (the
+// request buffer is pooled and dies with the handler).
+func (c *binCursor) str(n int) (string, error) {
+	b, err := c.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodeBatchMsg parses a binary request frame. All strings are copied;
+// the returned envelope does not alias data. Decoded envelopes are
+// value-identical to what the JSON codec would have produced, so
+// everything downstream (validation, fingerprints, WAL records) is
+// codec-blind.
+func decodeBatchMsg(data []byte) (batchMsg, error) {
+	var env batchMsg
+	c := &binCursor{data: data}
+	magic, err := c.take(4)
+	if err != nil {
+		return env, err
+	}
+	if [4]byte(magic) != binReqMagic {
+		return env, fmt.Errorf("binary batch: bad magic %q", magic)
+	}
+	envClient, err := c.i64()
+	if err != nil {
+		return env, err
+	}
+	env.Client = int(envClient)
+	if env.NowNS, err = c.i64(); err != nil {
+		return env, err
+	}
+	nops, err := c.u16()
+	if err != nil {
+		return env, err
+	}
+	if nops > 0 {
+		env.Ops = make([]BatchOp, 0, nops)
+	}
+	for i := 0; i < int(nops); i++ {
+		var op BatchOp
+		kind, err := c.u8()
+		if err != nil {
+			return env, err
+		}
+		op.Op = opKindName(kind)
+		if op.Op == "" {
+			return env, fmt.Errorf("binary batch: unknown op kind %d", kind)
+		}
+		flags, err := c.u8()
+		if err != nil {
+			return env, err
+		}
+		keyLen, err := c.u8()
+		if err != nil {
+			return env, err
+		}
+		if op.Key, err = c.str(int(keyLen)); err != nil {
+			return env, err
+		}
+		if flags&binFlagClient != 0 {
+			v, err := c.i64()
+			if err != nil {
+				return env, err
+			}
+			cl := int(v)
+			op.Client = &cl
+		}
+		if flags&binFlagNow != 0 {
+			v, err := c.i64()
+			if err != nil {
+				return env, err
+			}
+			op.NowNS = &v
+		}
+		op.NoRescue = flags&binFlagNoRescue != 0
+		switch kind {
+		case binKindReport:
+			if op.Impression, err = c.i64(); err != nil {
+				return env, err
+			}
+		case binKindOnDemand:
+			ncats, err := c.u8()
+			if err != nil {
+				return env, err
+			}
+			if ncats > 0 {
+				op.Categories = make([]string, 0, ncats)
+			}
+			for j := 0; j < int(ncats); j++ {
+				n, err := c.u8()
+				if err != nil {
+					return env, err
+				}
+				s, err := c.str(int(n))
+				if err != nil {
+					return env, err
+				}
+				op.Categories = append(op.Categories, s)
+			}
+		case binKindCancelled:
+			nids, err := c.u16()
+			if err != nil {
+				return env, err
+			}
+			if nids > 0 {
+				op.IDs = make([]int64, 0, nids)
+			}
+			for j := 0; j < int(nids); j++ {
+				id, err := c.i64()
+				if err != nil {
+					return env, err
+				}
+				op.IDs = append(op.IDs, id)
+			}
+		}
+		env.Ops = append(env.Ops, op)
+	}
+	if c.off != len(data) {
+		return env, fmt.Errorf("binary batch: %d trailing bytes", len(data)-c.off)
+	}
+	return env, nil
+}
+
+// appendBatchReply encodes results into the binary reply frame,
+// appending to dst. Result bodies and error texts over 4 GiB cannot
+// occur (responses are bounded by the op reply types), so encoding
+// never fails.
+func appendBatchReply(dst []byte, results []BatchOpResult) []byte {
+	dst = append(dst, binRepMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(results)))
+	for _, r := range results {
+		var flags uint8
+		if r.Replayed {
+			flags |= binFlagReplayed
+		}
+		dst = append(dst, opKindCode(r.Op), flags)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(r.Status))
+		body := []byte(r.Body)
+		if r.Status >= 400 {
+			body = []byte(r.Error)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+		dst = append(dst, body...)
+	}
+	return dst
+}
+
+// decodeBatchReply parses a binary reply frame; bodies are copied.
+func decodeBatchReply(data []byte) (BatchReply, error) {
+	var reply BatchReply
+	c := &binCursor{data: data}
+	magic, err := c.take(4)
+	if err != nil {
+		return reply, err
+	}
+	if [4]byte(magic) != binRepMagic {
+		return reply, fmt.Errorf("binary batch reply: bad magic %q", magic)
+	}
+	n, err := c.u16()
+	if err != nil {
+		return reply, err
+	}
+	if n > 0 {
+		reply.Results = make([]BatchOpResult, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		var r BatchOpResult
+		kind, err := c.u8()
+		if err != nil {
+			return reply, err
+		}
+		r.Op = opKindName(kind)
+		flags, err := c.u8()
+		if err != nil {
+			return reply, err
+		}
+		r.Replayed = flags&binFlagReplayed != 0
+		status, err := c.u16()
+		if err != nil {
+			return reply, err
+		}
+		r.Status = int(status)
+		blen, err := c.u32()
+		if err != nil {
+			return reply, err
+		}
+		body, err := c.take(int(blen))
+		if err != nil {
+			return reply, err
+		}
+		if r.Status >= 400 {
+			r.Error = string(body)
+		} else if len(body) > 0 {
+			r.Body = append([]byte(nil), body...)
+		}
+		reply.Results = append(reply.Results, r)
+	}
+	if c.off != len(data) {
+		return reply, fmt.Errorf("binary batch reply: %d trailing bytes", len(data)-c.off)
+	}
+	return reply, nil
+}
+
+// writeBatchReplyBinary emits a binary reply frame through a pooled
+// scratch buffer.
+func writeBatchReplyBinary(w http.ResponseWriter, results []BatchOpResult) {
+	buf := appendBatchReply(getBodyBuf(), results)
+	w.Header().Set("Content-Type", BinaryBatchContentType)
+	w.Write(buf)
+	putBodyBuf(buf)
+}

@@ -1,0 +1,359 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randEnv generates a random but valid batch envelope. Slices are nil
+// when empty (matching what the JSON decoder produces), so round-trip
+// comparisons can use reflect.DeepEqual.
+func randEnv(r *rand.Rand) batchMsg {
+	env := batchMsg{Client: r.Intn(1 << 20), NowNS: r.Int63()}
+	nops := 1 + r.Intn(6)
+	for i := 0; i < nops; i++ {
+		op := BatchOp{Op: batchOpKinds[r.Intn(len(batchOpKinds))]}
+		if r.Intn(2) == 0 {
+			op.Key = randKey(r)
+		}
+		if r.Intn(3) == 0 {
+			cl := r.Intn(1 << 20)
+			op.Client = &cl
+		}
+		if r.Intn(3) == 0 {
+			now := r.Int63()
+			op.NowNS = &now
+		}
+		switch op.Op {
+		case OpReport:
+			op.Impression = r.Int63()
+		case OpOnDemand:
+			op.NoRescue = r.Intn(2) == 0
+			for j := r.Intn(4); j > 0; j-- {
+				op.Categories = append(op.Categories, randKey(r))
+			}
+		case OpCancelled:
+			for j := r.Intn(5); j > 0; j-- {
+				op.IDs = append(op.IDs, r.Int63())
+			}
+		}
+		env.Ops = append(env.Ops, op)
+	}
+	return env
+}
+
+func randKey(r *rand.Rand) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-_"
+	b := make([]byte, 1+r.Intn(24))
+	for i := range b {
+		b[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// TestBinaryCodecRoundTrip: encode -> decode reproduces the envelope
+// exactly, across randomly generated envelopes of every op kind.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		env := randEnv(r)
+		frame, err := appendBatchMsg(nil, env)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", env, err)
+		}
+		got, err := decodeBatchMsg(frame)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", env, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("round trip diverged:\n sent: %+v\n got:  %+v", env, got)
+		}
+	}
+}
+
+// TestBinaryCodecMatchesJSON pins codec equivalence at the decode
+// boundary: the same envelope shipped through the JSON codec and
+// through the binary codec must decode to identical batchMsg values —
+// the property everything downstream (validation, fingerprints, WAL
+// records) relies on to stay codec-blind.
+func TestBinaryCodecMatchesJSON(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		env := randEnv(r)
+		js, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON batchMsg
+		if err := json.Unmarshal(js, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := appendBatchMsg(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeBatchMsg(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs decode differently:\n json:   %+v\n binary: %+v", viaJSON, viaBin)
+		}
+	}
+}
+
+// TestBinaryReplyRoundTrip covers the response direction, including
+// replayed flags, error results, and empty bodies.
+func TestBinaryReplyRoundTrip(t *testing.T) {
+	results := []BatchOpResult{
+		{Op: OpSlot, Status: 200, Body: json.RawMessage(`{}`)},
+		{Op: OpReport, Status: 200, Replayed: true, Body: json.RawMessage(`{}`)},
+		{Op: OpReport, Status: 400, Error: "report 9 rejected: no such impression"},
+		{Op: OpOnDemand, Status: 429, Error: "shard overloaded: on-demand sale shed"},
+		{Op: OpCancelled, Status: 200, Body: json.RawMessage(`{"cancelled":[3,4]}`)},
+		{Op: OpBundle, Status: 200, Replayed: true, Body: json.RawMessage(`{"ads":[]}`)},
+	}
+	frame := appendBatchReply(nil, results)
+	got, err := decodeBatchReply(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, results) {
+		t.Fatalf("reply round trip diverged:\n sent: %+v\n got:  %+v", results, got.Results)
+	}
+}
+
+// goldenEnv / goldenFrame pin the binary wire format byte-for-byte. The
+// same bytes are asserted against the chaos proxy's independent frame
+// walker in internal/faults (TestBinBatchWalkGoldenFrame); changing the
+// format requires updating both, which is the point.
+func goldenEnv() batchMsg {
+	cl := 9
+	now := int64(70)
+	return batchMsg{Client: 5, NowNS: 60, Ops: []BatchOp{
+		{Op: OpSlot, Key: "k1"},
+		{Op: OpReport, Key: "k2", Client: &cl, Impression: 77},
+		{Op: OpOnDemand, NowNS: &now, NoRescue: true, Categories: []string{"news"}},
+		{Op: OpCancelled, IDs: []int64{1, 2}},
+		{Op: OpBundle, Key: "k5"},
+	}}
+}
+
+func goldenFrame() []byte {
+	return []byte{
+		'A', 'P', 'B', '1',
+		5, 0, 0, 0, 0, 0, 0, 0, // client
+		60, 0, 0, 0, 0, 0, 0, 0, // now_ns
+		5, 0, // nops
+		1, 0, 2, 'k', '1', // slot, key "k1"
+		2, 1, 2, 'k', '2', 9, 0, 0, 0, 0, 0, 0, 0, 77, 0, 0, 0, 0, 0, 0, 0, // report, client override, impression
+		3, 6, 0, 70, 0, 0, 0, 0, 0, 0, 0, 1, 4, 'n', 'e', 'w', 's', // ondemand, now override + no_rescue, 1 category
+		4, 0, 0, 2, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, // cancelled, 2 ids
+		5, 0, 2, 'k', '5', // bundle, key "k5"
+	}
+}
+
+func TestBinaryCodecGoldenFrame(t *testing.T) {
+	frame, err := appendBatchMsg(nil, goldenEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, goldenFrame()) {
+		t.Fatalf("golden frame diverged:\n got:  %v\n want: %v", frame, goldenFrame())
+	}
+	env, err := decodeBatchMsg(goldenFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env, goldenEnv()) {
+		t.Fatalf("golden decode diverged: %+v", env)
+	}
+}
+
+// TestBinaryCodecRejects covers the encoder's frame limits and the
+// decoder's malformed-frame taxonomy.
+func TestBinaryCodecRejects(t *testing.T) {
+	if _, err := appendBatchMsg(nil, batchMsg{Ops: []BatchOp{{Op: "fetch"}}}); err == nil {
+		t.Fatal("unknown op kind encoded")
+	}
+	if _, err := appendBatchMsg(nil, batchMsg{Ops: []BatchOp{{Op: OpSlot, Key: strings.Repeat("k", 256)}}}); err == nil {
+		t.Fatal("256-byte key encoded")
+	}
+	good, err := appendBatchMsg(nil, goldenEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBatchMsg(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	if _, err := decodeBatchMsg(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := decodeBatchMsg(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, good...)
+	bad[22] = 99 // first op's kind byte
+	if _, err := decodeBatchMsg(bad); err == nil {
+		t.Fatal("unknown kind byte accepted")
+	}
+}
+
+// postBatchBinary ships one envelope through the handler over the
+// binary codec, asserting the reply comes back binary too.
+func postBatchBinary(t *testing.T, h http.Handler, env batchMsg) (int, BatchReply) {
+	t.Helper()
+	frame, err := appendBatchMsg(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", BinaryBatchContentType)
+	req.Header.Set(VersionHeader, "1;"+binVersionToken)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var reply BatchReply
+	if rec.Code == http.StatusOK {
+		if ct := rec.Header().Get("Content-Type"); ct != BinaryBatchContentType {
+			t.Fatalf("binary request answered with Content-Type %q", ct)
+		}
+		if reply, err = decodeBatchReply(rec.Body.Bytes()); err != nil {
+			t.Fatalf("decoding binary reply: %v", err)
+		}
+	}
+	return rec.Code, reply
+}
+
+// TestBinaryBatchEndToEnd runs the same wake-up envelope through two
+// identical stacks, one per codec, and requires byte-identical sub-op
+// results — the server-level statement of codec equivalence.
+func TestBinaryBatchEndToEnd(t *testing.T) {
+	run := func(post func(*testing.T, http.Handler, batchMsg) (int, BatchReply)) BatchReply {
+		ss, _ := newBatchStack(t, 2, 4)
+		h := ss.Handler()
+		startPeriod(t, h)
+		imp := fetchImpression(t, h, 0)
+		now := int64(3600 * 1e9)
+		code, reply := post(t, h, batchMsg{Client: 0, NowNS: now, Ops: []BatchOp{
+			{Op: OpSlot, Key: "s1"},
+			{Op: OpReport, Key: "r1", Impression: imp},
+			{Op: OpCancelled, IDs: []int64{imp, imp + 999}},
+			{Op: OpOnDemand, Key: "o1", Categories: []string{"news"}},
+			{Op: OpBundle, Key: "b1"},
+		}})
+		if code != http.StatusOK {
+			t.Fatalf("batch: %d", code)
+		}
+		return reply
+	}
+	js := run(postBatch)
+	bin := run(postBatchBinary)
+	if len(js.Results) != len(bin.Results) {
+		t.Fatalf("result counts differ: %d json vs %d binary", len(js.Results), len(bin.Results))
+	}
+	for i := range js.Results {
+		j, b := js.Results[i], bin.Results[i]
+		if j.Op != b.Op || j.Status != b.Status || j.Replayed != b.Replayed || j.Error != b.Error ||
+			!bytes.Equal(j.Body, b.Body) {
+			t.Fatalf("result %d differs across codecs:\n json:   %+v %s\n binary: %+v %s",
+				i, j, j.Body, b, b.Body)
+		}
+	}
+}
+
+// TestBinaryBatchCrossCodecReplay pins the dedup window's codec
+// independence: a keyed op executed over JSON and retried over the
+// binary codec replays the stored response instead of re-executing.
+func TestBinaryBatchCrossCodecReplay(t *testing.T) {
+	ss, pool := newBatchStack(t, 1, 2)
+	h := ss.Handler()
+	startPeriod(t, h)
+	imp := fetchImpression(t, h, 0)
+	now := int64(3600 * 1e9)
+	env := batchMsg{Client: 0, NowNS: now, Ops: []BatchOp{{Op: OpReport, Key: "xcodec", Impression: imp}}}
+
+	code, first := postBatch(t, h, env)
+	if code != http.StatusOK || first.Results[0].Status != http.StatusOK {
+		t.Fatalf("json execute: %d %+v", code, first.Results)
+	}
+	code, second := postBatchBinary(t, h, env)
+	if code != http.StatusOK {
+		t.Fatalf("binary retry: %d", code)
+	}
+	r := second.Results[0]
+	if !r.Replayed || r.Status != http.StatusOK || !bytes.Equal(r.Body, first.Results[0].Body) {
+		t.Fatalf("binary retry did not replay the stored response: %+v", r)
+	}
+	if got := pool.Ledger().Billed; got != 1 {
+		t.Fatalf("billed %d times across codec replay, want exactly 1", got)
+	}
+}
+
+// TestBinaryVersionNegotiation: the ";bin" capability token rides the
+// version header without changing its semantics — "1;bin" passes the
+// gate, a wrong major with the token still fails it, and the server's
+// echoed version stays the bare protocol number.
+func TestBinaryVersionNegotiation(t *testing.T) {
+	ss, _ := newBatchStack(t, 1, 2)
+	h := ss.Handler()
+	startPeriod(t, h)
+
+	frame, err := appendBatchMsg(nil, batchMsg{Client: 0, NowNS: 1, Ops: []BatchOp{{Op: OpSlot}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		version string
+		want    int
+	}{
+		{"1;bin", http.StatusOK},
+		{"1", http.StatusOK}, // token optional: Content-Type alone selects the codec
+		{"2;bin", http.StatusUpgradeRequired},
+		{"one;bin", http.StatusBadRequest},
+	} {
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(frame))
+		req.Header.Set("Content-Type", BinaryBatchContentType)
+		req.Header.Set(VersionHeader, tc.version)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Fatalf("version %q: got %d want %d (%s)", tc.version, rec.Code, tc.want, rec.Body.String())
+		}
+		if got := rec.Header().Get(VersionHeader); got != "1" {
+			t.Fatalf("version %q: server echoed %q, want bare \"1\"", tc.version, got)
+		}
+	}
+}
+
+// TestBinaryDeviceAgainstJSONServer pins the fallback path: a device
+// with WithBinaryBatch talks to a server whose reply is JSON only if
+// the server ignored the binary Content-Type — the client must decode
+// by the reply's Content-Type, not by what it asked for. Simulated by
+// posting JSON envelopes from a binary-capable device: sendBatch picks
+// the codec per envelope, so a JSON reply must still parse.
+func TestBinaryDeviceAgainstJSONServer(t *testing.T) {
+	ss, _ := newBatchStack(t, 1, 2)
+	ts := httptest.NewServer(ss.Handler())
+	defer ts.Close()
+	startPeriod(t, ss.Handler())
+
+	d, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()), WithBatching(), WithBinaryBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FetchBundle(60 * 1e9); err != nil {
+		t.Fatalf("binary-capable device bundle fetch: %v", err)
+	}
+	if err := d.ObserveSlot(61 * 1e9); err != nil {
+		t.Fatalf("binary-capable device slot: %v", err)
+	}
+	d.FlushDeferred(62 * 1e9)
+}

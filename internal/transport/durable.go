@@ -166,7 +166,9 @@ func (s *ShardedServer) maybeCheckpoint() {
 // fresh generation (truncation at the snapshot point). It quiesces the
 // whole server for the duration, taking every lock in the global
 // order: the period dedup store first, then each shard's dedup store
-// before its engine lock, in shard index order.
+// before its engine lock before its staged-shelf lock, in shard index
+// order. Holding stagedMu here keeps in-flight bundle downloads (which
+// run under stagedMu alone) out of the snapshot window.
 func (s *ShardedServer) Checkpoint() error {
 	if s.wlog == nil {
 		return fmt.Errorf("transport: no WAL attached")
@@ -176,9 +178,11 @@ func (s *ShardedServer) Checkpoint() error {
 	for _, sh := range s.shards {
 		sh.dedup.mu.Lock()
 		sh.mu.Lock()
+		sh.stagedMu.Lock()
 	}
 	defer func() {
 		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].stagedMu.Unlock()
 			s.shards[i].mu.Unlock()
 			s.shards[i].dedup.mu.Unlock()
 		}

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -276,6 +278,60 @@ func FuzzBatchDecode(f *testing.F) {
 			if r.Status >= 500 {
 				t.Fatalf("op %d answered %d: %+v", i, r.Status, r)
 			}
+		}
+	})
+}
+
+// FuzzBinaryBatchDecode throws arbitrary bytes at both binary-frame
+// decoders: they must reject or accept without panicking, and any frame
+// they accept must survive a re-encode/re-decode cycle unchanged (the
+// canonical-form property the differential tiers rely on). The handler
+// leg additionally pins the HTTP contract: a binary Content-Type with
+// arbitrary bytes answers 2xx/4xx, never 5xx.
+func FuzzBinaryBatchDecode(f *testing.F) {
+	ss := fuzzHandler(f)
+	h := ss.Handler()
+
+	if frame, err := appendBatchMsg(nil, goldenEnv()); err == nil {
+		f.Add(frame)
+	}
+	f.Add(appendBatchReply(nil, []BatchOpResult{{Op: OpSlot, Status: 200, Body: json.RawMessage(`{}`)}}))
+	f.Add([]byte("APB1"))
+	f.Add([]byte("APR1"))
+	f.Add([]byte{})
+	f.Add([]byte(`{"client":0,"now_ns":0,"ops":[{"op":"slot"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if env, err := decodeBatchMsg(data); err == nil {
+			re, err := appendBatchMsg(nil, env)
+			if err != nil {
+				t.Fatalf("accepted frame re-encode failed: %v (%+v)", err, env)
+			}
+			env2, err := decodeBatchMsg(re)
+			if err != nil {
+				t.Fatalf("re-encoded frame rejected: %v", err)
+			}
+			if !reflect.DeepEqual(env2, env) {
+				t.Fatalf("decode not stable:\n first:  %+v\n second: %+v", env, env2)
+			}
+		}
+		if reply, err := decodeBatchReply(data); err == nil {
+			re := appendBatchReply(nil, reply.Results)
+			reply2, err := decodeBatchReply(re)
+			if err != nil {
+				t.Fatalf("re-encoded reply rejected: %v", err)
+			}
+			if len(reply2.Results) != len(reply.Results) {
+				t.Fatalf("reply decode not stable: %d vs %d results", len(reply.Results), len(reply2.Results))
+			}
+		}
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(data))
+		req.Header.Set("Content-Type", BinaryBatchContentType)
+		req.Header.Set(VersionHeader, "1;bin")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("binary /v1/batch answered %d for %d-byte body", rec.Code, len(data))
 		}
 	})
 }

@@ -1,11 +1,14 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/simclock"
 )
@@ -70,6 +73,10 @@ func handle[Req, Resp any](
 		if !ok {
 			return
 		}
+		// The payload buffer is pooled; it is only hashed (idempotency
+		// fingerprint) and decoded (which copies), so recycling it once
+		// the response is written is safe.
+		defer putBodyBuf(payload)
 		ds, now := prep(r, req)
 		run := func(key string) (int, any) {
 			resp, herr := exec(req, key)
@@ -119,12 +126,20 @@ func noDedup(*http.Request, struct{}) (*dedupStore, simclock.Time) { return nil,
 // server's version is echoed on every response (including errors), and
 // a request declaring a different major version is refused with 426
 // before any handler state changes. Malformed version headers are 400s.
+// The major may be followed by ';'-separated capability tokens (e.g.
+// "1;bin" from binary-batch clients); unknown tokens are ignored and
+// the echo stays the bare major, so capability negotiation can evolve
+// without another version bump.
 func versionMiddleware(next http.Handler) http.Handler {
 	want := strconv.Itoa(ProtocolVersion)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(VersionHeader, want)
 		if raw := r.Header.Get(VersionHeader); raw != "" {
-			got, err := strconv.Atoi(raw)
+			major := raw
+			if i := strings.IndexByte(major, ';'); i >= 0 {
+				major = major[:i]
+			}
+			got, err := strconv.Atoi(major)
 			if err != nil {
 				writeErr(w, http.StatusBadRequest, fmt.Sprintf("malformed %s %q", VersionHeader, raw))
 				return
@@ -139,15 +154,52 @@ func versionMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// readBody slurps a bounded request body so handlers can hash it for
-// idempotency before decoding. Returns false after writing a 4xx.
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, "unreadable request: "+err.Error(), http.StatusBadRequest)
-		return nil, false
+// bodyPool recycles request-body buffers across requests. A pooled
+// buffer is valid only until its handler returns: the idempotency path
+// hashes the bytes and json.Unmarshal copies everything it keeps, so
+// nothing outlives the request.
+var bodyPool sync.Pool // holds *[]byte
+
+func getBodyBuf() []byte {
+	if p, _ := bodyPool.Get().(*[]byte); p != nil {
+		return (*p)[:0]
 	}
-	return body, true
+	return make([]byte, 0, 2048)
+}
+
+// putBodyBuf returns a request buffer to the pool. Tolerates non-pooled
+// slices (query-derived payloads) — any heap slice makes fine scratch —
+// and drops outliers so one huge envelope cannot pin a megabyte.
+func putBodyBuf(b []byte) {
+	if cap(b) < 64 || cap(b) > 1<<18 {
+		return
+	}
+	b = b[:0]
+	bodyPool.Put(&b)
+}
+
+// readBody slurps a bounded request body into a pooled buffer so
+// handlers can hash it for idempotency before decoding. Returns false
+// after writing a 4xx. The caller owns the buffer and releases it with
+// putBodyBuf once the response is written.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	lr := http.MaxBytesReader(w, r.Body, 1<<20)
+	buf := getBodyBuf()
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, true
+		}
+		if err != nil {
+			putBodyBuf(buf)
+			http.Error(w, "unreadable request: "+err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+	}
 }
 
 func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
@@ -158,12 +210,74 @@ func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
 	return true
 }
 
+// Hot replies that never vary are marshaled once at package init; the
+// serving path hands out the shared bytes. These constants are also
+// stored by reference in the dedup window, so they must NEVER be
+// mutated or appended to.
+var (
+	ackBody         = mustMarshalLine(struct{}{})
+	emptyBundleBody = mustMarshalLine(BundleReply{})
+	houseAdBody     = mustMarshalLine(OnDemandReply{})
+)
+
+func mustMarshalLine(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// constReply returns the pre-marshaled body for a hot reply value, or
+// nil when the value needs a real marshal.
+func constReply(v any) []byte {
+	switch t := v.(type) {
+	case struct{}:
+		return ackBody
+	case BundleReply:
+		if len(t.Ads) == 0 {
+			return emptyBundleBody
+		}
+	case OnDemandReply:
+		if !t.Rescued && t.Impression == 0 && len(t.TopUp) == 0 {
+			return houseAdBody
+		}
+	}
+	return nil
+}
+
+// marshalReply renders a reply body (with trailing newline), reusing a
+// pre-marshaled constant for the replies that never vary. The returned
+// slice may be shared: callers write or store it, never mutate it.
+func marshalReply(v any) ([]byte, error) {
+	if body := constReply(v); body != nil {
+		return body, nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// replyBufPool recycles marshal buffers for unstored responses (the
+// non-idempotent write path, where the bytes die with the request).
+var replyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if body := constReply(v); body != nil {
+		w.Write(body)
+		return
+	}
+	buf := replyBufPool.Get().(*bytes.Buffer)
+	defer replyBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		// Too late for a status code; the connection will surface it.
 		return
 	}
+	w.Write(buf.Bytes())
 }
 
 func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {

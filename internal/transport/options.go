@@ -15,12 +15,13 @@ import (
 type Option func(*options)
 
 type options struct {
-	hc       *http.Client
-	retry    *RetryPolicy
-	seed     *int64
-	meter    *radio.Radio
-	registry *obs.Registry
-	batching bool
+	hc        *http.Client
+	retry     *RetryPolicy
+	seed      *int64
+	meter     *radio.Radio
+	registry  *obs.Registry
+	batching  bool
+	binaryBat bool
 }
 
 func buildOptions(opts []Option) options {
@@ -70,6 +71,19 @@ func WithMeter(m *radio.Radio) Option {
 // the option.
 func WithBatching() Option {
 	return func(o *options) { o.batching = true }
+}
+
+// WithBinaryBatch switches a batching Device's /v1/batch envelopes to
+// the length-prefixed binary codec (see internal/transport/codec.go):
+// requests carry Content-Type application/x-adprefetch-batch and the
+// "1;bin" version token, and the reply is decoded by its Content-Type —
+// a server that answered JSON is decoded as JSON, so the option is safe
+// against servers that predate the codec. Sub-op semantics, idempotency
+// keys and results are identical to the JSON envelope (the codec
+// differential tier pins this); only the wire bytes change. Implies
+// nothing without WithBatching — sequential endpoints always speak JSON.
+func WithBinaryBatch() Option {
+	return func(o *options) { o.binaryBat = true }
 }
 
 // WithRegistry attaches client-side instrumentation: attempts, retries,

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -98,11 +97,24 @@ type ShardedServer struct {
 // idempotency-dedup window for the shard's mutating requests, and the
 // shard's slice of the metrics registry.
 type shardState struct {
-	idx    int // position in ShardedServer.shards, stamped on WAL records
-	mu     sync.Mutex
-	srv    *adserver.Server
-	staged map[int][]client.CachedAd
-	dedup  dedupStore
+	idx int // position in ShardedServer.shards, stamped on WAL records
+	mu  sync.Mutex
+	srv *adserver.Server
+
+	// staged holds each client's sold-but-not-downloaded bundle, guarded
+	// by stagedMu — its own lock, not mu, so a bundle download (a pure
+	// shelf drain) never queues behind slot observations, reports and
+	// on-demand sales contending for the engine. Lock order: mu before
+	// stagedMu, always; stagedMu is the innermost lock and nothing is
+	// acquired while holding it (the WAL append inside a stagedMu
+	// critical section only takes the log's internal locks). Paths that
+	// both mutate a shelf and log the mutation hold stagedMu across
+	// drain/stage *and* append, so each shard's WAL order matches its
+	// shelf-mutation order.
+	stagedMu sync.Mutex
+	staged   map[int][]client.CachedAd
+
+	dedup dedupStore
 
 	// startRounds/endRounds cache the outcome of this shard's slice of
 	// every period round in the current WAL generation (guarded by mu;
@@ -221,11 +233,14 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 			msg, _ := v.(string)
 			return status, []byte(msg + "\n")
 		}
-		body, err := json.Marshal(v)
+		// marshalReply hands back shared pre-marshaled bytes for the hot
+		// constant replies; those constants are stored by reference in
+		// the dedup window and never mutated.
+		body, err := marshalReply(v)
 		if err != nil {
 			return http.StatusInternalServerError, []byte("encoding reply\n")
 		}
-		return status, append(body, '\n')
+		return status, body
 	}
 	if key == "" {
 		status, body := run()
@@ -303,8 +318,8 @@ func newSharded(servers []*adserver.Server, route func(clientID int) int) *Shard
 			return float64(sh.srv.OpenBook())
 		}, "shard", label)
 		s.reg.GaugeFunc("shard_staged_ads", func() float64 {
-			sh.mu.Lock()
-			defer sh.mu.Unlock()
+			sh.stagedMu.Lock()
+			defer sh.stagedMu.Unlock()
 			n := 0
 			for _, ads := range sh.staged {
 				n += len(ads)
@@ -331,11 +346,11 @@ func (s *ShardedServer) Registry() *obs.Registry { return s.reg }
 func (s *ShardedServer) StagedAds() int {
 	total := 0
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.stagedMu.Lock()
 		for _, ads := range sh.staged {
 			total += len(ads)
 		}
-		sh.mu.Unlock()
+		sh.stagedMu.Unlock()
 	}
 	return total
 }
@@ -505,6 +520,12 @@ func (s *ShardedServer) periodStartShardLocked(sh *shardState, msg periodMsg) (a
 	}
 	now := simclock.Time(msg.NowNS)
 	bundles, stats := sh.srv.StartPeriod(now, msg.period())
+	// Stage and log under stagedMu so the shelves' WAL order matches
+	// their mutation order against concurrent bundle drains (which hold
+	// stagedMu, not mu). Deferred unlock: walAppend may panic
+	// (fail-stop), and the lock must not stay held on that path.
+	sh.stagedMu.Lock()
+	defer sh.stagedMu.Unlock()
 	for _, b := range bundles {
 		sh.staged[b.Client] = append(sh.staged[b.Client], b.Ads...)
 	}
@@ -556,7 +577,11 @@ func (s *ShardedServer) periodEndShardLocked(sh *shardState, msg periodMsg) int 
 	// Bound staged-bundle memory: ads a client never downloaded are
 	// worthless once expired, so sweep them with the period. Without
 	// this, clients that stop contacting the server pin their
-	// bundles forever.
+	// bundles forever. Sweep and log under stagedMu (mu -> stagedMu, the
+	// global order) so the sweep is atomic with its WAL record against
+	// concurrent bundle drains.
+	sh.stagedMu.Lock()
+	defer sh.stagedMu.Unlock()
 	for cid, ads := range sh.staged {
 		kept := ads[:0]
 		for _, ad := range ads {
@@ -605,17 +630,24 @@ func (s *ShardedServer) decodeBundle(w http.ResponseWriter, r *http.Request) (bu
 // mutating GET: dedup by key lets a device whose response was lost
 // retry and receive the same ads instead of finding the shelf empty —
 // the staged bundle is never stranded.
+//
+// This path takes only stagedMu, never the engine lock: a fleet of
+// devices pulling their period bundles does not contend with the slot /
+// report / on-demand traffic serializing on sh.mu. The WAL append stays
+// inside the stagedMu critical section so the drain and its record are
+// atomic against a period round's stage/sweep.
 func (s *ShardedServer) execBundle(q bundleReq, key string) (BundleReply, *httpError) {
 	sh := s.shardFor(q.client)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	reply := s.bundleLocked(sh, q.client)
+	sh.stagedMu.Lock()
+	defer sh.stagedMu.Unlock()
+	reply := s.bundleStagedLocked(sh, q.client)
 	s.walAppend(sh, OpBundle, key, singleOpEnv(q.client, q.nowNS, BatchOp{Op: OpBundle, Key: key}))
 	return reply, nil
 }
 
-// bundleLocked drains the client's staged shelf; sh.mu must be held.
-func (s *ShardedServer) bundleLocked(sh *shardState, client int) BundleReply {
+// bundleStagedLocked drains the client's staged shelf; sh.stagedMu must
+// be held (sh.mu is not needed — the shelf is the only state touched).
+func (s *ShardedServer) bundleStagedLocked(sh *shardState, client int) BundleReply {
 	ads := sh.staged[client]
 	delete(sh.staged, client)
 	return BundleReply{Ads: toAdMsgs(ads)}
@@ -838,12 +870,14 @@ func (s *ShardedServer) execHealth(struct{}, string) (HealthReply, *httpError) {
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		open := sh.srv.OpenBook()
+		shedding := s.shedding(sh)
+		sh.mu.Unlock()
 		staged := 0
+		sh.stagedMu.Lock()
 		for _, ads := range sh.staged {
 			staged += len(ads)
 		}
-		shedding := s.shedding(sh)
-		sh.mu.Unlock()
+		sh.stagedMu.Unlock()
 		if shedding {
 			reply.Status = "shedding"
 		}

@@ -1,0 +1,22 @@
+package wal
+
+// Test-only handles into the group-commit machinery, so the coverage
+// rule — a flush covers every frame written before it — can be pinned
+// deterministically instead of racing goroutines against fsync timing.
+
+// CommitSeq exposes commit for tests.
+func (l *Log) CommitSeq(seq int64) error { return l.commit(seq) }
+
+// WriteSeq returns the number of frames written so far.
+func (l *Log) WriteSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeSeq
+}
+
+// SyncedSeq returns the highest frame sequence covered by a flush.
+func (l *Log) SyncedSeq() int64 {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	return l.syncedSeq
+}

@@ -106,14 +106,26 @@ type RecoverStats struct {
 // Log is an append-only write-ahead log rooted in one directory. Append
 // is safe for concurrent use; Snapshot and Recover must be called with
 // the logged state quiesced (the transport layer holds its shard locks).
+//
+// Durability is group-committed: concurrent Appends write their frames
+// under the write lock, then queue on the commit lock, where whichever
+// appender reaches the file first fsyncs once on behalf of everyone
+// whose frame is already on disk. An Append still never returns before
+// its own record is covered by a flush — the append-before-ack contract
+// is unchanged — but N requests racing through the serving path cost
+// one fsync, not N.
 type Log struct {
 	dir string
 	opt Options
 
-	mu      sync.Mutex
-	f       *os.File
-	gen     int
-	records int64
+	mu       sync.Mutex // guards f, gen, records, writeSeq (frame writes)
+	f        *os.File
+	gen      int
+	records  int64
+	writeSeq int64 // frames written, monotonic across generations
+
+	commitMu  sync.Mutex // guards syncedSeq; held across fsync
+	syncedSeq int64      // highest writeSeq covered by a flush
 
 	sealed      atomic.Bool
 	appends     atomic.Int64
@@ -221,9 +233,9 @@ func (l *Log) Seal() { l.sealed.Store(true) }
 // Sealed reports whether the log has been sealed.
 func (l *Log) Sealed() bool { return l.sealed.Load() }
 
-// Append makes one record durable: frame, write, fsync (unless NoSync),
-// then run the post-durability Hook. Callers must not acknowledge the
-// operation to the client until Append returns nil.
+// Append makes one record durable: frame, write, group-commit fsync
+// (unless NoSync), then run the post-durability Hook. Callers must not
+// acknowledge the operation to the client until Append returns nil.
 func (l *Log) Append(shard int, op, key string, body []byte) error {
 	rec := Record{Shard: shard, Op: op, Key: key, Body: json.RawMessage(body)}
 	payload, err := json.Marshal(rec)
@@ -248,23 +260,46 @@ func (l *Log) Append(shard int, op, key string, body []byte) error {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if !l.opt.NoSync {
-		if err := l.f.Sync(); err != nil {
-			l.fsyncFailed.Store(true)
-			l.mu.Unlock()
-			return fmt.Errorf("wal: fsync: %w", err)
-		}
-		l.fsyncs.Add(1)
-	}
 	l.records++
+	l.writeSeq++
+	seq := l.writeSeq
 	l.mu.Unlock()
 	l.appends.Add(1)
 	l.bytes.Add(int64(len(frame)))
+	if !l.opt.NoSync {
+		if err := l.commit(seq); err != nil {
+			return err
+		}
+	}
 	// The hook runs outside the file lock: it may seal the log and panic
 	// to abort the request (crash emulation) without wedging appends.
 	if l.opt.Hook != nil {
 		l.opt.Hook(rec)
 	}
+	return nil
+}
+
+// commit makes the frame with the given write sequence durable, by
+// group commit: appenders queue on commitMu, and whoever holds it
+// flushes everything written so far in one fsync. A caller whose frame
+// was covered by an earlier holder's flush returns without touching the
+// file — under concurrent load most appends take this path, so one
+// flush covers a whole convoy of envelopes.
+func (l *Log) commit(seq int64) error {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	if l.syncedSeq >= seq {
+		return nil // an earlier leader's flush already covered this frame
+	}
+	l.mu.Lock()
+	target, f := l.writeSeq, l.f
+	l.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		l.fsyncFailed.Store(true)
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.syncedSeq = target
 	return nil
 }
 
@@ -394,6 +429,10 @@ func (l *Log) Recover(restore func(io.Reader) error, apply func(Record) error) (
 // every operation is then either inside the snapshot or in the new log,
 // never both, so replay after any crash applies each op exactly once.
 func (l *Log) Snapshot(write func(io.Writer) error) error {
+	// commitMu first: an in-flight group commit must finish against the
+	// old file before the rotation swaps it out.
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.sealed.Load() {
@@ -410,6 +449,10 @@ func (l *Log) Snapshot(write func(io.Writer) error) error {
 	}
 	old, oldGen := l.f, l.gen
 	l.f, l.gen, l.records = nf, next, 0
+	// Every frame in the old file was flushed before its Append
+	// returned (quiesce contract); mark the sequence fully covered so a
+	// late commit cannot fsync the fresh file on a stale seq.
+	l.syncedSeq = l.writeSeq
 	if err := l.writeHeaderLocked(); err != nil {
 		// Roll back to the still-intact old generation.
 		l.f, l.gen = old, oldGen
@@ -445,8 +488,12 @@ func (l *Log) Stats() Stats {
 	}
 }
 
-// Close syncs and closes the log file.
+// Close syncs and closes the log file. Taking the commit lock first
+// waits out any in-flight group commit, so Close never yanks the file
+// from under a leader's fsync.
 func (l *Log) Close() error {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {

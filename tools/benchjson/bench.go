@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured benchmark: the standard testing metrics in
+// dedicated fields, everything else (MB/s, rt/wakeup, fsyncs/op, ...)
+// in Metrics.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one committed point on the benchmark trajectory.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// text output. The trailing -<GOMAXPROCS> suffix is stripped from names
+// so snapshots stay comparable across machines; duplicate names (e.g.
+// -count > 1) keep the last measurement.
+func parseBench(out string) []Benchmark {
+	var order []string
+	byName := make(map[string]Benchmark)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp, ok = v, true
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = b
+	}
+	out2 := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		out2 = append(out2, byName[name])
+	}
+	return out2
+}
+
+// compare reports the regressions of cur against base: any benchmark in
+// base whose current ns/op or allocs/op exceeds the baseline by more
+// than tol, or which is missing from cur. Benchmarks only in cur are
+// not regressions — they join the gate when the next snapshot lands.
+func compare(base, cur []Benchmark, tol float64) []string {
+	curBy := make(map[string]Benchmark, len(cur))
+	for _, b := range cur {
+		curBy[b.Name] = b
+	}
+	var regs []string
+	for _, old := range base {
+		now, ok := curBy[old.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: missing from this run", old.Name))
+			continue
+		}
+		if old.NsPerOp > 0 && now.NsPerOp > old.NsPerOp*(1+tol) {
+			regs = append(regs, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				old.Name, old.NsPerOp, now.NsPerOp, 100*(now.NsPerOp/old.NsPerOp-1), tol*100))
+		}
+		if old.AllocsPerOp > 0 && now.AllocsPerOp > old.AllocsPerOp*(1+tol) {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				old.Name, old.AllocsPerOp, now.AllocsPerOp, 100*(now.AllocsPerOp/old.AllocsPerOp-1), tol*100))
+		}
+	}
+	return regs
+}
+
+var snapName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestSnapshot loads the highest-numbered BENCH_<n>.json in dir.
+func latestSnapshot(dir string) (string, *Snapshot, error) {
+	path, n, err := newestSnapPath(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	if n == 0 {
+		return "", nil, fmt.Errorf("no BENCH_<n>.json snapshot in %s (run `make benchsnap` and commit the result)", dir)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return "", nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return filepath.Base(path), &snap, nil
+}
+
+// writeSnapshot writes snap as the next numbered BENCH_<n>.json in dir.
+func writeSnapshot(dir string, snap Snapshot) (string, error) {
+	_, n, err := newestSnapPath(dir)
+	if err != nil {
+		return "", err
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool { return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// newestSnapPath returns the path and number of the highest-numbered
+// snapshot (n == 0 when none exist).
+func newestSnapPath(dir string) (string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	best := 0
+	bestName := ""
+	for _, e := range entries {
+		m := snapName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	return filepath.Join(dir, bestName), best, nil
+}

@@ -1,0 +1,81 @@
+// Command benchjson turns `go test -bench` text output into dated,
+// numbered JSON snapshots and gates regressions against them.
+//
+// The benchmark trajectory is part of the repo's record: every
+// committed BENCH_<n>.json is one measured point (ns/op, B/op,
+// allocs/op, and any custom metrics like rt/wakeup or fsyncs/op) for
+// the serving-path benchmarks, and the gate refuses changes that
+// regress time or allocations by more than the tolerance against the
+// newest committed point.
+//
+//	go test -bench ... ./... | benchjson -snap   # write BENCH_<n+1>.json
+//	go test -bench ... ./... | benchjson -gate   # compare against BENCH_<n>.json
+//
+// The gate exits non-zero when any benchmark present in the snapshot
+// regresses ns/op or allocs/op by more than -tol (default 10%), or has
+// disappeared from the run. New benchmarks pass freely — they become
+// gated once a snapshot containing them is committed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		snap = flag.Bool("snap", false, "write a new numbered snapshot from stdin")
+		gate = flag.Bool("gate", false, "compare stdin against the newest snapshot")
+		dir  = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+		tol  = flag.Float64("tol", 0.10, "allowed fractional regression in ns/op and allocs/op")
+	)
+	flag.Parse()
+	if *snap == *gate {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -snap or -gate required")
+		os.Exit(2)
+	}
+
+	input, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(input) // keep the raw go test output visible
+	benches := parseBench(string(input))
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *snap {
+		path, err := writeSnapshot(*dir, Snapshot{
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			Benchmarks: benches,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
+		return
+	}
+
+	path, base, err := latestSnapshot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := compare(base.Benchmarks, benches, *tol)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL against %s (%s):\n", path, base.Date)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: PASS — no regression > %.0f%% vs %s (%s, %d benchmarks)\n",
+		*tol*100, path, base.Date, len(base.Benchmarks))
+}

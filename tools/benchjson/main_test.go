@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/transport
+cpu: unknown
+BenchmarkSequentialServing-8   	  450000	      2639 ns/op	     496 B/op	      12 allocs/op
+BenchmarkBatchCodec/codec=json-8         	  120000	      9150 ns/op	  22.40 MB/s	    2048 B/op	      34 allocs/op
+BenchmarkBatchCodec/codec=binary-8       	  320000	      3690 ns/op	  31.70 MB/s	    1288 B/op	      21 allocs/op
+BenchmarkWakeUp-8              	   80000	     14200 ns/op	         3.00 rt/wakeup	    1024 B/op	      18 allocs/op
+BenchmarkGroupCommit/fsync=group-8       	    5000	    240000 ns/op	         0.25 fsyncs/op	     512 B/op	       9 allocs/op
+PASS
+ok  	repro/internal/transport	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	benches := parseBench(sampleOutput)
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(benches), benches)
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	seq, ok := byName["BenchmarkSequentialServing"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: have %+v", benches)
+	}
+	if seq.NsPerOp != 2639 || seq.BPerOp != 496 || seq.AllocsPerOp != 12 || seq.Iterations != 450000 {
+		t.Fatalf("standard metrics misparsed: %+v", seq)
+	}
+	wake := byName["BenchmarkWakeUp"]
+	if wake.Metrics["rt/wakeup"] != 3.00 {
+		t.Fatalf("custom metric rt/wakeup misparsed: %+v", wake)
+	}
+	gc := byName["BenchmarkGroupCommit/fsync=group"]
+	if gc.Metrics["fsyncs/op"] != 0.25 || gc.AllocsPerOp != 9 {
+		t.Fatalf("sub-benchmark misparsed: %+v", gc)
+	}
+	if byName["BenchmarkBatchCodec/codec=binary"].Metrics["MB/s"] != 31.70 {
+		t.Fatalf("MB/s misparsed: %+v", byName["BenchmarkBatchCodec/codec=binary"])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench("PASS\nok \trepro\t1s\nBenchmarkBroken notanumber 5 ns/op\n"); len(got) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %+v", got)
+	}
+}
+
+func TestSnapshotNumbering(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := latestSnapshot(dir); err == nil {
+		t.Fatal("latestSnapshot on an empty dir must error")
+	}
+	benches := parseBench(sampleOutput)
+	p1, err := writeSnapshot(dir, Snapshot{Date: "2026-08-08", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first snapshot named %s, want BENCH_1.json", p1)
+	}
+	p2, err := writeSnapshot(dir, Snapshot{Date: "2026-08-09", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second snapshot named %s, want BENCH_2.json", p2)
+	}
+	name, snap, err := latestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BENCH_2.json" || snap.Date != "2026-08-09" {
+		t.Fatalf("latest = %s (%s), want BENCH_2.json (2026-08-09)", name, snap.Date)
+	}
+	if len(snap.Benchmarks) != len(benches) {
+		t.Fatalf("round-trip lost benchmarks: %d vs %d", len(snap.Benchmarks), len(benches))
+	}
+	// Unrelated files must not confuse the numbering.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := newestSnapPath(dir); err != nil || n != 2 {
+		t.Fatalf("numbering after junk file: n=%d err=%v", n, err)
+	}
+}
+
+func TestGateCatchesInjectedRegression(t *testing.T) {
+	base := parseBench(sampleOutput)
+
+	// Unchanged run: clean pass.
+	if regs := compare(base, parseBench(sampleOutput), 0.10); len(regs) != 0 {
+		t.Fatalf("identical run flagged: %v", regs)
+	}
+
+	// Within tolerance (+8% ns/op): still a pass.
+	within := parseBench(strings.Replace(sampleOutput, "2639 ns/op", "2850 ns/op", 1))
+	if regs := compare(base, within, 0.10); len(regs) != 0 {
+		t.Fatalf("+8%% ns/op flagged at 10%% tolerance: %v", regs)
+	}
+
+	// Injected >10% ns/op regression must fail the gate.
+	slow := parseBench(strings.Replace(sampleOutput, "2639 ns/op", "2950 ns/op", 1))
+	regs := compare(base, slow, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkSequentialServing: ns/op") {
+		t.Fatalf("+12%% ns/op not flagged: %v", regs)
+	}
+
+	// Injected allocs/op regression must fail too.
+	leaky := parseBench(strings.Replace(sampleOutput, "21 allocs/op", "25 allocs/op", 1))
+	regs = compare(base, leaky, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkBatchCodec/codec=binary: allocs/op") {
+		t.Fatalf("+19%% allocs/op not flagged: %v", regs)
+	}
+
+	// A benchmark vanishing from the run is a regression, not a pass.
+	gone := parseBench(strings.ReplaceAll(sampleOutput, "BenchmarkWakeUp", "BenchmarkRenamed"))
+	regs = compare(base, gone, 0.10)
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "BenchmarkWakeUp: missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+
+	// New benchmarks pass freely until snapshotted.
+	if regs := compare(base, append(parseBench(sampleOutput), Benchmark{Name: "BenchmarkNew", NsPerOp: 1}), 0.10); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
