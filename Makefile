@@ -9,7 +9,7 @@ test:
 # under the race detector. Includes the 32-goroutine stress test in
 # internal/transport/race_test.go.
 race:
-	go test -race -timeout 30m ./internal/transport ./internal/sim ./internal/adserver ./internal/shard ./internal/obs ./internal/wal
+	go test -race -timeout 30m ./internal/transport ./internal/sim ./internal/adserver ./internal/shard ./internal/obs ./internal/wal ./internal/cluster
 
 # Observability tier: the metrics registry (atomic counters/gauges,
 # log-bucketed histograms, Prometheus exposition) under the race
@@ -19,10 +19,12 @@ race:
 obs:
 	go test -race -count=1 ./internal/obs
 
-# Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards)
-# and the wake-up round-trip comparison (sequential vs batched wire).
+# Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards),
+# the wake-up round-trip comparison (sequential vs batched wire), and
+# the cluster routing tier's proxy overhead (1 vs 3 nodes).
 bench:
 	go test -bench 'ShardedServing|WakeUp' -benchtime 2s -run '^$$' ./internal/transport
+	go test -bench 'ClusterRoundTrip' -benchtime 2s -run '^$$' ./internal/cluster
 
 # The serving-path benchmark sweep piped through tools/benchjson. Shared
 # by benchsnap (record a new BENCH_<n>.json trajectory point) and
@@ -30,7 +32,8 @@ bench:
 # committed point). Not part of tier-1: benchmark numbers are
 # machine-sensitive, so the gate is run deliberately, on one machine.
 BENCH_SWEEP = go test -bench 'SequentialServing|BatchCodec|ShardedServing|WakeUp' -benchtime 1s -run '^$$' ./internal/transport && \
-	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal
+	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal && \
+	go test -bench 'ClusterRoundTrip' -benchtime 1s -run '^$$' ./internal/cluster
 
 benchsnap:
 	{ $(BENCH_SWEEP); } | go run ./tools/benchjson -snap
@@ -74,4 +77,23 @@ crash:
 	go test -count=1 -run 'TestCheckpoint|TestDedupWindow|TestWALReplay' ./internal/transport
 	go test -count=1 -run 'TestCrash' ./internal/sim
 
-.PHONY: test race obs bench benchsnap benchgate chaos batch crash
+# Cluster tier: the multi-node routing tier. Router/ring unit tests
+# (placement, fan-out merge, 503 + Retry-After refusals, circuit
+# open/rejoin, the background prober), node-scoped crash scheduling,
+# degenerate WAL-file recovery, and the cluster differential suite: a
+# cluster of N nodes behind the router must match a single process at
+# shards=N on every accounting observable — fault-free, under seeded
+# chaos, and across node kill/restart (double kills and a kill
+# mid-period-fan-out included).
+cluster:
+	go test -count=1 ./internal/cluster
+	go test -count=1 -run 'TestCrashSchedule' ./internal/faults
+	go test -count=1 -run 'TestRecoverDegenerateFiles' ./internal/wal
+	go test -count=1 -run 'TestCluster' ./internal/sim
+
+# Aggregate correctness gate: every functional tier in one command.
+# (race, obs and the benchmark tiers stay separate — they are about
+# schedules and machines, not logic.)
+verify: test batch chaos crash cluster
+
+.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster verify

@@ -25,6 +25,16 @@
 // serves Go runtime profiling at /debug/pprof/, expvar at /debug/vars,
 // and the same metrics exposition at /metrics.
 //
+// A multi-node cluster is N adserverd processes plus one more running
+// the routing tier: with -route-nodes URL1,URL2,... the process serves
+// no ads itself — it places each client onto one node by consistent
+// hashing, proxies client traffic there, fans period rounds out to
+// every node, and rides out node restarts (crashed nodes are probed on
+// /v1/health and rejoined when they answer; see internal/cluster and
+// README "Running a cluster"). Give each node a -node-id so the label
+// shows up in its /v1/health reply and as the adserver_node_info gauge
+// in /v1/metrics.
+//
 // Example:
 //
 //	adserverd -addr :8480 -clients 100 -period 4h -campaigns 40 -shards 4 -debug-addr 127.0.0.1:8481
@@ -41,11 +51,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
+	"repro/internal/cluster"
 	"repro/internal/predict"
 	"repro/internal/shard"
 	"repro/internal/simclock"
@@ -72,8 +84,15 @@ func main() {
 		walDir    = flag.String("wal", "", "durability directory (write-ahead log + snapshots); empty disables crash safety")
 		snapEvery = flag.Int("snapshot-every", 6, "with -wal: full-state checkpoint every N period-end rounds (0 = log only, never truncated)")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables, keep it private")
+		nodeID    = flag.String("node-id", "", "this node's id in a cluster; surfaced in /v1/health and as the adserver_node_info gauge")
+		routeNode = flag.String("route-nodes", "", "comma-separated node base URLs: run the cluster routing tier over them instead of serving ads")
+		probeEach = flag.Duration("probe-every", 2*time.Second, "with -route-nodes: how often down nodes are probed for rejoin")
 	)
 	flag.Parse()
+	if *routeNode != "" {
+		runRouter(*addr, *routeNode, *probeEach)
+		return
+	}
 	if *shards < 1 {
 		log.Fatalf("-shards must be >= 1, got %d", *shards)
 	}
@@ -127,6 +146,7 @@ func main() {
 	// persisted, so a deploy never truncates a half-served report.
 	ss := transport.NewShardedServer(pool)
 	ss.MaxBatchOps = *maxBatch
+	ss.SetNodeID(*nodeID)
 
 	// Durability: every mutating operation is logged before its response
 	// is acknowledged, and boot recovers whatever the directory holds —
@@ -202,4 +222,51 @@ func main() {
 		}
 		fmt.Printf("adserverd: saved predictor state to %s\n", *statePath)
 	}
+}
+
+// runRouter serves the cluster routing tier over the given node URLs:
+// no local ad state, just placement, proxying, period fan-out, and the
+// background prober that rejoins restarted nodes. The router's own
+// /v1/metrics exposes the cluster counters (forwards, failures,
+// circuit opens, refusals, rejoins).
+func runRouter(addr, nodeList string, probeEvery time.Duration) {
+	urls := strings.Split(nodeList, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+		if urls[i] == "" {
+			log.Fatalf("-route-nodes: empty URL at position %d", i)
+		}
+	}
+	rt, err := cluster.New(urls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.StartProber(probeEvery)
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      rt.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		fmt.Printf("adserverd: %v: draining in-flight requests\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(drained)
+	}()
+	fmt.Printf("adserverd: routing tier over %d node(s), listening on %s\n", len(urls), addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
 }

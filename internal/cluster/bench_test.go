@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkClusterRoundTrip measures the routing tier's proxy overhead:
+// one client-scoped request entering the router handler, forwarded over
+// real HTTP to the owning node, and relayed back. The node itself is a
+// minimal responder, so the number isolates the router's added cost —
+// body buffering, client-id extraction, placement, the forward loop —
+// plus one loopback HTTP hop. Tracked by make benchsnap/benchgate.
+//
+// Run: make bench
+func BenchmarkClusterRoundTrip(b *testing.B) {
+	for _, nodes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			urls := make([]string, nodes)
+			for i := range urls {
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					io.Copy(io.Discard, r.Body)
+					w.Header().Set("Content-Type", "application/json")
+					io.WriteString(w, `{"ads":[],"generation":1}`)
+				}))
+				defer srv.Close()
+				urls[i] = srv.URL
+			}
+			rt, err := New(urls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			h := rt.Handler()
+
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cid := seq.Add(1) % 256
+					r := httptest.NewRequest("GET", fmt.Sprintf("/v1/bundle?client=%d", cid), nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, r)
+					if rec.Code != 200 {
+						b.Fatalf("round trip failed: %d %s", rec.Code, rec.Body)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,726 @@
+// Package cluster turns N independent adserverd node processes into
+// one logical ad service: a routing tier places each client onto one
+// node (consistent hashing by default), proxies the client-scoped
+// protocol endpoints to that node, and drives the coordinator's period
+// start/end rounds across every node with the same fan-out/fan-in
+// barrier ShardedServer uses across its shards — promoted one level,
+// from shards inside a process to nodes on a network.
+//
+// Robustness is the point of the tier. Each node runs its own WAL and
+// recovers its own shard state after a kill (see internal/wal and
+// transport.AttachWAL); the router's job is to make a node's death a
+// retryable event instead of an outage:
+//
+//   - A node is detected dead by consecutive transport failures (the
+//     circuit opens after FailThreshold in a row — one aborted request
+//     never takes a healthy node out of rotation).
+//   - While a node is down, requests for its clients either park until
+//     the node rejoins (RejoinWait > 0, the harness mode: devices ride
+//     out the outage inside one attempt) or fail fast with a
+//     well-formed 503 + Retry-After (RejoinWait == 0, the production
+//     default: devices back off and retry). Either way the client
+//     never sees a raw transport error, and every refusal counts in
+//     cluster_node_unavailable_total.
+//   - On rejoin (explicit Rejoin call, or the background prober seeing
+//     /v1/health answer again) the circuit closes and parked requests
+//     re-forward. Re-forwarded mutations are safe: they carry their
+//     original Idempotency-Key, and the node's recovered dedup window
+//     replays any op it executed before dying.
+//
+// Period barriers tolerate a node dying mid-fan-out: the router
+// forwards the coordinator's round — same body, same idempotency key —
+// to every node and sums the per-node replies; if a node is
+// unavailable past patience the coordinator gets the 503 and retries
+// the whole round, surviving nodes replay it from their period-round
+// caches (exactly-once per node), and the restarted node executes its
+// share fresh — or replays it from its own WAL if it died after the
+// append. No accounting observable is lost or double-counted; the
+// cluster differential tier in internal/sim pins cluster-of-N equal to
+// a single process at shards=N on ledger, violations, per-client
+// counters and campaign spend, fault-free, under chaos, and across
+// node kills.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// Defaults for the router's failure-handling knobs.
+const (
+	// DefaultFailThreshold is how many consecutive transport failures
+	// open a node's circuit.
+	DefaultFailThreshold = 3
+	// DefaultMaxForwards bounds proxy attempts for one request. It
+	// covers opening the circuit (FailThreshold failures) plus slack
+	// for one park/rejoin cycle and a straggler failure after it.
+	DefaultMaxForwards = 6
+	// DefaultRetryAfter is the Retry-After value (seconds) on 503s.
+	DefaultRetryAfter = 1
+)
+
+// node is one cluster member's routing state: its base URL and the
+// failure circuit. epoch increments on every rejoin so a straggler
+// failure from a previous incarnation cannot re-open a fresh circuit.
+type node struct {
+	idx int
+
+	mu    sync.Mutex
+	base  string
+	epoch int
+	down  bool
+	fails int           // consecutive transport failures this epoch
+	upCh  chan struct{} // open while down; closed (and dropped) on rejoin
+
+	forwards *obs.Counter // requests forwarded (attempts)
+	failures *obs.Counter // transport failures observed
+	downs    *obs.Counter // circuit-open transitions
+}
+
+// state snapshots the fields one forward attempt needs.
+func (n *node) state() (base string, epoch int, up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.base, n.epoch, !n.down
+}
+
+// fail records one transport failure observed by an attempt that was
+// sent under epoch. Returns true when this failure opened the circuit.
+func (n *node) fail(epoch, threshold int) bool {
+	n.failures.Inc()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch != n.epoch || n.down {
+		return false // stale incarnation, or already down
+	}
+	n.fails++
+	if n.fails < threshold {
+		return false
+	}
+	n.down = true
+	n.upCh = make(chan struct{})
+	n.downs.Inc()
+	return true
+}
+
+// ok resets the consecutive-failure counter after a successful proxy.
+func (n *node) ok(epoch int) {
+	n.mu.Lock()
+	if epoch == n.epoch {
+		n.fails = 0
+	}
+	n.mu.Unlock()
+}
+
+// awaitUp waits up to `wait` for the node's circuit to close. True when
+// the node is (or became) up.
+func (n *node) awaitUp(wait time.Duration) bool {
+	n.mu.Lock()
+	if !n.down {
+		n.mu.Unlock()
+		return true
+	}
+	ch := n.upCh
+	n.mu.Unlock()
+	if wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Router is the routing tier over a fixed set of nodes. Build with
+// New, serve Handler. Safe for concurrent use.
+type Router struct {
+	nodes []*node
+	place func(clientID int) int
+	hc    *http.Client
+	reg   *obs.Registry
+
+	failThreshold int
+	maxForwards   int
+	rejoinWait    time.Duration
+	retryAfter    int
+
+	unavailable *obs.Counter
+	rejoins     *obs.Counter
+
+	proberStop chan struct{}
+	proberDone chan struct{}
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithPlacement overrides the client→node placement (default: a
+// consistent-hash Ring over the node list). The differential harness
+// passes shard.Route here so cluster-of-N matches single-process
+// shards=N client for client.
+func WithPlacement(place func(clientID int) int) Option {
+	return func(rt *Router) { rt.place = place }
+}
+
+// WithHTTPClient sets the router→node HTTP client (default: a dedicated
+// client with a 10s timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(rt *Router) { rt.hc = hc }
+}
+
+// WithFailThreshold sets how many consecutive transport failures open a
+// node's circuit.
+func WithFailThreshold(k int) Option {
+	return func(rt *Router) { rt.failThreshold = k }
+}
+
+// WithMaxForwards bounds proxy attempts per request.
+func WithMaxForwards(k int) Option {
+	return func(rt *Router) { rt.maxForwards = k }
+}
+
+// WithRejoinWait sets how long a request for a down node parks awaiting
+// its rejoin before giving up with 503. Zero (the default) fails fast.
+func WithRejoinWait(d time.Duration) Option {
+	return func(rt *Router) { rt.rejoinWait = d }
+}
+
+// WithRetryAfter sets the Retry-After seconds advertised on 503s.
+func WithRetryAfter(seconds int) Option {
+	return func(rt *Router) { rt.retryAfter = seconds }
+}
+
+// New builds a router over the given node base URLs (index in the slice
+// is the node index everywhere: placement, metrics labels, Rejoin).
+func New(nodeURLs []string, opts ...Option) (*Router, error) {
+	if len(nodeURLs) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one node")
+	}
+	rt := &Router{
+		nodes:         make([]*node, len(nodeURLs)),
+		reg:           obs.NewRegistry(),
+		failThreshold: DefaultFailThreshold,
+		maxForwards:   DefaultMaxForwards,
+		retryAfter:    DefaultRetryAfter,
+	}
+	rt.reg.SetHelp("cluster_node_unavailable_total", "Requests refused with 503 because the target node was unavailable past patience.")
+	rt.reg.SetHelp("cluster_forwards_total", "Proxy attempts sent to the node.")
+	rt.reg.SetHelp("cluster_node_failures_total", "Transport failures observed talking to the node.")
+	rt.reg.SetHelp("cluster_node_down_total", "Circuit-open transitions for the node.")
+	rt.reg.SetHelp("cluster_rejoins_total", "Node rejoin events (explicit or prober-detected).")
+	rt.reg.SetHelp("cluster_nodes", "Cluster size.")
+	rt.reg.SetHelp("cluster_nodes_down", "Nodes currently out of rotation.")
+	rt.unavailable = rt.reg.Counter("cluster_node_unavailable_total")
+	rt.rejoins = rt.reg.Counter("cluster_rejoins_total")
+	for i, base := range nodeURLs {
+		label := strconv.Itoa(i)
+		rt.nodes[i] = &node{
+			idx:      i,
+			base:     base,
+			forwards: rt.reg.Counter("cluster_forwards_total", "node", label),
+			failures: rt.reg.Counter("cluster_node_failures_total", "node", label),
+			downs:    rt.reg.Counter("cluster_node_down_total", "node", label),
+		}
+	}
+	rt.reg.GaugeFunc("cluster_nodes", func() float64 { return float64(len(rt.nodes)) })
+	rt.reg.GaugeFunc("cluster_nodes_down", func() float64 {
+		d := 0
+		for _, n := range rt.nodes {
+			if _, _, up := n.state(); !up {
+				d++
+			}
+		}
+		return float64(d)
+	})
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.place == nil {
+		ring := NewRing(len(nodeURLs), 0)
+		rt.place = ring.Place
+	}
+	if rt.hc == nil {
+		rt.hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	if rt.failThreshold < 1 {
+		rt.failThreshold = 1
+	}
+	if rt.maxForwards < 1 {
+		rt.maxForwards = 1
+	}
+	return rt, nil
+}
+
+// Registry exposes the router's own metrics (served at /v1/metrics).
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Nodes returns the cluster size.
+func (rt *Router) Nodes() int { return len(rt.nodes) }
+
+// NodeDown reports whether node i's circuit is currently open.
+func (rt *Router) NodeDown(i int) bool {
+	_, _, up := rt.nodes[i].state()
+	return !up
+}
+
+// Place returns the node index that owns a client id.
+func (rt *Router) Place(clientID int) int { return rt.place(clientID) }
+
+// MarkDown takes node i out of rotation (an operator drain, or a test
+// forcing the down path without burning the failure threshold).
+func (rt *Router) MarkDown(i int) {
+	n := rt.nodes[i]
+	n.mu.Lock()
+	if !n.down {
+		n.down = true
+		n.upCh = make(chan struct{})
+		n.downs.Inc()
+	}
+	n.mu.Unlock()
+}
+
+// Rejoin puts node i back into rotation, optionally at a new base URL
+// (the restarted process may listen elsewhere). The circuit closes,
+// the epoch advances so stale failures are discarded, and every parked
+// request re-forwards.
+func (rt *Router) Rejoin(i int, baseURL string) {
+	n := rt.nodes[i]
+	n.mu.Lock()
+	if baseURL != "" {
+		n.base = baseURL
+	}
+	n.epoch++
+	n.fails = 0
+	if n.down {
+		n.down = false
+		close(n.upCh)
+		n.upCh = nil
+	}
+	n.mu.Unlock()
+	rt.rejoins.Inc()
+}
+
+// StartProber launches a background goroutine that polls down nodes'
+// /v1/health every interval and rejoins them at their existing base URL
+// when they answer. For deployments where nobody calls Rejoin
+// explicitly (adserverd -route-nodes). Stop with Close.
+func (rt *Router) StartProber(interval time.Duration) {
+	if rt.proberStop != nil {
+		return
+	}
+	rt.proberStop = make(chan struct{})
+	rt.proberDone = make(chan struct{})
+	go func() {
+		defer close(rt.proberDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rt.proberStop:
+				return
+			case <-tick.C:
+			}
+			for i, n := range rt.nodes {
+				base, _, up := n.state()
+				if up {
+					continue
+				}
+				resp, err := rt.hc.Get(base + "/v1/health")
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				rt.Rejoin(i, "")
+			}
+		}
+	}()
+}
+
+// Close stops the prober (if started) and drops idle connections.
+func (rt *Router) Close() {
+	if rt.proberStop != nil {
+		close(rt.proberStop)
+		<-rt.proberDone
+		rt.proberStop, rt.proberDone = nil, nil
+	}
+	rt.hc.CloseIdleConnections()
+}
+
+// clusterEndpoints label the router's obs middleware series.
+var clusterEndpoints = []string{
+	"/v1/period/start", "/v1/period/end", "/v1/bundle", "/v1/slot",
+	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch",
+	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
+}
+
+// Handler returns the routing tier's HTTP handler. It serves the same
+// /v1 surface as a node: client-scoped endpoints proxy to the owning
+// node, period rounds and the merged read views fan out to all nodes,
+// and /v1/metrics exposes the router's own registry.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, p := range []string{"/v1/bundle", "/v1/slot", "/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch"} {
+		mux.HandleFunc(p, rt.handleClient)
+	}
+	mux.HandleFunc("POST /v1/period/start", rt.fanoutHandler(mergePeriodStart))
+	mux.HandleFunc("POST /v1/period/end", rt.fanoutHandler(mergePeriodEnd))
+	mux.HandleFunc("GET /v1/ledger", rt.fanoutHandler(mergeLedger))
+	mux.HandleFunc("GET /v1/stats", rt.fanoutHandler(mergeStats))
+	mux.HandleFunc("GET /v1/health", rt.handleHealth)
+	mux.Handle("GET /v1/metrics", rt.reg.Handler())
+	return obs.Middleware(rt.reg, mux, clusterEndpoints...)
+}
+
+// proxied is one node's buffered response.
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forwardHeaders are the request headers the router relays to nodes:
+// the idempotency identity, the retry attempt, the protocol version
+// negotiation, and the body codec.
+var forwardHeaders = []string{
+	"Idempotency-Key", "X-Retry-Attempt", transport.VersionHeader, "Content-Type",
+}
+
+// relayHeaders are the response headers relayed back to the client.
+var relayHeaders = []string{
+	"Content-Type", "Retry-After", transport.VersionHeader, obs.ReplayedHeader,
+}
+
+// forward proxies one buffered request to a node, riding out failures:
+// transport errors count against the node's circuit, a down node parks
+// the attempt for up to rejoinWait, and a response — any status — is
+// returned as-is. ok is false when the node stayed unavailable past the
+// attempt budget or patience window.
+func (rt *Router) forward(n *node, method, uri string, hdr http.Header, body []byte) (*proxied, bool) {
+	for attempt := 0; attempt < rt.maxForwards; attempt++ {
+		if !n.awaitUp(rt.rejoinWait) {
+			return nil, false
+		}
+		base, epoch, up := n.state()
+		if !up {
+			continue // went down again between awaitUp and snapshot
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+uri, rd)
+		if err != nil {
+			return nil, false
+		}
+		for _, h := range forwardHeaders {
+			if v := hdr.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		n.forwards.Inc()
+		resp, err := rt.hc.Do(req)
+		if err != nil {
+			n.fail(epoch, rt.failThreshold)
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			n.fail(epoch, rt.failThreshold)
+			continue
+		}
+		n.ok(epoch)
+		return &proxied{status: resp.StatusCode, header: resp.Header, body: respBody}, true
+	}
+	return nil, false
+}
+
+// unavailableErr writes the well-formed refusal for a dead node: 503
+// with Retry-After, never a raw transport error. Counted in
+// cluster_node_unavailable_total.
+func (rt *Router) unavailableErr(w http.ResponseWriter, nodeIdx int) {
+	rt.unavailable.Inc()
+	w.Header().Set(transport.VersionHeader, strconv.Itoa(transport.ProtocolVersion))
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfter))
+	http.Error(w, fmt.Sprintf("cluster: node %d unavailable", nodeIdx), http.StatusServiceUnavailable)
+}
+
+// writeProxied relays a node response to the client.
+func writeProxied(w http.ResponseWriter, p *proxied) {
+	for _, h := range relayHeaders {
+		if v := p.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(p.status)
+	w.Write(p.body)
+}
+
+// handleClient proxies a client-scoped request to the node owning its
+// client id.
+func (rt *Router) handleClient(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		r.Body.Close()
+		if err != nil {
+			http.Error(w, "cluster: reading request body", http.StatusBadRequest)
+			return
+		}
+		body = b
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	clientID, ok := transport.RequestClientID(r)
+	if !ok {
+		if len(rt.nodes) > 1 {
+			http.Error(w, "cluster: request carries no routable client id", http.StatusBadRequest)
+			return
+		}
+		clientID = 0 // single node: nothing to place
+	}
+	n := rt.nodes[rt.place(clientID)]
+	p, up := rt.forward(n, r.Method, r.URL.RequestURI(), r.Header, body)
+	if !up {
+		rt.unavailableErr(w, n.idx)
+		return
+	}
+	writeProxied(w, p)
+}
+
+// fanout forwards one request to every node concurrently and collects
+// the responses. The first unavailable node aborts the round with its
+// index; the caller answers 503 and lets the sender retry the whole
+// round under the same idempotency key (nodes that already executed it
+// replay from their dedup windows and period-round caches).
+func (rt *Router) fanout(method, uri string, hdr http.Header, body []byte) ([]*proxied, int) {
+	out := make([]*proxied, len(rt.nodes))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			if p, up := rt.forward(n, method, uri, hdr, body); up {
+				out[i] = p
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for i, p := range out {
+		if p == nil {
+			return nil, i
+		}
+	}
+	return out, -1
+}
+
+// fanoutHandler builds the handler for a fan-out endpoint: forward to
+// all nodes, merge the 2xx bodies with merge, propagate the first
+// non-2xx node response verbatim (idempotency conflicts, version
+// refusals and validation errors must reach the coordinator unchanged).
+func (rt *Router) fanoutHandler(merge func(bodies [][]byte) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var body []byte
+		if r.Body != nil && r.Method != http.MethodGet {
+			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			r.Body.Close()
+			r.Body = http.NoBody
+			if err != nil {
+				http.Error(w, "cluster: reading request body", http.StatusBadRequest)
+				return
+			}
+			body = b
+		}
+		out, deadNode := rt.fanout(r.Method, r.URL.RequestURI(), r.Header, body)
+		if deadNode >= 0 {
+			rt.unavailableErr(w, deadNode)
+			return
+		}
+		bodies := make([][]byte, len(out))
+		for i, p := range out {
+			if p.status < 200 || p.status > 299 {
+				writeProxied(w, p)
+				return
+			}
+			bodies[i] = p.body
+		}
+		reply, err := merge(bodies)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cluster: merging node replies: %v", err), http.StatusBadGateway)
+			return
+		}
+		buf, err := json.Marshal(reply)
+		if err != nil {
+			http.Error(w, "cluster: encoding merged reply", http.StatusInternalServerError)
+			return
+		}
+		// All nodes replayed ⇒ the round as a whole is a replay; any
+		// node executing fresh makes the merged reply fresh.
+		replayed := true
+		for _, p := range out {
+			if p.header.Get(obs.ReplayedHeader) != "true" {
+				replayed = false
+				break
+			}
+		}
+		if replayed {
+			w.Header().Set(obs.ReplayedHeader, "true")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(transport.VersionHeader, strconv.Itoa(transport.ProtocolVersion))
+		w.Write(buf)
+	}
+}
+
+func mergePeriodStart(bodies [][]byte) (any, error) {
+	var total transport.PeriodStartReply
+	for _, b := range bodies {
+		var pr transport.PeriodStartReply
+		if err := json.Unmarshal(b, &pr); err != nil {
+			return nil, err
+		}
+		total.PredictedSlots += pr.PredictedSlots
+		total.Admitted += pr.Admitted
+		total.Sold += pr.Sold
+		total.Placed += pr.Placed
+		total.Replicas += pr.Replicas
+		total.BundledClients += pr.BundledClients
+	}
+	return total, nil
+}
+
+func mergePeriodEnd(bodies [][]byte) (any, error) {
+	var total transport.PeriodEndReply
+	for _, b := range bodies {
+		var pr transport.PeriodEndReply
+		if err := json.Unmarshal(b, &pr); err != nil {
+			return nil, err
+		}
+		total.Expired += pr.Expired
+	}
+	return total, nil
+}
+
+func mergeLedger(bodies [][]byte) (any, error) {
+	var total auction.Ledger
+	for _, b := range bodies {
+		var l auction.Ledger
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, err
+		}
+		total.Sold += l.Sold
+		total.BilledUSD += l.BilledUSD
+		total.Billed += l.Billed
+		total.FreeUSD += l.FreeUSD
+		total.FreeShows += l.FreeShows
+		total.Violations += l.Violations
+		total.ViolatedUSD += l.ViolatedUSD
+		total.PotentialUSD += l.PotentialUSD
+	}
+	return total, nil
+}
+
+func mergeStats(bodies [][]byte) (any, error) {
+	var total transport.StatsReply
+	for _, b := range bodies {
+		var st transport.StatsReply
+		if err := json.Unmarshal(b, &st); err != nil {
+			return nil, err
+		}
+		total.Shards += st.Shards
+		total.Rounds += st.Rounds
+		total.ForecastErrP50 += float64(st.Rounds) * st.ForecastErrP50
+		total.ForecastErrP95 += float64(st.Rounds) * st.ForecastErrP95
+		total.PerShard = append(total.PerShard, st.PerShard...) // concatenated in node order
+	}
+	if total.Rounds > 0 {
+		total.ForecastErrP50 /= float64(total.Rounds)
+		total.ForecastErrP95 /= float64(total.Rounds)
+	}
+	return total, nil
+}
+
+// NodeHealth is one node's slice of the cluster health view.
+type NodeHealth struct {
+	Node    int                    `json:"node"`
+	BaseURL string                 `json:"base_url"`
+	Down    bool                   `json:"down"`
+	Health  *transport.HealthReply `json:"health,omitempty"`
+}
+
+// HealthReply is the router's /v1/health response: per-node health
+// plus a cluster status — "ok", "degraded" (a node is out of
+// rotation or unreachable), or the worst node status ("shedding")
+// otherwise.
+type HealthReply struct {
+	Status    string       `json:"status"`
+	NodesDown int          `json:"nodes_down"`
+	Nodes     []NodeHealth `json:"nodes"`
+}
+
+// handleHealth merges per-node health best-effort: a down or
+// unreachable node marks the cluster degraded instead of failing the
+// scrape, so the health view stays usable mid-outage. Probing never
+// parks (health must answer promptly while a node restarts).
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	reply := HealthReply{Status: "ok", Nodes: make([]NodeHealth, len(rt.nodes))}
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			base, epoch, up := n.state()
+			nh := NodeHealth{Node: i, BaseURL: base, Down: !up}
+			if up {
+				req, _ := http.NewRequest(http.MethodGet, base+r.URL.RequestURI(), nil)
+				resp, err := rt.hc.Do(req)
+				if err != nil {
+					n.fail(epoch, rt.failThreshold)
+					nh.Down = true
+				} else {
+					body, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					var h transport.HealthReply
+					if rerr == nil && resp.StatusCode == http.StatusOK && json.Unmarshal(body, &h) == nil {
+						n.ok(epoch)
+						nh.Health = &h
+					} else {
+						nh.Down = true
+					}
+				}
+			}
+			reply.Nodes[i] = nh
+		}(i, n)
+	}
+	wg.Wait()
+	for _, nh := range reply.Nodes {
+		if nh.Down {
+			reply.NodesDown++
+			reply.Status = "degraded"
+		}
+	}
+	if reply.Status == "ok" {
+		for _, nh := range reply.Nodes {
+			if nh.Health != nil && nh.Health.Status != "ok" {
+				reply.Status = nh.Health.Status
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(transport.VersionHeader, strconv.Itoa(transport.ProtocolVersion))
+	json.NewEncoder(w).Encode(reply)
+}

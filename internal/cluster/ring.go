@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping client ids onto node indexes.
+// Each node owns `replicas` virtual points on a 64-bit circle; a client
+// hashes to a point and is owned by the next virtual point clockwise.
+// Adding or removing one node therefore moves only ~1/N of the clients,
+// which is what makes the ring the right production placement for an
+// elastic fleet. (The in-test differential harness overrides placement
+// with shard.Route so a cluster of N is bit-comparable to a
+// single-process server at shards=N; see internal/sim.)
+type Ring struct {
+	points []uint64 // sorted virtual-point hashes
+	owners []int    // owners[i] = node owning points[i]
+}
+
+// DefaultReplicas is the virtual-point count per node when NewRing is
+// given replicas <= 0. 128 points keep the ownership spread within a
+// few percent of uniform at small fleet sizes.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over node indexes [0, nodes). Panics if nodes
+// is not positive — a ring with no nodes cannot place anything.
+func NewRing(nodes, replicas int) *Ring {
+	if nodes <= 0 {
+		panic("cluster: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		points: make([]uint64, 0, nodes*replicas),
+		owners: make([]int, 0, nodes*replicas),
+	}
+	idx := make([]int, 0, nodes*replicas)
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, pointHash(n, v))
+			r.owners = append(r.owners, n)
+			idx = append(idx, len(idx))
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if r.points[a] != r.points[b] {
+			return r.points[a] < r.points[b]
+		}
+		return r.owners[a] < r.owners[b] // stable tie-break: lowest node wins
+	})
+	points := make([]uint64, len(idx))
+	owners := make([]int, len(idx))
+	for i, k := range idx {
+		points[i], owners[i] = r.points[k], r.owners[k]
+	}
+	r.points, r.owners = points, owners
+	return r
+}
+
+// Place maps a client id to its owning node index. Deterministic for a
+// fixed ring; every client id maps to exactly one node.
+func (r *Ring) Place(clientID int) int {
+	h := clientHash(clientID)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return r.owners[i]
+}
+
+// pointHash places virtual point v of node n on the circle.
+func pointHash(n, v int) uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(n)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(v)))
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// clientHash hashes a client id the same way shard.Route does (FNV-64a
+// over the little-endian int64), then finishes with a strong mix: FNV
+// alone avalanches poorly on short keys and would clump the circle.
+func clientHash(clientID int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(clientID)))
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finisher (same idiom as faults.uniform).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import "testing"
+
+// The ring must be a deterministic total function: every client id maps
+// to exactly one node, the same ring built twice agrees on every
+// placement, and a single-node ring owns everything.
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a, b := NewRing(5, 0), NewRing(5, 0)
+	for id := -100; id < 2000; id++ {
+		na, nb := a.Place(id), b.Place(id)
+		if na != nb {
+			t.Fatalf("client %d: ring not deterministic: %d vs %d", id, na, nb)
+		}
+		if na < 0 || na >= 5 {
+			t.Fatalf("client %d placed on node %d, want [0,5)", id, na)
+		}
+	}
+	one := NewRing(1, 0)
+	for id := 0; id < 100; id++ {
+		if n := one.Place(id); n != 0 {
+			t.Fatalf("single-node ring placed client %d on node %d", id, n)
+		}
+	}
+}
+
+// With DefaultReplicas virtual points the ownership spread should be
+// within a few percent of uniform; a loose band catches gross clumping
+// (e.g. a weak hash) without flaking on the expected variance.
+func TestRingDistribution(t *testing.T) {
+	const nodes, clients = 3, 30000
+	r := NewRing(nodes, 0)
+	counts := make([]int, nodes)
+	for id := 0; id < clients; id++ {
+		counts[r.Place(id)]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / clients
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("node %d owns %.1f%% of clients (counts %v), outside [20%%, 47%%]", n, 100*frac, counts)
+		}
+	}
+}
+
+// Growing the fleet by one node must move only ~1/N of the clients —
+// the consistent-hashing property that makes the ring the production
+// placement. A modulo partition would move ~3/4 of them.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	const clients = 20000
+	before, after := NewRing(3, 0), NewRing(4, 0)
+	moved := 0
+	for id := 0; id < clients; id++ {
+		if before.Place(id) != after.Place(id) {
+			moved++
+		}
+	}
+	frac := float64(moved) / clients
+	if frac == 0 {
+		t.Fatal("no client moved when a node was added")
+	}
+	if frac > 0.40 {
+		t.Fatalf("%.1f%% of clients moved adding one node to three, want ~25%%", 100*frac)
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0, ...) did not panic")
+		}
+	}()
+	NewRing(0, 0)
+}

@@ -617,61 +617,111 @@ func clientAndNow(r *http.Request) (client int, now simclock.Time, ok bool) {
 	return *id.Client, simclock.Time(id.NowNS), true
 }
 
+// AnyNode makes a CrashPoint count records from every node in a
+// multi-node harness: whichever node's append crosses the threshold is
+// the one that dies.
+const AnyNode = -1
+
 // CrashPoint schedules one process kill: the crash fires when After
 // more WAL records of the given op kind have been appended. An empty
 // Op counts every record. Counting append events — the instant between
 // durability and acknowledgement — is what makes the kill adversarial:
 // the downed server has executed and logged the operation, but the
 // client never saw the reply.
+//
+// Node scopes the point to one node of a multi-node cluster harness:
+// only records appended by that node count, so the kill lands on that
+// node. The single-process harness observes as node 0, which is also
+// the zero value — a plain CrashPoint{Op, After} keeps its original
+// meaning there. Use AnyNode to count (and kill) across all nodes.
 type CrashPoint struct {
 	Op    string // WAL record kind ("slot", "report", "batch", "period_end", ...); "" = any
 	After int    // fire when this many further matching records have been appended
+	Node  int    // node index the count (and the kill) is scoped to; AnyNode = any
 }
 
 // CrashSchedule arms a sequence of process-crash points for the
-// kill/restart harness (sim.RunTransportCrash). Counts are cumulative
-// across restarts — the replacement process keeps consuming the same
-// schedule — so a multi-point schedule kills the service repeatedly at
-// deterministic instants in the record stream.
+// kill/restart harness (sim.RunTransportCrash and the cluster variant).
+// Counts are cumulative across restarts — the replacement process keeps
+// consuming the same schedule — so a multi-point schedule kills the
+// service repeatedly at deterministic instants in the record stream.
 type CrashSchedule struct {
-	mu     sync.Mutex
-	points []CrashPoint
-	next   int
-	total  int
-	perOp  map[string]int
-	fired  int
+	mu        sync.Mutex
+	points    []CrashPoint
+	next      int
+	total     int
+	perOp     map[string]int
+	perNode   map[int]int
+	perNodeOp map[nodeOp]int
+	fired     int
+}
+
+// nodeOp keys the per-(node, op kind) record count.
+type nodeOp struct {
+	node int
+	op   string
 }
 
 // NewCrashSchedule arms the points in order.
 func NewCrashSchedule(points ...CrashPoint) *CrashSchedule {
-	return &CrashSchedule{points: points, perOp: make(map[string]int)}
+	return &CrashSchedule{
+		points:    points,
+		perOp:     make(map[string]int),
+		perNode:   make(map[int]int),
+		perNodeOp: make(map[nodeOp]int),
+	}
 }
 
 // Observe records one appended WAL record and reports whether the
 // currently armed crash point fires on it. Safe for concurrent use;
-// each point fires exactly once.
+// each point fires exactly once. The single-process harness calls this
+// form, which observes as node 0.
 func (c *CrashSchedule) Observe(op string) bool {
+	return c.ObserveNode(0, op)
+}
+
+// ObserveNode records one WAL record appended by the given node and
+// reports whether the currently armed crash point fires on it — in
+// which case the observing node is the one that must die: either the
+// point targets it, or the point is AnyNode-scoped and this append
+// crossed the threshold.
+func (c *CrashSchedule) ObserveNode(node int, op string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.total++
 	c.perOp[op]++
+	c.perNode[node]++
+	c.perNodeOp[nodeOp{node, op}]++
 	if c.next >= len(c.points) {
 		return false
 	}
 	p := c.points[c.next]
-	count := c.total
-	if p.Op != "" {
+	if p.Node != AnyNode && p.Node != node {
+		return false // another node's append never trips a scoped point
+	}
+	var count int
+	switch {
+	case p.Node == AnyNode && p.Op == "":
+		count = c.total
+	case p.Node == AnyNode:
 		count = c.perOp[p.Op]
+	case p.Op == "":
+		count = c.perNode[p.Node]
+	default:
+		count = c.perNodeOp[nodeOp{p.Node, p.Op}]
 	}
 	if count < p.After {
 		return false
 	}
-	// Consume the point and reset the counters so the next point counts
-	// records appended after this crash.
+	// Consume the point and reset every counter — aggregate and
+	// per-node alike — so the next point counts records appended after
+	// this crash, no matter which node appends them.
 	c.next++
 	c.fired++
 	c.total = 0
 	c.perOp = make(map[string]int)
+	c.perNode = make(map[int]int)
+	c.perNodeOp = make(map[nodeOp]int)
 	return true
 }
 

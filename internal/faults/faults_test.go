@@ -305,3 +305,78 @@ func TestCrashScheduleFiresAndResets(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashScheduleNodeScoping pins the node-granular semantics the
+// cluster harness relies on: a point scoped to one node counts only
+// that node's appends (other nodes' records are invisible to it, both
+// for counting and for firing), the fire resets every counter across
+// all nodes, and an AnyNode point kills whichever node's append
+// crosses the threshold.
+func TestCrashScheduleNodeScoping(t *testing.T) {
+	s := NewCrashSchedule(
+		CrashPoint{Op: "report", After: 2, Node: 1},
+		CrashPoint{After: 2, Node: 2},
+		CrashPoint{After: 3, Node: AnyNode},
+	)
+	// Node 0 and node 2 appends never trip a point scoped to node 1 —
+	// not even many of them.
+	for i := 0; i < 10; i++ {
+		if s.ObserveNode(0, "report") || s.ObserveNode(2, "report") {
+			t.Fatalf("append %d from an unscoped node fired a node-1 point", i)
+		}
+	}
+	if s.ObserveNode(1, "report") {
+		t.Fatal("node 1 fired after one matching record, want two")
+	}
+	if s.ObserveNode(1, "slot") {
+		t.Fatal("node-1 point scoped to op \"report\" fired on a slot record")
+	}
+	if !s.ObserveNode(1, "report") {
+		t.Fatal("second node-1 report must fire the scoped point")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired %d want 1", s.Fired())
+	}
+	// The fire reset node 2's count too: the 10 pre-crash records are
+	// forgotten, the wildcard-op point needs 2 fresh node-2 appends.
+	if s.ObserveNode(2, "slot") {
+		t.Fatal("node-2 point counted records from before the crash")
+	}
+	if s.ObserveNode(0, "slot") {
+		t.Fatal("node-0 append tripped a node-2 point")
+	}
+	if !s.ObserveNode(2, "batch") {
+		t.Fatal("second post-crash node-2 record must fire (any op)")
+	}
+	// AnyNode: appends from different nodes share one count, and the
+	// observing node that crosses the threshold is the victim.
+	if s.ObserveNode(0, "slot") || s.ObserveNode(1, "report") {
+		t.Fatal("AnyNode point fired before 3 records")
+	}
+	if !s.ObserveNode(2, "slot") {
+		t.Fatal("third record from any node must fire the AnyNode point")
+	}
+	if s.Fired() != 3 || s.Pending() != 0 {
+		t.Fatalf("fired %d pending %d, want 3 and 0", s.Fired(), s.Pending())
+	}
+}
+
+// Observe must stay an alias for node 0 so the single-process harness
+// and plain CrashPoint{Op, After} literals keep their original meaning.
+func TestCrashScheduleObserveIsNodeZero(t *testing.T) {
+	s := NewCrashSchedule(CrashPoint{Op: "report", After: 2})
+	if s.Observe("report") {
+		t.Fatal("fired after one report")
+	}
+	// Zero-value Node scopes to node 0: another node's matching append
+	// neither counts nor fires.
+	if s.ObserveNode(1, "report") {
+		t.Fatal("node-1 append fired a zero-value (node 0) point")
+	}
+	if !s.Observe("report") {
+		t.Fatal("second node-0 report must fire")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired %d want 1", s.Fired())
+	}
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// clusterRejoinWait is how long the in-test router parks a down node's
+// requests awaiting its rejoin. Restarting a node is milliseconds of
+// work; the window is generous so a parked request always outlives the
+// recovery instead of burning its device's retry budget — the property
+// that keeps kill/restart runs equal to the uninterrupted baseline.
+const clusterRejoinWait = 60 * time.Second
+
+// simNode is one cluster member: a single-shard ShardedServer on its
+// own loopback listener with its own WAL directory. The node's mu
+// guards the incarnation swap on restart; down is read by the handler
+// wrapper so a "dead" node aborts connections exactly like a killed
+// process until the replacement is up.
+type simNode struct {
+	idx     int
+	members []int
+	walDir  string
+
+	mu       sync.Mutex
+	pool     *shard.Pool
+	ts       *transport.ShardedServer
+	log      *wal.Log
+	srv      *http.Server
+	ln       net.Listener
+	down     bool
+	restarts int
+
+	restartCh chan struct{}
+}
+
+func (nd *simNode) isDown() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.down
+}
+
+// clusterBackend serves the replay from N simNodes behind a
+// cluster.Router, and implements the node kill/restart machinery: the
+// WAL hook of a dying node seals its log and signals its restart
+// goroutine, which tears the incarnation down completely (listener
+// included), rebuilds it from the node's own WAL, and tells the router
+// to Rejoin it at the replacement's address.
+type clusterBackend struct {
+	env    *replayEnv
+	nodes  []*simNode
+	router *cluster.Router
+
+	routerSrv *http.Server
+	routerURL string
+	serveErr  chan error
+	stopOnce  sync.Once
+	done      chan struct{}
+	doneOnce  sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first restart failure
+}
+
+func newClusterBackend(env *replayEnv) (*clusterBackend, error) {
+	o := env.o
+	b := &clusterBackend{env: env, serveErr: make(chan error, 1), done: make(chan struct{})}
+	nodes := o.Nodes
+
+	// Partition clients onto nodes with the same stable function the
+	// single-process server partitions them onto shards, so a cluster
+	// of N and a single process at shards=N sell to identical client
+	// subsets — the bit-for-bit comparability the differential tier
+	// asserts.
+	members := make([][]int, nodes)
+	for _, id := range env.ids {
+		n := shard.Route(id, nodes)
+		members[n] = append(members[n], id)
+	}
+	for i := 0; i < nodes; i++ {
+		nd := &simNode{idx: i, members: members[i], restartCh: make(chan struct{}, 1)}
+		if o.WALDir != "" {
+			nd.walDir = filepath.Join(o.WALDir, fmt.Sprintf("node%d", i))
+			if err := os.MkdirAll(nd.walDir, 0o755); err != nil {
+				b.close()
+				return nil, fmt.Errorf("sim: node %d wal dir: %w", i, err)
+			}
+		}
+		if err := b.buildNode(nd); err != nil {
+			b.close()
+			return nil, err
+		}
+		b.nodes = append(b.nodes, nd)
+	}
+
+	urls := make([]string, nodes)
+	for i, nd := range b.nodes {
+		urls[i] = "http://" + nd.ln.Addr().String()
+	}
+	router, err := cluster.New(urls,
+		cluster.WithPlacement(func(id int) int { return shard.Route(id, nodes) }),
+		cluster.WithRejoinWait(clusterRejoinWait),
+		cluster.WithHTTPClient(&http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        env.workers * 2,
+				MaxIdleConnsPerHost: env.workers * 2,
+			},
+			Timeout: 10 * time.Second,
+		}))
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	b.router = router
+
+	// Node restart goroutines: one per node, so two nodes killed
+	// back-to-back recover independently (double-kill tolerance).
+	if o.Crashes != nil {
+		for _, nd := range b.nodes {
+			b.wg.Add(1)
+			go b.restartLoop(nd)
+		}
+	}
+
+	// The router is the only address devices and the coordinator know.
+	// The fault plan's middleware wraps it — faults are injected on the
+	// device↔router leg, mirroring the single-process topology where
+	// the plan fronts the whole server — and its partition routing maps
+	// a client to its node.
+	handler := http.Handler(router.Handler())
+	if env.plan != nil {
+		handler = env.plan.Middleware(handler, func(id int) int { return shard.Route(id, nodes) })
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.close()
+		return nil, fmt.Errorf("sim: router listener: %w", err)
+	}
+	b.routerSrv = &http.Server{Handler: handler}
+	b.routerURL = "http://" + ln.Addr().String()
+	go func() { b.serveErr <- b.routerSrv.Serve(ln) }()
+	return b, nil
+}
+
+// buildNode constructs one serving incarnation of a node — pool over
+// its member clients, transport server, WAL recovery — and starts its
+// listener. Called at boot and by the restart loop after a kill.
+func (b *clusterBackend) buildNode(nd *simNode) error {
+	env, o := b.env, b.env.o
+	pool, err := env.makePool(1, nd.members)
+	if err != nil {
+		return err
+	}
+	ts := transport.NewShardedServer(pool)
+	ts.SetNodeID(fmt.Sprintf("node%d", nd.idx))
+	var l *wal.Log
+	if nd.walDir != "" {
+		var hook func(wal.Record)
+		if o.Crashes != nil {
+			hook = b.killHook(nd)
+		}
+		l, err = wal.Open(nd.walDir, wal.Options{NoSync: !o.Fsync, Hook: hook})
+		if err != nil {
+			return fmt.Errorf("sim: node %d wal: %w", nd.idx, err)
+		}
+		ts.AttachWAL(l, o.SnapshotEvery)
+		if _, err := ts.Recover(); err != nil {
+			l.Close()
+			return fmt.Errorf("sim: node %d recovery: %w", nd.idx, err)
+		}
+	}
+	// While the node is down its replacement is not serving yet; abort
+	// any connection that still reaches the old incarnation, exactly
+	// like a killed process would.
+	inner := ts.Handler()
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if nd.isDown() {
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if l != nil {
+			l.Close()
+		}
+		return fmt.Errorf("sim: node %d listener: %w", nd.idx, err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	nd.mu.Lock()
+	nd.pool, nd.ts, nd.log, nd.srv, nd.ln = pool, ts, l, srv, ln
+	nd.mu.Unlock()
+	return nil
+}
+
+// killHook returns the WAL hook that turns a fired crash point into a
+// node death: mark the node down, seal its log so nothing further
+// becomes durable or acked, signal the restart loop, and abort the
+// in-flight request — its client never learns the outcome and must
+// retry against the recovered node.
+func (b *clusterBackend) killHook(nd *simNode) func(wal.Record) {
+	crashes := b.env.o.Crashes
+	return func(rec wal.Record) {
+		if !crashes.ObserveNode(nd.idx, rec.Op) {
+			return
+		}
+		nd.mu.Lock()
+		if !nd.down {
+			nd.down = true
+			nd.log.Seal()
+			nd.restartCh <- struct{}{}
+		}
+		nd.mu.Unlock()
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// restartLoop recovers a node after each kill. The router learns of
+// the death organically — consecutive failures open its circuit and
+// park the node's clients — and is told to Rejoin once the replacement
+// is serving, at its new address.
+func (b *clusterBackend) restartLoop(nd *simNode) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-nd.restartCh:
+		case <-b.done:
+			return
+		}
+		nd.mu.Lock()
+		oldSrv, oldLog := nd.srv, nd.log
+		nd.mu.Unlock()
+		// Kill the incarnation completely: Close aborts in-flight
+		// requests and the listener, so the router sees connection
+		// failures exactly as if the process died. Then quiesce the
+		// sealed log — Close waits out an append already past the seal
+		// check, so the replacement reads a complete tail (such a
+		// record was acked and must be replayed, not truncated).
+		oldSrv.Close()
+		if oldLog != nil {
+			_ = oldLog.Close()
+		}
+		err := b.buildNode(nd)
+		nd.mu.Lock()
+		if err != nil {
+			b.setErr(err)
+		} else {
+			nd.restarts++
+		}
+		nd.down = false
+		newURL := "http://" + nd.ln.Addr().String()
+		nd.mu.Unlock()
+		b.router.Rejoin(nd.idx, newURL)
+	}
+}
+
+func (b *clusterBackend) setErr(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *clusterBackend) url() string { return b.routerURL }
+
+// registry surfaces the router's cluster-level metrics as Result.Obs;
+// per-node serving metrics live on each node's own registry.
+func (b *clusterBackend) registry() *obs.Registry { return b.router.Registry() }
+
+func (b *clusterBackend) stopServe() {
+	b.stopOnce.Do(func() {
+		if b.routerSrv != nil {
+			_ = b.routerSrv.Close()
+			<-b.serveErr
+		}
+	})
+}
+
+func (b *clusterBackend) finish(res *Result) error {
+	b.stopServe()
+	b.doneOnce.Do(func() { close(b.done) })
+	b.wg.Wait() // no restart in flight: every node's state is final
+	b.mu.Lock()
+	rerr := b.err
+	b.mu.Unlock()
+	if rerr != nil {
+		return fmt.Errorf("sim: node restart: %w", rerr)
+	}
+	span := b.env.pop.Span
+	res.CampaignBilled = make(map[auction.CampaignID]float64, b.env.cfg.Demand.Campaigns)
+	for _, nd := range b.nodes {
+		nd.mu.Lock()
+		pool := nd.pool
+		res.Restarts += nd.restarts
+		nd.mu.Unlock()
+		for i := 0; i < pool.Shards(); i++ {
+			pool.Shard(i).Exchange().SweepExpired(span + simclock.Week)
+		}
+		l := pool.Ledger()
+		res.Ledger.Sold += l.Sold
+		res.Ledger.BilledUSD += l.BilledUSD
+		res.Ledger.Billed += l.Billed
+		res.Ledger.FreeUSD += l.FreeUSD
+		res.Ledger.FreeShows += l.FreeShows
+		res.Ledger.Violations += l.Violations
+		res.Ledger.ViolatedUSD += l.ViolatedUSD
+		res.Ledger.PotentialUSD += l.PotentialUSD
+		for i := 0; i < b.env.cfg.Demand.Campaigns; i++ {
+			id := auction.CampaignID(i)
+			for s := 0; s < pool.Shards(); s++ {
+				if billed, _, err := pool.Shard(s).Exchange().CampaignSpend(id); err == nil {
+					res.CampaignBilled[id] += billed
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (b *clusterBackend) close() {
+	b.stopServe()
+	b.doneOnce.Do(func() { close(b.done) })
+	b.wg.Wait()
+	b.closeOnce.Do(func() {
+		for _, nd := range b.nodes {
+			nd.mu.Lock()
+			srv, l := nd.srv, nd.log
+			nd.mu.Unlock()
+			if srv != nil {
+				_ = srv.Close()
+			}
+			if l != nil {
+				_ = l.Close()
+			}
+		}
+		if b.router != nil {
+			b.router.Close()
+		}
+	})
+}

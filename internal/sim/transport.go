@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/auction"
 	"repro/internal/client"
@@ -80,12 +81,35 @@ func RunTransportCrash(cfg Config, shards, workers int, walDir string, snapshotE
 	})
 }
 
+// RunTransportCluster replays the trace against a multi-node cluster
+// instead of one process: `nodes` independent single-shard serving
+// nodes — each its own ShardedServer, own metrics, own WAL directory —
+// behind a cluster.Router that places clients with the same partition
+// shard.Route uses, so a cluster of N is comparable observable for
+// observable with a single process at shards=N. A crash schedule kills
+// whole nodes (faults.CrashPoint.Node selects which): the victim's
+// listener drops mid-request, the router's circuit opens and parks that
+// node's clients, a replacement recovers from the node's own WAL, and
+// the router is told to Rejoin it. The cluster differential tier pins
+// kill/restart runs equal to the uninterrupted single-process baseline.
+func RunTransportCluster(cfg Config, nodes, workers int, o TransportOpts) (*Result, error) {
+	o.Nodes = nodes
+	o.Workers = workers
+	return RunTransportWith(cfg, o)
+}
+
 // TransportOpts selects the wire-path variants of a transport replay.
 type TransportOpts struct {
-	// Shards is the server shard count (must be >= 1).
+	// Shards is the server shard count (must be >= 1 for the
+	// single-process path; leave 0 with Nodes set — cluster nodes each
+	// run exactly one shard).
 	Shards int
 	// Workers bounds device concurrency; <1 means GOMAXPROCS.
 	Workers int
+	// Nodes, when positive, serves the replay from a multi-node
+	// cluster: Nodes single-shard serving processes behind a
+	// cluster.Router (see RunTransportCluster).
+	Nodes int
 	// Plan, when non-nil, runs the replay under that fault plan (see
 	// RunTransportChaos).
 	Plan *faults.Plan
@@ -103,7 +127,8 @@ type TransportOpts struct {
 	BinaryBatch bool
 	// WALDir, when non-empty, attaches a write-ahead log under that
 	// directory (fsync disabled by default — the harness emulates process
-	// crashes, not power loss, and the page cache survives those).
+	// crashes, not power loss, and the page cache survives those). In
+	// cluster mode each node logs under its own node<i> subdirectory.
 	WALDir string
 	// Fsync turns real group-commit fsync on for the WAL (wal.Options
 	// NoSync off): one flush covers every envelope written before it, and
@@ -114,36 +139,83 @@ type TransportOpts struct {
 	// rounds (0 = never; the log then carries the whole run).
 	SnapshotEvery int
 	// Crashes, when non-nil, kills and restarts the serving process at
-	// the scheduled WAL-append instants. Requires WALDir.
+	// the scheduled WAL-append instants. Requires WALDir. In cluster
+	// mode kills are node-scoped: the single-process harness observes
+	// as node 0, a cluster node observes as its own index.
 	Crashes *faults.CrashSchedule
 }
 
-// RunTransportWith is the generalized transport replay: RunTransport
-// and RunTransportChaos are thin wrappers over it. See their docs for
-// the replay contract.
-func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
-	shards, workers, plan := o.Shards, o.Workers, o.Plan
+// replayEnv is everything a transport replay prepares before a serving
+// backend exists: the trace, the client population and its derived
+// predictor inputs, and the pool factory both backends build their
+// engines from.
+type replayEnv struct {
+	cfg       Config
+	o         TransportOpts
+	pop       *trace.Population
+	users     []*trace.User
+	ids       []int
+	cat       *trace.Catalog
+	warmupEnd simclock.Time
+	period    time.Duration
+	workers   int
+	plan      *faults.Plan
+
+	// makePool builds a pool of `shards` engines over the given member
+	// clients. Each shard sees an identical campaign set with a full
+	// budget: stream derivation is pure, so every call — including a
+	// crash harness rebuilding after a kill — regenerates the exact
+	// same demand before recovery overwrites its mutable state.
+	makePool func(shards int, members []int) (*shard.Pool, error)
+}
+
+// serving is one backend of the replay: something that serves the
+// transport protocol at url and can settle the server-side result
+// fields when the replay loop is done. Two implementations: the
+// single-process ShardedServer (with its kill/restart gate) and the
+// multi-node cluster behind a router.
+type serving interface {
+	url() string
+	// registry is the server-side metrics surfaced as Result.Obs (the
+	// router's own registry in cluster mode).
+	registry() *obs.Registry
+	// finish stops serving, resolves the final live state (after any
+	// restarts), sweeps trailing expiries, and fills Result.Ledger,
+	// Result.Restarts and Result.CampaignBilled.
+	finish(res *Result) error
+	// close tears the backend down; idempotent, safe after finish and
+	// on error paths.
+	close()
+}
+
+// newReplayEnv validates the config/options pair and prepares the
+// shared replay inputs.
+func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if plan != nil {
-		if err := plan.Validate(); err != nil {
+	if o.Plan != nil {
+		if err := o.Plan.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	if shards < 1 {
-		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", shards)
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	switch {
+	case o.Nodes == 0 && o.Shards < 1:
+		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", o.Shards)
+	case o.Nodes < 0:
+		return nil, fmt.Errorf("sim: negative node count %d", o.Nodes)
+	case o.Nodes > 0 && o.Shards > 1:
+		return nil, fmt.Errorf("sim: cluster nodes each run one shard; got shards=%d with nodes=%d", o.Shards, o.Nodes)
 	case cfg.Core.Delivery != core.DeliverScheduled:
 		return nil, fmt.Errorf("sim: transport replay supports scheduled delivery only")
 	case cfg.ChurnProb > 0 || cfg.ReportLossProb > 0:
 		return nil, fmt.Errorf("sim: transport replay does not support failure injection")
 	case o.Crashes != nil && o.WALDir == "":
 		return nil, fmt.Errorf("sim: a crash schedule requires a WAL directory")
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	pop := cfg.Population
@@ -179,21 +251,69 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 	}
 	hintsOf := topCategories(users, cat)
 
-	// One exchange per shard, generated from the same derived stream so
-	// every shard sees an identical campaign set. mkPool derives a fresh
-	// identical stream each call: the crash harness rebuilds the pool
-	// from scratch after every kill, and stream derivation is pure, so a
-	// replacement process regenerates the exact same demand before
-	// recovery overwrites its mutable state.
-	mkPool := func() (*shard.Pool, error) {
+	env := &replayEnv{
+		cfg: cfg, o: o, pop: pop, users: users, ids: ids, cat: cat,
+		warmupEnd: warmupEnd, period: period, workers: workers, plan: o.Plan,
+	}
+	env.makePool = func(shards int, members []int) (*shard.Pool, error) {
 		rng := simclock.NewRand(cfg.Seed).Stream("sim")
-		return shard.New(shards, cfg.Core.Server, ids,
+		return shard.New(shards, cfg.Core.Server, members,
 			func(int) (*auction.Exchange, error) {
 				return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
 			},
 			func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, oracleSeries) },
 			func(id int) []trace.Category { return hintsOf[id] })
 	}
+	return env, nil
+}
+
+// RunTransportWith is the generalized transport replay: RunTransport,
+// RunTransportChaos, RunTransportCrash and RunTransportCluster are thin
+// wrappers over it. See their docs for the replay contract.
+func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
+	env, err := newReplayEnv(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	var back serving
+	if o.Nodes > 0 {
+		back, err = newClusterBackend(env)
+	} else {
+		back, err = newSingleBackend(env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer back.close()
+	res, err := driveDevices(env, back)
+	if err != nil {
+		return nil, err
+	}
+	if err := back.finish(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// singleBackend is the single-process serving backend: one
+// ShardedServer over one pool on one loopback listener, with the
+// kill/restart gate when a crash schedule is armed.
+type singleBackend struct {
+	env      *replayEnv
+	gate     *crashGate
+	reg      *obs.Registry
+	httpSrv  *http.Server
+	serveErr chan error
+	stopOnce sync.Once
+	restarts chan struct{} // signals the restart goroutine; nil without crashes
+	done     chan struct{}
+	doneOnce sync.Once
+	logOnce  sync.Once
+}
+
+func newSingleBackend(env *replayEnv) (*singleBackend, error) {
+	o, plan := env.o, env.plan
+	b := &singleBackend{env: env, serveErr: make(chan error, 1), done: make(chan struct{})}
 
 	// The crash gate: while a kill is being recovered, new requests
 	// block here until the replacement handler is installed, so clients
@@ -201,6 +321,7 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 	// attempts against a dead socket.
 	gate := &crashGate{}
 	gate.cond = sync.NewCond(&gate.mu)
+	b.gate = gate
 	restartCh := make(chan struct{}, 1)
 	var hook func(wal.Record)
 	if o.Crashes != nil {
@@ -226,7 +347,7 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 	// and — with durability on — an opened WAL plus recovery of whatever
 	// state the directory already holds.
 	mkServer := func() (*shard.Pool, *transport.ShardedServer, *wal.Log, error) {
-		pool, err := mkPool()
+		pool, err := env.makePool(o.Shards, env.ids)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -258,10 +379,14 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		return nil, err
 	}
 	gate.pool, gate.log = pool, wlog
+	b.reg = ts.Registry()
 
 	// Serve the sharded transport on a loopback listener.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		return nil, fmt.Errorf("sim: transport listener: %w", err)
 	}
 	handler := mkHandler(ts, pool)
@@ -276,13 +401,11 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 			gate.mu.Unlock()
 			h.ServeHTTP(w, r)
 		})
-		done := make(chan struct{})
-		defer close(done)
 		go func() {
 			for {
 				select {
 				case <-restartCh:
-				case <-done:
+				case <-b.done:
 					return
 				}
 				// Quiesce the dying incarnation's log before reopening the
@@ -313,14 +436,76 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 			}
 		}()
 	}
-	httpSrv := &http.Server{Handler: handler}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-	defer func() {
-		_ = httpSrv.Shutdown(context.Background())
-		<-serveErr // http.ErrServerClosed after Shutdown
-	}()
-	baseURL := "http://" + ln.Addr().String()
+	b.httpSrv = &http.Server{Handler: handler}
+	b.gate.baseURL = "http://" + ln.Addr().String()
+	go func() { b.serveErr <- b.httpSrv.Serve(ln) }()
+	return b, nil
+}
+
+func (b *singleBackend) url() string             { return b.gate.baseURL }
+func (b *singleBackend) registry() *obs.Registry { return b.reg }
+
+// stopServe releases the port and waits the serve goroutine out.
+func (b *singleBackend) stopServe() {
+	b.stopOnce.Do(func() {
+		_ = b.httpSrv.Shutdown(context.Background())
+		<-b.serveErr // http.ErrServerClosed after Shutdown
+	})
+}
+
+func (b *singleBackend) finish(res *Result) error {
+	// The HTTP phase is over: release the port, then sweep impressions
+	// still open at trace end directly on the pool. After crashes, the
+	// live state is the latest incarnation's.
+	b.stopServe()
+	gate := b.gate
+	gate.mu.Lock()
+	pool := gate.pool
+	res.Restarts = gate.restarts
+	gerr := gate.err
+	gate.mu.Unlock()
+	if gerr != nil {
+		return fmt.Errorf("sim: crash restart: %w", gerr)
+	}
+	span := b.env.pop.Span
+	for i := 0; i < pool.Shards(); i++ {
+		pool.Shard(i).Exchange().SweepExpired(span + simclock.Week)
+	}
+	res.Ledger = pool.Ledger()
+	res.CampaignBilled = make(map[auction.CampaignID]float64, b.env.cfg.Demand.Campaigns)
+	for i := 0; i < b.env.cfg.Demand.Campaigns; i++ {
+		id := auction.CampaignID(i)
+		for s := 0; s < pool.Shards(); s++ {
+			if billed, _, err := pool.Shard(s).Exchange().CampaignSpend(id); err == nil {
+				res.CampaignBilled[id] += billed
+			}
+		}
+	}
+	return nil
+}
+
+func (b *singleBackend) close() {
+	b.stopServe()
+	b.doneOnce.Do(func() { close(b.done) })
+	b.logOnce.Do(func() {
+		b.gate.mu.Lock()
+		wlog := b.gate.log
+		b.gate.mu.Unlock()
+		if wlog != nil {
+			wlog.Close()
+		}
+	})
+}
+
+// driveDevices runs the replay loop against a serving backend: one
+// transport.Device per user plus the period coordinator, all over real
+// HTTP. It fills every client-side Result field; the backend's finish
+// settles the server-side ones.
+func driveDevices(env *replayEnv, back serving) (*Result, error) {
+	cfg, o, plan, workers := env.cfg, env.o, env.plan, env.workers
+	users, pop := env.users, env.pop
+	baseURL := back.url()
+
 	baseRT := &http.Transport{
 		MaxIdleConns:        workers * 2,
 		MaxIdleConnsPerHost: workers * 2,
@@ -357,14 +542,15 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		}
 		d.NoRescue = cfg.Core.NoRescue || cfg.Core.Mode == core.ModeOnDemand
 		devices[i] = d
-		timelines[i] = buildTimeline(u, cat, cfg.RefreshInterval)
+		timelines[i] = buildTimeline(u, env.cat, cfg.RefreshInterval)
 	}
 
 	coord := transport.NewCoordinator(baseURL, transport.WithHTTPClient(hc), transport.WithRegistry(clientReg))
 	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: len(users),
-		Obs: ts.Registry(), ClientObs: clientReg}
+		Obs: back.registry(), ClientObs: clientReg}
 	prefetching := cfg.Core.Mode != core.ModeOnDemand
 	cursors := make([]int, len(users)) // next timeline index per device
+	period := env.period
 
 	periodsTotal := int(pop.Span / simclock.Time(period))
 	for pi := 0; pi <= periodsTotal; pi++ {
@@ -378,7 +564,7 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		if pi == periodsTotal {
 			break
 		}
-		selling := now >= warmupEnd
+		selling := now >= env.warmupEnd
 		p := predict.PeriodOf(now, period)
 		if selling && prefetching {
 			reply, err := coord.StartPeriod(now, p.Index, p.OfDay, p.Weekend)
@@ -448,27 +634,6 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		}
 	}
 
-	// The HTTP phase is over: release the port, then sweep impressions
-	// still open at trace end directly on the pool. After crashes, the
-	// live state is the latest incarnation's.
-	_ = httpSrv.Shutdown(context.Background())
-	if o.Crashes != nil {
-		gate.mu.Lock()
-		pool, wlog = gate.pool, gate.log
-		res.Restarts = gate.restarts
-		gerr := gate.err
-		gate.mu.Unlock()
-		if gerr != nil {
-			return nil, fmt.Errorf("sim: crash restart: %w", gerr)
-		}
-	}
-	if wlog != nil {
-		defer wlog.Close()
-	}
-	for i := 0; i < pool.Shards(); i++ {
-		pool.Shard(i).Exchange().SweepExpired(pop.Span + simclock.Week)
-	}
-	res.Ledger = pool.Ledger()
 	res.Days = pop.Days() - cfg.WarmupDays
 	res.PerClient = make(map[int]client.Counters, len(devices))
 	for i, d := range devices {
@@ -496,15 +661,6 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		}
 		res.FaultsInjected = plan.InjectedTotal()
 	}
-	res.CampaignBilled = make(map[auction.CampaignID]float64, cfg.Demand.Campaigns)
-	for i := 0; i < cfg.Demand.Campaigns; i++ {
-		id := auction.CampaignID(i)
-		for s := 0; s < pool.Shards(); s++ {
-			if billed, _, err := pool.Shard(s).Exchange().CampaignSpend(id); err == nil {
-				res.CampaignBilled[id] += billed
-			}
-		}
-	}
 	return res, nil
 }
 
@@ -523,6 +679,7 @@ type crashGate struct {
 	log      *wal.Log
 	restarts int
 	err      error
+	baseURL  string
 }
 
 // transportPredictor mirrors core.New's per-mode predictor factory for

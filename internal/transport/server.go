@@ -191,6 +191,7 @@ type ShardHealth struct {
 // full /v1/metrics exposition.
 type HealthReply struct {
 	Status      string        `json:"status"`
+	NodeID      string        `json:"node_id,omitempty"`
 	MaxOpenBook int           `json:"max_open_book,omitempty"`
 	Shards      []ShardHealth `json:"shards"`
 
@@ -206,4 +207,3 @@ type HealthReply struct {
 	SnapshotAgePeriods int64 `json:"snapshot_age_periods"`
 	LastFsyncOK        bool  `json:"last_fsync_ok"`
 }
-

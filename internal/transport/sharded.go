@@ -51,6 +51,7 @@ type ShardedServer struct {
 	shards []*shardState
 	route  func(clientID int) int
 	reg    *obs.Registry
+	nodeID string
 
 	// MaxOpenBook, when positive, turns on load shedding: a shard whose
 	// open impression book exceeds the bound answers slot observations
@@ -336,6 +337,23 @@ func newSharded(servers []*adserver.Server, route func(clientID int) int) *Shard
 
 // Shards returns the shard count.
 func (s *ShardedServer) Shards() int { return len(s.shards) }
+
+// SetNodeID names this server instance for multi-node deployments: the
+// id is surfaced in /v1/health (node_id) and as a constant
+// adserver_node_info{node=...} gauge in /v1/metrics, so scrapes from a
+// cluster are distinguishable. Set before serving; not safe to change
+// while requests are in flight.
+func (s *ShardedServer) SetNodeID(id string) {
+	s.nodeID = id
+	if id == "" {
+		return
+	}
+	s.reg.SetHelp("adserver_node_info", "Constant 1 carrying this instance's node id as a label.")
+	s.reg.GaugeFunc("adserver_node_info", func() float64 { return 1 }, "node", id)
+}
+
+// NodeID returns the id set by SetNodeID ("" for unnamed instances).
+func (s *ShardedServer) NodeID() string { return s.nodeID }
 
 // Registry exposes the server's metrics registry (the same one scraped
 // at GET /v1/metrics), for debug listeners, experiments and tests.
@@ -855,6 +873,7 @@ type StatsReply struct {
 func (s *ShardedServer) execHealth(struct{}, string) (HealthReply, *httpError) {
 	reply := HealthReply{
 		Status:        "ok",
+		NodeID:        s.nodeID,
 		MaxOpenBook:   s.MaxOpenBook,
 		RequestsTotal: s.reg.CounterTotal(obs.MetricHTTPRequests),
 		ReplayedTotal: s.reg.CounterTotal(obs.MetricHTTPReplays),
