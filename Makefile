@@ -20,11 +20,13 @@ obs:
 	go test -race -count=1 ./internal/obs
 
 # Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards),
-# the wake-up round-trip comparison (sequential vs batched wire), and
-# the cluster routing tier's proxy overhead (1 vs 3 nodes).
+# the wake-up round-trip comparison (sequential vs batched wire), the
+# cluster routing tier's proxy overhead (1 vs 3 nodes), and the live
+# shard-migration handoff (clients/s transferred, serving p99 while a
+# handoff holds the rebalance lock).
 bench:
 	go test -bench 'ShardedServing|WakeUp' -benchtime 2s -run '^$$' ./internal/transport
-	go test -bench 'ClusterRoundTrip' -benchtime 2s -run '^$$' ./internal/cluster
+	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 2s -run '^$$' ./internal/cluster
 
 # The serving-path benchmark sweep piped through tools/benchjson. Shared
 # by benchsnap (record a new BENCH_<n>.json trajectory point) and
@@ -33,7 +35,7 @@ bench:
 # machine-sensitive, so the gate is run deliberately, on one machine.
 BENCH_SWEEP = go test -bench 'SequentialServing|BatchCodec|ShardedServing|WakeUp' -benchtime 1s -run '^$$' ./internal/transport && \
 	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal && \
-	go test -bench 'ClusterRoundTrip' -benchtime 1s -run '^$$' ./internal/cluster
+	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 1s -run '^$$' ./internal/cluster
 
 benchsnap:
 	{ $(BENCH_SWEEP); } | go run ./tools/benchjson -snap
@@ -91,9 +93,23 @@ cluster:
 	go test -count=1 -run 'TestRecoverDegenerateFiles' ./internal/wal
 	go test -count=1 -run 'TestCluster' ./internal/sim
 
+# Migrate tier: elastic membership and live shard migration. The
+# membership control plane (Plan diffs pinned exact against brute-force
+# reassignment, ring shrink/grow stability, lifecycle guards, admin
+# auth), the health wire-DTO goldens, and the migration differential
+# suite: a cluster that grows 2→3 and drains 3→2 mid-run — rebalancing
+# against live device traffic — must match the uninterrupted fixed-size
+# baseline on every accounting observable, with zero client-visible
+# non-2xx, fault-free, under seeded chaos, and with a node killed on a
+# migration record inside the handoff window.
+migrate:
+	go test -count=1 -run 'TestPlan|TestMembership|TestAdmin|TestRing' ./internal/cluster
+	go test -count=1 -run 'TestHealthReplyGolden' ./internal/transport
+	go test -count=1 -run 'TestMigration' ./internal/sim
+
 # Aggregate correctness gate: every functional tier in one command.
 # (race, obs and the benchmark tiers stay separate — they are about
 # schedules and machines, not logic.)
-verify: test batch chaos crash cluster
+verify: test batch chaos crash cluster migrate
 
-.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster verify
+.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster migrate verify

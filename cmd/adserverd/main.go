@@ -87,10 +87,14 @@ func main() {
 		nodeID    = flag.String("node-id", "", "this node's id in a cluster; surfaced in /v1/health and as the adserver_node_info gauge")
 		routeNode = flag.String("route-nodes", "", "comma-separated node base URLs: run the cluster routing tier over them instead of serving ads")
 		probeEach = flag.Duration("probe-every", 2*time.Second, "with -route-nodes: how often down nodes are probed for rejoin")
+		adminTok  = flag.String("admin-token", "", "bearer token protecting /v1/admin (node migration endpoints; router membership endpoints); empty leaves admin open")
+		impBase   = flag.Int64("imp-base", 0, "impression-id namespace floor for this node (give each elastic-cluster node a disjoint block, e.g. node i gets (i+1)<<40)")
+		clNode    = flag.Int("cluster-node", 0, "with -cluster-size: this node's member index in the routing ring")
+		clSize    = flag.Int("cluster-size", 0, "boot owning only the clients the routing ring places on member -cluster-node among this many members (a joiner passes the pre-join size and its new index, owning none); 0 owns the whole id space")
 	)
 	flag.Parse()
 	if *routeNode != "" {
-		runRouter(*addr, *routeNode, *probeEach)
+		runRouter(*addr, *routeNode, *probeEach, *adminTok)
 		return
 	}
 	if *shards < 1 {
@@ -103,9 +107,26 @@ func main() {
 
 	cfg := adserver.DefaultConfig()
 	cfg.Period = *period
-	ids := make([]int, *clients)
-	for i := range ids {
-		ids[i] = i
+	// In an elastic cluster every node must boot owning exactly its ring
+	// share — the membership control plane plans moves from what nodes
+	// report owning, and overlapping boot partitions make every plan
+	// refuse. A joiner (index >= pre-join size) correctly owns nothing.
+	ids := make([]int, 0, *clients)
+	if *clSize > 0 {
+		members := make([]int, *clSize)
+		for i := range members {
+			members[i] = i
+		}
+		ring := cluster.NewRingOf(members, 0)
+		for c := 0; c < *clients; c++ {
+			if *clNode >= 0 && *clNode < *clSize && ring.Place(c) == *clNode {
+				ids = append(ids, c)
+			}
+		}
+	} else {
+		for c := 0; c < *clients; c++ {
+			ids = append(ids, c)
+		}
 	}
 	// Every shard sees the same campaign set with 1/N of each budget:
 	// the demand pool is split across shards, not duplicated.
@@ -121,6 +142,15 @@ func main() {
 	}, nil)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *impBase > 0 {
+		// Elastic clusters migrate client state between nodes; disjoint
+		// id namespaces keep adopted impressions from colliding with
+		// locally minted ones. Seeded before WAL recovery so replay mints
+		// the same ids the live run did.
+		for i := 0; i < pool.Shards(); i++ {
+			pool.Shard(i).Exchange().SeedImpressionIDs(auction.ImpressionID(*impBase))
+		}
 	}
 
 	if *statePath != "" {
@@ -147,6 +177,7 @@ func main() {
 	ss := transport.NewShardedServer(pool)
 	ss.MaxBatchOps = *maxBatch
 	ss.SetNodeID(*nodeID)
+	ss.AdminToken = *adminTok
 
 	// Durability: every mutating operation is logged before its response
 	// is acknowledged, and boot recovers whatever the directory holds —
@@ -207,8 +238,13 @@ func main() {
 		close(drained)
 	}()
 
-	fmt.Printf("adserverd: %d clients, %d campaigns, %d shard(s), period %v, listening on %s\n",
-		*clients, *campaigns, *shards, *period, *addr)
+	if *clSize > 0 {
+		fmt.Printf("adserverd: owns %d of %d clients (ring member %d of %d), %d campaigns, %d shard(s), period %v, listening on %s\n",
+			len(ids), *clients, *clNode, *clSize, *campaigns, *shards, *period, *addr)
+	} else {
+		fmt.Printf("adserverd: %d clients, %d campaigns, %d shard(s), period %v, listening on %s\n",
+			*clients, *campaigns, *shards, *period, *addr)
+	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -225,11 +261,13 @@ func main() {
 }
 
 // runRouter serves the cluster routing tier over the given node URLs:
-// no local ad state, just placement, proxying, period fan-out, and the
-// background prober that rejoins restarted nodes. The router's own
-// /v1/metrics exposes the cluster counters (forwards, failures,
-// circuit opens, refusals, rejoins).
-func runRouter(addr, nodeList string, probeEvery time.Duration) {
+// no local ad state, just placement, proxying, period fan-out, the
+// background prober that rejoins restarted nodes, and the membership
+// control plane under /v1/admin (add/drain/remove/plan — see README
+// "Scaling the cluster live"). The router's own /v1/metrics exposes the
+// cluster counters (forwards, failures, circuit opens, refusals,
+// rejoins, migrations).
+func runRouter(addr, nodeList string, probeEvery time.Duration, adminToken string) {
 	urls := strings.Split(nodeList, ",")
 	for i := range urls {
 		urls[i] = strings.TrimSpace(urls[i])
@@ -237,7 +275,11 @@ func runRouter(addr, nodeList string, probeEvery time.Duration) {
 			log.Fatalf("-route-nodes: empty URL at position %d", i)
 		}
 	}
-	rt, err := cluster.New(urls)
+	opts := []cluster.Option{}
+	if adminToken != "" {
+		opts = append(opts, cluster.WithAdminToken(adminToken))
+	}
+	rt, err := cluster.New(cluster.Membership{Nodes: urls}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

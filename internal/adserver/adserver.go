@@ -141,6 +141,11 @@ type Server struct {
 	predictors map[int]predict.Predictor
 	hints      func(clientID int) []trace.Category
 
+	// mkPredictor is retained past construction so AdoptClients can
+	// build a predictor instance for a client migrating in from another
+	// node (see migrate.go).
+	mkPredictor func(clientID int) predict.Predictor
+
 	// claims maps a displayed impression to the instant the *server*
 	// learned of the display (display time + ReportLatency).
 	claims map[auction.ImpressionID]simclock.Time
@@ -310,6 +315,7 @@ func New(cfg Config, ex *auction.Exchange, clientIDs []int,
 		clientIDs:      append([]int(nil), clientIDs...),
 		predictors:     make(map[int]predict.Predictor, len(clientIDs)),
 		hints:          hints,
+		mkPredictor:    mkPredictor,
 		claims:         make(map[auction.ImpressionID]simclock.Time),
 		slotCounts:     make(map[int]int),
 		replicaHolders: make(map[auction.ImpressionID][]int),

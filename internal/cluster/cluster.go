@@ -39,6 +39,14 @@
 // a single process at shards=N on ledger, violations, per-client
 // counters and campaign spend, fault-free, under chaos, and across
 // node kills.
+//
+// Membership is elastic (see membership.go): nodes join, drain and
+// leave a running cluster through the typed Membership API (AddNode,
+// Drain, Remove, Plan, Rebalance) or its /v1/admin/nodes HTTP surface,
+// and every ownership change is executed as a live state handoff over
+// the nodes' /v1/admin/migrate protocol while client traffic is
+// quiesced — devices observe added latency, never an error. DESIGN.md
+// §5g walks through the epoch protocol and its crash windows.
 package cluster
 
 import (
@@ -69,6 +77,25 @@ const (
 	DefaultRetryAfter = 1
 )
 
+// Member lifecycle states. A member id is its position in the node
+// slice and is never reused: Remove tombstones the slot.
+const (
+	lifeActive  = iota // in the ring, owns clients, in every fan-out
+	lifeDrained        // owns no clients; still in fan-outs (its ledger history must stay visible)
+	lifeRemoved        // tombstone: out of placement, fan-outs and health
+)
+
+func lifeString(life int) string {
+	switch life {
+	case lifeDrained:
+		return "drained"
+	case lifeRemoved:
+		return "removed"
+	default:
+		return "active"
+	}
+}
+
 // node is one cluster member's routing state: its base URL and the
 // failure circuit. epoch increments on every rejoin so a straggler
 // failure from a previous incarnation cannot re-open a fresh circuit.
@@ -77,6 +104,7 @@ type node struct {
 
 	mu    sync.Mutex
 	base  string
+	life  int
 	epoch int
 	down  bool
 	fails int           // consecutive transport failures this epoch
@@ -92,6 +120,19 @@ func (n *node) state() (base string, epoch int, up bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.base, n.epoch, !n.down
+}
+
+// lifecycle reads the member's lifecycle state.
+func (n *node) lifecycle() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.life
+}
+
+func (n *node) setLifecycle(life int) {
+	n.mu.Lock()
+	n.life = life
+	n.mu.Unlock()
 }
 
 // fail records one transport failure observed by an attempt that was
@@ -145,21 +186,54 @@ func (n *node) awaitUp(wait time.Duration) bool {
 	}
 }
 
-// Router is the routing tier over a fixed set of nodes. Build with
-// New, serve Handler. Safe for concurrent use.
+// Membership is the typed initial composition of the cluster.
+type Membership struct {
+	// Nodes are the member base URLs. A member's id is its position
+	// here (and, for members added later, its AddNode-assigned id);
+	// ids are stable for the router's lifetime and never reused.
+	Nodes []string
+	// Replicas is the consistent-hash virtual-point count per member
+	// for the default placement (<= 0 uses DefaultReplicas).
+	Replicas int
+}
+
+// Router is the routing tier over an elastic set of nodes. Build with
+// New, serve Handler, reshape with AddNode/Drain/Remove. Safe for
+// concurrent use.
 type Router struct {
-	nodes []*node
-	place func(clientID int) int
-	hc    *http.Client
-	reg   *obs.Registry
+	// nodesMu guards the nodes slice itself (appends, indexing). It is
+	// deliberately separate from rebalanceMu so Rejoin/MarkDown — called
+	// by restart machinery while a rebalance is parked waiting for that
+	// very node — never block on an in-flight rebalance.
+	nodesMu sync.Mutex
+	nodes   []*node
+
+	// rebalanceMu quiesces client traffic against membership changes:
+	// every proxied request holds it shared, a rebalance holds it
+	// exclusive. This — not luck — is why a mid-run rebalance produces
+	// zero client-visible errors: devices queue behind the handoff and
+	// resume against the new owner.
+	rebalanceMu sync.RWMutex
+	place       func(clientID int) int
+	ring        *Ring
+	replicas    int
+	staticPlace bool
+	epochSeq    uint64 // last issued migration epoch; under rebalanceMu
+
+	hc  *http.Client
+	reg *obs.Registry
 
 	failThreshold int
 	maxForwards   int
 	rejoinWait    time.Duration
 	retryAfter    int
+	adminToken    string
 
-	unavailable *obs.Counter
-	rejoins     *obs.Counter
+	unavailable  *obs.Counter
+	rejoins      *obs.Counter
+	migrations   *obs.Counter
+	clientsMoved *obs.Counter
+	misdirected  *obs.Counter
 
 	proberStop chan struct{}
 	proberDone chan struct{}
@@ -169,9 +243,10 @@ type Router struct {
 type Option func(*Router)
 
 // WithPlacement overrides the client→node placement (default: a
-// consistent-hash Ring over the node list). The differential harness
+// consistent-hash Ring over the member set). The differential harness
 // passes shard.Route here so cluster-of-N matches single-process
-// shards=N client for client.
+// shards=N client for client. Static placement freezes membership:
+// AddNode, Drain, Remove, Plan and Rebalance return ErrStaticPlacement.
 func WithPlacement(place func(clientID int) int) Option {
 	return func(rt *Router) { rt.place = place }
 }
@@ -204,15 +279,26 @@ func WithRetryAfter(seconds int) Option {
 	return func(rt *Router) { rt.retryAfter = seconds }
 }
 
-// New builds a router over the given node base URLs (index in the slice
-// is the node index everywhere: placement, metrics labels, Rejoin).
-func New(nodeURLs []string, opts ...Option) (*Router, error) {
-	if len(nodeURLs) == 0 {
+// WithAdminToken protects the control plane: the router's /v1/admin/*
+// endpoints require "Authorization: Bearer <token>", and the router
+// presents the same token on the admin calls it makes to nodes (pair it
+// with transport.ShardedServer.AdminToken). Empty leaves admin open —
+// the harness default.
+func WithAdminToken(token string) Option {
+	return func(rt *Router) { rt.adminToken = token }
+}
+
+// New builds a router over the given membership. The routing tier
+// starts with every listed node active; reshape later with AddNode,
+// Drain and Remove.
+func New(m Membership, opts ...Option) (*Router, error) {
+	if len(m.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: router needs at least one node")
 	}
 	rt := &Router{
-		nodes:         make([]*node, len(nodeURLs)),
+		nodes:         make([]*node, len(m.Nodes)),
 		reg:           obs.NewRegistry(),
+		replicas:      m.Replicas,
 		failThreshold: DefaultFailThreshold,
 		maxForwards:   DefaultMaxForwards,
 		retryAfter:    DefaultRetryAfter,
@@ -222,25 +308,32 @@ func New(nodeURLs []string, opts ...Option) (*Router, error) {
 	rt.reg.SetHelp("cluster_node_failures_total", "Transport failures observed talking to the node.")
 	rt.reg.SetHelp("cluster_node_down_total", "Circuit-open transitions for the node.")
 	rt.reg.SetHelp("cluster_rejoins_total", "Node rejoin events (explicit or prober-detected).")
-	rt.reg.SetHelp("cluster_nodes", "Cluster size.")
+	rt.reg.SetHelp("cluster_migrations_total", "Completed rebalances that moved at least one client.")
+	rt.reg.SetHelp("cluster_clients_moved_total", "Clients handed off between nodes by rebalances.")
+	rt.reg.SetHelp("cluster_misdirected_total", "Client requests the placed node refused with 421 and the router re-resolved against the other members.")
+	rt.reg.SetHelp("cluster_nodes", "Cluster size (members not removed).")
 	rt.reg.SetHelp("cluster_nodes_down", "Nodes currently out of rotation.")
 	rt.unavailable = rt.reg.Counter("cluster_node_unavailable_total")
 	rt.rejoins = rt.reg.Counter("cluster_rejoins_total")
-	for i, base := range nodeURLs {
-		label := strconv.Itoa(i)
-		rt.nodes[i] = &node{
-			idx:      i,
-			base:     base,
-			forwards: rt.reg.Counter("cluster_forwards_total", "node", label),
-			failures: rt.reg.Counter("cluster_node_failures_total", "node", label),
-			downs:    rt.reg.Counter("cluster_node_down_total", "node", label),
-		}
+	rt.migrations = rt.reg.Counter("cluster_migrations_total")
+	rt.clientsMoved = rt.reg.Counter("cluster_clients_moved_total")
+	rt.misdirected = rt.reg.Counter("cluster_misdirected_total")
+	for i, base := range m.Nodes {
+		rt.nodes[i] = rt.newNode(i, base)
 	}
-	rt.reg.GaugeFunc("cluster_nodes", func() float64 { return float64(len(rt.nodes)) })
+	rt.reg.GaugeFunc("cluster_nodes", func() float64 {
+		c := 0
+		for _, n := range rt.members() {
+			if n.lifecycle() != lifeRemoved {
+				c++
+			}
+		}
+		return float64(c)
+	})
 	rt.reg.GaugeFunc("cluster_nodes_down", func() float64 {
 		d := 0
-		for _, n := range rt.nodes {
-			if _, _, up := n.state(); !up {
+		for _, n := range rt.members() {
+			if _, _, up := n.state(); !up && n.lifecycle() != lifeRemoved {
 				d++
 			}
 		}
@@ -250,8 +343,14 @@ func New(nodeURLs []string, opts ...Option) (*Router, error) {
 		o(rt)
 	}
 	if rt.place == nil {
-		ring := NewRing(len(nodeURLs), 0)
-		rt.place = ring.Place
+		ids := make([]int, len(m.Nodes))
+		for i := range ids {
+			ids[i] = i
+		}
+		rt.ring = NewRingOf(ids, m.Replicas)
+		rt.place = rt.ring.Place
+	} else {
+		rt.staticPlace = true
 	}
 	if rt.hc == nil {
 		rt.hc = &http.Client{Timeout: 10 * time.Second}
@@ -265,25 +364,72 @@ func New(nodeURLs []string, opts ...Option) (*Router, error) {
 	return rt, nil
 }
 
+func (rt *Router) newNode(id int, base string) *node {
+	label := strconv.Itoa(id)
+	return &node{
+		idx:      id,
+		base:     base,
+		forwards: rt.reg.Counter("cluster_forwards_total", "node", label),
+		failures: rt.reg.Counter("cluster_node_failures_total", "node", label),
+		downs:    rt.reg.Counter("cluster_node_down_total", "node", label),
+	}
+}
+
+// members snapshots the node slice.
+func (rt *Router) members() []*node {
+	rt.nodesMu.Lock()
+	defer rt.nodesMu.Unlock()
+	return append([]*node(nil), rt.nodes...)
+}
+
+// nodeAt returns member i, or nil when out of range.
+func (rt *Router) nodeAt(i int) *node {
+	rt.nodesMu.Lock()
+	defer rt.nodesMu.Unlock()
+	if i < 0 || i >= len(rt.nodes) {
+		return nil
+	}
+	return rt.nodes[i]
+}
+
 // Registry exposes the router's own metrics (served at /v1/metrics).
 func (rt *Router) Registry() *obs.Registry { return rt.reg }
 
-// Nodes returns the cluster size.
-func (rt *Router) Nodes() int { return len(rt.nodes) }
+// Nodes returns the cluster size (members not removed).
+func (rt *Router) Nodes() int {
+	c := 0
+	for _, n := range rt.members() {
+		if n.lifecycle() != lifeRemoved {
+			c++
+		}
+	}
+	return c
+}
 
 // NodeDown reports whether node i's circuit is currently open.
 func (rt *Router) NodeDown(i int) bool {
-	_, _, up := rt.nodes[i].state()
+	n := rt.nodeAt(i)
+	if n == nil {
+		return true
+	}
+	_, _, up := n.state()
 	return !up
 }
 
-// Place returns the node index that owns a client id.
-func (rt *Router) Place(clientID int) int { return rt.place(clientID) }
+// Place returns the member id that owns a client id.
+func (rt *Router) Place(clientID int) int {
+	rt.rebalanceMu.RLock()
+	defer rt.rebalanceMu.RUnlock()
+	return rt.place(clientID)
+}
 
-// MarkDown takes node i out of rotation (an operator drain, or a test
+// MarkDown takes node i out of rotation (an operator hold, or a test
 // forcing the down path without burning the failure threshold).
 func (rt *Router) MarkDown(i int) {
-	n := rt.nodes[i]
+	n := rt.nodeAt(i)
+	if n == nil {
+		return
+	}
 	n.mu.Lock()
 	if !n.down {
 		n.down = true
@@ -296,9 +442,13 @@ func (rt *Router) MarkDown(i int) {
 // Rejoin puts node i back into rotation, optionally at a new base URL
 // (the restarted process may listen elsewhere). The circuit closes,
 // the epoch advances so stale failures are discarded, and every parked
-// request re-forwards.
+// request re-forwards. Never blocks on an in-flight rebalance: the
+// rebalance itself may be the parked caller awaiting this rejoin.
 func (rt *Router) Rejoin(i int, baseURL string) {
-	n := rt.nodes[i]
+	n := rt.nodeAt(i)
+	if n == nil {
+		return
+	}
 	n.mu.Lock()
 	if baseURL != "" {
 		n.base = baseURL
@@ -334,9 +484,9 @@ func (rt *Router) StartProber(interval time.Duration) {
 				return
 			case <-tick.C:
 			}
-			for i, n := range rt.nodes {
+			for _, n := range rt.members() {
 				base, _, up := n.state()
-				if up {
+				if up || n.lifecycle() == lifeRemoved {
 					continue
 				}
 				resp, err := rt.hc.Get(base + "/v1/health")
@@ -345,7 +495,7 @@ func (rt *Router) StartProber(interval time.Duration) {
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				rt.Rejoin(i, "")
+				rt.Rejoin(n.idx, "")
 			}
 		}
 	}()
@@ -366,12 +516,15 @@ var clusterEndpoints = []string{
 	"/v1/period/start", "/v1/period/end", "/v1/bundle", "/v1/slot",
 	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch",
 	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
+	"/v1/admin/nodes", "/v1/admin/nodes/add", "/v1/admin/nodes/drain",
+	"/v1/admin/nodes/remove", "/v1/admin/plan",
 }
 
 // Handler returns the routing tier's HTTP handler. It serves the same
-// /v1 surface as a node: client-scoped endpoints proxy to the owning
-// node, period rounds and the merged read views fan out to all nodes,
-// and /v1/metrics exposes the router's own registry.
+// /v1 surface as a node — client-scoped endpoints proxy to the owning
+// node, period rounds and the merged read views fan out to all members,
+// /v1/metrics exposes the router's own registry — plus the membership
+// control plane under /v1/admin (see membership.go).
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, p := range []string{"/v1/bundle", "/v1/slot", "/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch"} {
@@ -383,6 +536,12 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", rt.fanoutHandler(mergeStats))
 	mux.HandleFunc("GET /v1/health", rt.handleHealth)
 	mux.Handle("GET /v1/metrics", rt.reg.Handler())
+	mux.HandleFunc("GET /v1/admin/nodes", rt.adminAuth(rt.handleAdminNodes))
+	mux.HandleFunc("POST /v1/admin/nodes/add", rt.adminAuth(rt.handleAdminAdd))
+	mux.HandleFunc("POST /v1/admin/nodes/drain", rt.adminAuth(rt.handleAdminDrain))
+	mux.HandleFunc("POST /v1/admin/nodes/remove", rt.adminAuth(rt.handleAdminRemove))
+	mux.HandleFunc("POST /v1/admin/rebalance", rt.adminAuth(rt.handleAdminRebalance))
+	mux.HandleFunc("GET /v1/admin/plan", rt.adminAuth(rt.handleAdminPlan))
 	return obs.Middleware(rt.reg, mux, clusterEndpoints...)
 }
 
@@ -472,8 +631,14 @@ func writeProxied(w http.ResponseWriter, p *proxied) {
 }
 
 // handleClient proxies a client-scoped request to the node owning its
-// client id.
+// client id. Holding rebalanceMu shared means the placement cannot
+// change under the request; if the placed node still answers 421 (an
+// interrupted rebalance left ownership ahead of placement), the router
+// re-resolves by asking the other members — the double-read fallback —
+// so not even that window surfaces an error to the device.
 func (rt *Router) handleClient(w http.ResponseWriter, r *http.Request) {
+	rt.rebalanceMu.RLock()
+	defer rt.rebalanceMu.RUnlock()
 	var body []byte
 	if r.Body != nil && r.Method != http.MethodGet {
 		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -485,32 +650,74 @@ func (rt *Router) handleClient(w http.ResponseWriter, r *http.Request) {
 		body = b
 		r.Body = io.NopCloser(bytes.NewReader(body))
 	}
+	active := rt.activeMembers()
 	clientID, ok := transport.RequestClientID(r)
 	if !ok {
-		if len(rt.nodes) > 1 {
+		if len(active) > 1 {
 			http.Error(w, "cluster: request carries no routable client id", http.StatusBadRequest)
 			return
 		}
 		clientID = 0 // single node: nothing to place
 	}
-	n := rt.nodes[rt.place(clientID)]
+	n := rt.nodeAt(rt.place(clientID))
+	if n == nil {
+		http.Error(w, "cluster: placement names an unknown member", http.StatusBadGateway)
+		return
+	}
 	p, up := rt.forward(n, r.Method, r.URL.RequestURI(), r.Header, body)
 	if !up {
 		rt.unavailableErr(w, n.idx)
 		return
 	}
+	if p.status == http.StatusMisdirectedRequest {
+		rt.misdirected.Inc()
+		for _, m := range active {
+			if m.idx == n.idx {
+				continue
+			}
+			if p2, up2 := rt.forward(m, r.Method, r.URL.RequestURI(), r.Header, body); up2 && p2.status != http.StatusMisdirectedRequest {
+				p = p2
+				break
+			}
+		}
+	}
 	writeProxied(w, p)
 }
 
-// fanout forwards one request to every node concurrently and collects
-// the responses. The first unavailable node aborts the round with its
-// index; the caller answers 503 and lets the sender retry the whole
-// round under the same idempotency key (nodes that already executed it
-// replay from their dedup windows and period-round caches).
+// fanoutMembers are the nodes a barrier includes: everything not
+// removed. Drained members still participate — they own no clients,
+// but their ledgers hold the history of events they served.
+func (rt *Router) fanoutMembers() []*node {
+	var out []*node
+	for _, n := range rt.members() {
+		if n.lifecycle() != lifeRemoved {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// activeMembers are the nodes currently owning clients.
+func (rt *Router) activeMembers() []*node {
+	var out []*node
+	for _, n := range rt.members() {
+		if n.lifecycle() == lifeActive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fanout forwards one request to every participating node concurrently
+// and collects the responses. The first unavailable node aborts the
+// round with its id; the caller answers 503 and lets the sender retry
+// the whole round under the same idempotency key (nodes that already
+// executed it replay from their dedup windows and period-round caches).
 func (rt *Router) fanout(method, uri string, hdr http.Header, body []byte) ([]*proxied, int) {
-	out := make([]*proxied, len(rt.nodes))
+	nodes := rt.fanoutMembers()
+	out := make([]*proxied, len(nodes))
 	var wg sync.WaitGroup
-	for i, n := range rt.nodes {
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -522,7 +729,7 @@ func (rt *Router) fanout(method, uri string, hdr http.Header, body []byte) ([]*p
 	wg.Wait()
 	for i, p := range out {
 		if p == nil {
-			return nil, i
+			return nil, nodes[i].idx
 		}
 	}
 	return out, -1
@@ -534,6 +741,8 @@ func (rt *Router) fanout(method, uri string, hdr http.Header, body []byte) ([]*p
 // refusals and validation errors must reach the coordinator unchanged).
 func (rt *Router) fanoutHandler(merge func(bodies [][]byte) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rt.rebalanceMu.RLock()
+		defer rt.rebalanceMu.RUnlock()
 		var body []byte
 		if r.Body != nil && r.Method != http.MethodGet {
 			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -654,37 +863,25 @@ func mergeStats(bodies [][]byte) (any, error) {
 	return total, nil
 }
 
-// NodeHealth is one node's slice of the cluster health view.
-type NodeHealth struct {
-	Node    int                    `json:"node"`
-	BaseURL string                 `json:"base_url"`
-	Down    bool                   `json:"down"`
-	Health  *transport.HealthReply `json:"health,omitempty"`
-}
-
-// HealthReply is the router's /v1/health response: per-node health
-// plus a cluster status — "ok", "degraded" (a node is out of
-// rotation or unreachable), or the worst node status ("shedding")
-// otherwise.
-type HealthReply struct {
-	Status    string       `json:"status"`
-	NodesDown int          `json:"nodes_down"`
-	Nodes     []NodeHealth `json:"nodes"`
-}
-
-// handleHealth merges per-node health best-effort: a down or
-// unreachable node marks the cluster degraded instead of failing the
-// scrape, so the health view stays usable mid-outage. Probing never
-// parks (health must answer promptly while a node restarts).
+// handleHealth merges per-node health best-effort into the same typed
+// transport.HealthReply a single node answers: registry totals summed
+// across members, Nodes carrying each member's own reply, NodesDown
+// counting the unreachable. A down or unreachable node marks the
+// cluster degraded instead of failing the scrape, so the health view
+// stays usable mid-outage. Probing never parks (health must answer
+// promptly while a node restarts).
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
-	reply := HealthReply{Status: "ok", Nodes: make([]NodeHealth, len(rt.nodes))}
+	rt.rebalanceMu.RLock()
+	defer rt.rebalanceMu.RUnlock()
+	nodes := rt.fanoutMembers()
+	reply := transport.HealthReply{Status: "ok", WALEnabled: false, LastFsyncOK: true, Nodes: make([]transport.NodeHealth, len(nodes))}
 	var wg sync.WaitGroup
-	for i, n := range rt.nodes {
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
 			base, epoch, up := n.state()
-			nh := NodeHealth{Node: i, BaseURL: base, Down: !up}
+			nh := transport.NodeHealth{Node: n.idx, URL: base, State: lifeString(n.lifecycle()), Down: !up}
 			if up {
 				req, _ := http.NewRequest(http.MethodGet, base+r.URL.RequestURI(), nil)
 				resp, err := rt.hc.Do(req)
@@ -697,7 +894,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 					var h transport.HealthReply
 					if rerr == nil && resp.StatusCode == http.StatusOK && json.Unmarshal(body, &h) == nil {
 						n.ok(epoch)
-						nh.Health = &h
+						nh.Detail = &h
 					} else {
 						nh.Down = true
 					}
@@ -711,12 +908,28 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if nh.Down {
 			reply.NodesDown++
 			reply.Status = "degraded"
+			continue
+		}
+		if d := nh.Detail; d != nil {
+			reply.RequestsTotal += d.RequestsTotal
+			reply.ShedTotal += d.ShedTotal
+			reply.ReplayedTotal += d.ReplayedTotal
+			reply.ReplayedOps += d.ReplayedOps
+			if d.WALEnabled {
+				reply.WALEnabled = true
+			}
+			if !d.LastFsyncOK {
+				reply.LastFsyncOK = false
+			}
+			if d.SnapshotAgePeriods > reply.SnapshotAgePeriods {
+				reply.SnapshotAgePeriods = d.SnapshotAgePeriods
+			}
 		}
 	}
 	if reply.Status == "ok" {
 		for _, nh := range reply.Nodes {
-			if nh.Health != nil && nh.Health.Status != "ok" {
-				reply.Status = nh.Health.Status
+			if nh.Detail != nil && nh.Detail.Status != "ok" {
+				reply.Status = nh.Detail.Status
 			}
 		}
 	}

@@ -30,15 +30,33 @@ func NewRing(nodes, replicas int) *Ring {
 	if nodes <= 0 {
 		panic("cluster: ring needs at least one node")
 	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewRingOf(ids, replicas)
+}
+
+// NewRingOf builds a ring over an explicit member-id set, for clusters
+// whose membership is no longer a dense prefix [0, N): after drains and
+// removals the live ids are arbitrary. Virtual points are keyed by the
+// absolute member id, so rings over overlapping id sets share points
+// exactly — removing one member deletes only its points, which is what
+// guarantees a shrink moves only that member's clients and a grow moves
+// clients only onto the new member. Panics on an empty set.
+func NewRingOf(ids []int, replicas int) *Ring {
+	if len(ids) == 0 {
+		panic("cluster: ring needs at least one node")
+	}
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
 	r := &Ring{
-		points: make([]uint64, 0, nodes*replicas),
-		owners: make([]int, 0, nodes*replicas),
+		points: make([]uint64, 0, len(ids)*replicas),
+		owners: make([]int, 0, len(ids)*replicas),
 	}
-	idx := make([]int, 0, nodes*replicas)
-	for n := 0; n < nodes; n++ {
+	idx := make([]int, 0, len(ids)*replicas)
+	for _, n := range ids {
 		for v := 0; v < replicas; v++ {
 			r.points = append(r.points, pointHash(n, v))
 			r.owners = append(r.owners, n)

@@ -71,3 +71,50 @@ func TestRingRejectsEmpty(t *testing.T) {
 	}()
 	NewRing(0, 0)
 }
+
+// Shrinking the member set must move only the removed member's clients,
+// and every one of them must land on a surviving member. This is the
+// NewRingOf stability contract that makes Drain cheap: rings over
+// overlapping id sets share their virtual points exactly, so the ids
+// that stay keep every placement they had.
+func TestRingShrinkMovesOnlyRemovedMember(t *testing.T) {
+	const clients = 20000
+	before, after := NewRingOf([]int{0, 1, 2}, 0), NewRingOf([]int{0, 2}, 0)
+	moved := 0
+	for id := 0; id < clients; id++ {
+		was, now := before.Place(id), after.Place(id)
+		if was != 1 && now != was {
+			t.Fatalf("client %d moved %d→%d though member 1 was the one removed", id, was, now)
+		}
+		if was == 1 {
+			if now != 0 && now != 2 {
+				t.Fatalf("client %d left member 1 for unknown member %d", id, now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("member 1 owned nothing in a 20000-client space")
+	}
+}
+
+// The mirror property for growth with non-contiguous ids: every client
+// that moves when a member joins moves onto the new member, never
+// between survivors.
+func TestRingGrowTargetsOnlyNewMember(t *testing.T) {
+	const clients = 20000
+	before, after := NewRingOf([]int{0, 2}, 0), NewRingOf([]int{0, 2, 5}, 0)
+	moved := 0
+	for id := 0; id < clients; id++ {
+		was, now := before.Place(id), after.Place(id)
+		if now != was {
+			if now != 5 {
+				t.Fatalf("client %d moved %d→%d when member 5 joined; only moves onto 5 are allowed", id, was, now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new member 5 received nothing in a 20000-client space")
+	}
+}

@@ -43,7 +43,7 @@ func jsonReply(body string) func(w http.ResponseWriter, r *http.Request) {
 
 func newTestRouter(t *testing.T, urls []string, opts ...Option) *Router {
 	t.Helper()
-	rt, err := New(urls, opts...)
+	rt, err := New(Membership{Nodes: urls}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestRouterHealthDegraded(t *testing.T) {
 	front := httptest.NewServer(rt.Handler())
 	defer front.Close()
 
-	var h HealthReply
+	var h transport.HealthReply
 	resp, err := http.Get(front.URL + "/v1/health")
 	if err != nil {
 		t.Fatal(err)
@@ -344,7 +344,7 @@ func TestRouterHealthDegraded(t *testing.T) {
 	if h.Status != "ok" || h.NodesDown != 0 || len(h.Nodes) != 2 {
 		t.Fatalf("healthy cluster reports %+v", h)
 	}
-	if h.Nodes[0].Health == nil || h.Nodes[0].Health.NodeID != "node0" {
+	if h.Nodes[0].Detail == nil || h.Nodes[0].Detail.NodeID != "node0" {
 		t.Fatalf("node health not relayed: %+v", h.Nodes[0])
 	}
 
@@ -353,7 +353,7 @@ func TestRouterHealthDegraded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h = HealthReply{}
+	h = transport.HealthReply{}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}

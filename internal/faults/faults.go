@@ -635,7 +635,7 @@ const AnyNode = -1
 // the zero value — a plain CrashPoint{Op, After} keeps its original
 // meaning there. Use AnyNode to count (and kill) across all nodes.
 type CrashPoint struct {
-	Op    string // WAL record kind ("slot", "report", "batch", "period_end", ...); "" = any
+	Op    string // WAL record kind ("slot", "report", "batch", "period_end", "migrate_out", "migrate_in", ...); "" = any
 	After int    // fire when this many further matching records have been appended
 	Node  int    // node index the count (and the kill) is scoped to; AnyNode = any
 }

@@ -64,6 +64,13 @@ type clusterBackend struct {
 	nodes  []*simNode
 	router *cluster.Router
 
+	// elastic marks a run with scheduled membership changes: placement
+	// rides the router's consistent-hash ring instead of the fixed
+	// shard.Route partition, and each node mints impression ids from its
+	// own namespace so client state can migrate without id collisions.
+	elastic    bool
+	migrations map[int][]MigrationStep
+
 	routerSrv *http.Server
 	routerURL string
 	serveErr  chan error
@@ -81,16 +88,30 @@ func newClusterBackend(env *replayEnv) (*clusterBackend, error) {
 	o := env.o
 	b := &clusterBackend{env: env, serveErr: make(chan error, 1), done: make(chan struct{})}
 	nodes := o.Nodes
+	b.elastic = len(o.Migrations) > 0
+	if b.elastic {
+		b.migrations = make(map[int][]MigrationStep)
+		for _, st := range o.Migrations {
+			b.migrations[st.Period] = append(b.migrations[st.Period], st)
+		}
+	}
 
-	// Partition clients onto nodes with the same stable function the
-	// single-process server partitions them onto shards, so a cluster
-	// of N and a single process at shards=N sell to identical client
-	// subsets — the bit-for-bit comparability the differential tier
-	// asserts.
+	// Partition clients onto nodes. The fixed-size tier uses the same
+	// stable function the single-process server partitions them onto
+	// shards, so a cluster of N and a single process at shards=N sell to
+	// identical client subsets — the bit-for-bit comparability the
+	// differential tier asserts. Elastic runs partition with the same
+	// consistent-hash ring the router will place with, so boot ownership
+	// matches placement exactly (and the partition-invariance contract
+	// keeps the accounting equal to any other split).
+	place := func(id int) int { return shard.Route(id, nodes) }
+	if b.elastic {
+		ring := cluster.NewRing(nodes, 0)
+		place = ring.Place
+	}
 	members := make([][]int, nodes)
 	for _, id := range env.ids {
-		n := shard.Route(id, nodes)
-		members[n] = append(members[n], id)
+		members[place(id)] = append(members[place(id)], id)
 	}
 	for i := 0; i < nodes; i++ {
 		nd := &simNode{idx: i, members: members[i], restartCh: make(chan struct{}, 1)}
@@ -112,8 +133,7 @@ func newClusterBackend(env *replayEnv) (*clusterBackend, error) {
 	for i, nd := range b.nodes {
 		urls[i] = "http://" + nd.ln.Addr().String()
 	}
-	router, err := cluster.New(urls,
-		cluster.WithPlacement(func(id int) int { return shard.Route(id, nodes) }),
+	ropts := []cluster.Option{
 		cluster.WithRejoinWait(clusterRejoinWait),
 		cluster.WithHTTPClient(&http.Client{
 			Transport: &http.Transport{
@@ -121,7 +141,14 @@ func newClusterBackend(env *replayEnv) (*clusterBackend, error) {
 				MaxIdleConnsPerHost: env.workers * 2,
 			},
 			Timeout: 10 * time.Second,
-		}))
+		}),
+	}
+	if !b.elastic {
+		// Fixed-size runs freeze placement to the shard partition; an
+		// elastic run keeps the router's own ring so membership can move.
+		ropts = append(ropts, cluster.WithPlacement(place))
+	}
+	router, err := cluster.New(cluster.Membership{Nodes: urls}, ropts...)
 	if err != nil {
 		b.close()
 		return nil, err
@@ -144,7 +171,7 @@ func newClusterBackend(env *replayEnv) (*clusterBackend, error) {
 	// a client to its node.
 	handler := http.Handler(router.Handler())
 	if env.plan != nil {
-		handler = env.plan.Middleware(handler, func(id int) int { return shard.Route(id, nodes) })
+		handler = env.plan.Middleware(handler, place)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -165,6 +192,15 @@ func (b *clusterBackend) buildNode(nd *simNode) error {
 	pool, err := env.makePool(1, nd.members)
 	if err != nil {
 		return err
+	}
+	if b.elastic {
+		// Disjoint impression-id namespaces: each node mints from its own
+		// 2^40 block, so state handed to another node can never collide
+		// with ids the adopter minted itself. Seeded before WAL recovery,
+		// so replayed sales mint exactly the ids the live run did.
+		for i := 0; i < pool.Shards(); i++ {
+			pool.Shard(i).Exchange().SeedImpressionIDs(auction.ImpressionID(nd.idx+1) << 40)
+		}
 	}
 	ts := transport.NewShardedServer(pool)
 	ts.SetNodeID(fmt.Sprintf("node%d", nd.idx))
@@ -268,6 +304,60 @@ func (b *clusterBackend) restartLoop(nd *simNode) {
 		nd.mu.Unlock()
 		b.router.Rejoin(nd.idx, newURL)
 	}
+}
+
+// migrate fires the membership steps scheduled for this period (the
+// migrator hook driveDevices calls concurrently with slot replay). A
+// grow step builds a brand-new empty node and joins it — the router
+// hands it its ring share live; a shrink step drains the member onto
+// the survivors and then removes it. The drained node's process stays
+// up for the rest of the run: its ledger history is part of the final
+// accounting, which finish() sums directly from every node ever built.
+func (b *clusterBackend) migrate(period int) error {
+	for _, st := range b.migrations[period] {
+		if st.AddNode {
+			if err := b.addNode(); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := b.router.Drain(st.DrainNode); err != nil {
+			return err
+		}
+		if err := b.router.Remove(st.DrainNode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addNode builds one fresh member — empty pool, own WAL directory, own
+// impression-id namespace — and joins it to the live cluster.
+func (b *clusterBackend) addNode() error {
+	o := b.env.o
+	nd := &simNode{idx: len(b.nodes), restartCh: make(chan struct{}, 1)}
+	if o.WALDir != "" {
+		nd.walDir = filepath.Join(o.WALDir, fmt.Sprintf("node%d", nd.idx))
+		if err := os.MkdirAll(nd.walDir, 0o755); err != nil {
+			return fmt.Errorf("sim: node %d wal dir: %w", nd.idx, err)
+		}
+	}
+	if err := b.buildNode(nd); err != nil {
+		return err
+	}
+	b.nodes = append(b.nodes, nd)
+	if o.Crashes != nil {
+		b.wg.Add(1)
+		go b.restartLoop(nd)
+	}
+	id, _, err := b.router.AddNode("http://" + nd.ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	if id != nd.idx {
+		return fmt.Errorf("sim: router assigned member id %d to node %d", id, nd.idx)
+	}
+	return nil
 }
 
 func (b *clusterBackend) setErr(err error) {

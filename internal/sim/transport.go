@@ -143,6 +143,24 @@ type TransportOpts struct {
 	// mode kills are node-scoped: the single-process harness observes
 	// as node 0, a cluster node observes as its own index.
 	Crashes *faults.CrashSchedule
+	// Migrations schedules live membership changes mid-run (cluster
+	// mode only). Each step fires during the slot-replay phase of its
+	// period, concurrently with device traffic, exercising the router's
+	// quiesce/handoff path under load. Scheduling any step switches the
+	// cluster to elastic placement: the router places clients with its
+	// consistent-hash ring (not the shard.Route partition), and every
+	// node mints impression ids from its own namespace so state can move
+	// between nodes without colliding.
+	Migrations []MigrationStep
+}
+
+// MigrationStep is one scheduled membership change: during period
+// Period's slot replay, either join one new node (AddNode) or drain —
+// and then remove — member DrainNode.
+type MigrationStep struct {
+	Period    int
+	AddNode   bool
+	DrainNode int
 }
 
 // replayEnv is everything a transport replay prepares before a serving
@@ -167,6 +185,14 @@ type replayEnv struct {
 	// crash harness rebuilding after a kill — regenerates the exact
 	// same demand before recovery overwrites its mutable state.
 	makePool func(shards int, members []int) (*shard.Pool, error)
+}
+
+// migrator is the optional serving extension for backends that can
+// reshape cluster membership mid-run: driveDevices calls migrate for
+// every period, concurrently with that period's device slot replay, so
+// handoffs always race live traffic.
+type migrator interface {
+	migrate(period int) error
 }
 
 // serving is one backend of the replay: something that serves the
@@ -212,6 +238,8 @@ func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 		return nil, fmt.Errorf("sim: transport replay does not support failure injection")
 	case o.Crashes != nil && o.WALDir == "":
 		return nil, fmt.Errorf("sim: a crash schedule requires a WAL directory")
+	case len(o.Migrations) > 0 && o.Nodes == 0:
+		return nil, fmt.Errorf("sim: migration steps require cluster mode (Nodes > 0)")
 	}
 	workers := o.Workers
 	if workers < 1 {
@@ -584,6 +612,20 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Fire any membership change scheduled for this period while the
+		// slot replay below is in full swing: the rebalance must win its
+		// equivalence guarantee against concurrent device traffic, not
+		// against a conveniently idle cluster. Joined before the period
+		// boundary so the EndPeriod barrier sees settled membership.
+		var migErr error
+		var migWg sync.WaitGroup
+		if mig, ok := back.(migrator); ok {
+			migWg.Add(1)
+			go func(pi int) {
+				defer migWg.Done()
+				migErr = mig.migrate(pi)
+			}(pi)
+		}
 		// Replay this period's slot events: devices advance concurrently,
 		// each through its own events in trace order.
 		end := now + simclock.Time(period)
@@ -607,7 +649,12 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 			}
 			return nil
 		}); err != nil {
+			migWg.Wait()
 			return nil, err
+		}
+		migWg.Wait()
+		if migErr != nil {
+			return nil, migErr
 		}
 		// Batched devices hold display reports write-behind; deliver them
 		// before the boundary closes the period so the server's sweep

@@ -199,13 +199,14 @@ func (s *ShardedServer) execBatchGroup(sh *shardState, env batchMsg, idxs []int,
 	for _, i := range idxs {
 		results[i] = s.execBatchOp(sh, env, env.Ops[i])
 		// The WAL records exactly what executed here and now. Replays,
-		// key conflicts and shed (429) ops mutated nothing — if a shed
-		// op's retry later succeeds, that retry is logged at its own
-		// position, and replaying the original too would run it twice.
-		// Reads (cancelled) have nothing to replay.
+		// key conflicts, shed (429) and moved-client (421) ops mutated
+		// nothing — if a shed op's retry later succeeds, that retry is
+		// logged at its own position, and replaying the original too
+		// would run it twice. Reads (cancelled) have nothing to replay.
 		r := results[i]
 		if env.Ops[i].Op != OpCancelled && !r.Replayed &&
-			r.Status != http.StatusTooManyRequests && r.Status != http.StatusConflict {
+			r.Status != http.StatusTooManyRequests && r.Status != http.StatusConflict &&
+			r.Status != http.StatusMisdirectedRequest {
 			logged = append(logged, env.Ops[i])
 		}
 	}
@@ -249,13 +250,14 @@ func (s *ShardedServer) execBatchOp(sh *shardState, env batchMsg, op BatchOp) Ba
 		return opResult(op, e.status, e.body, true)
 	}
 	status, body := run()
-	// 429s ask the client to come back later; storing them would pin the
-	// shed answer past the shard's recovery (matches serveIdempotent).
-	if status != http.StatusTooManyRequests {
+	// 429s ask the client to come back later and 421s to go elsewhere;
+	// storing either would pin the refusal past the shard's recovery or
+	// the handoff window (matches serveIdempotent).
+	if status != http.StatusTooManyRequests && status != http.StatusMisdirectedRequest {
 		if sh.dedup.entries == nil {
 			sh.dedup.entries = make(map[string]dedupEntry)
 		}
-		sh.dedup.entries[op.Key] = dedupEntry{payloadHash: ph, status: status, body: body, at: simclock.Time(batchNow(env, op))}
+		sh.dedup.entries[op.Key] = dedupEntry{payloadHash: ph, status: status, body: body, at: simclock.Time(batchNow(env, op)), client: batchClient(env, op)}
 	}
 	return opResult(op, status, body, false)
 }
@@ -305,6 +307,9 @@ func sequentialForm(env batchMsg, op BatchOp) (method, path string, payload []by
 // serveIdempotent runs.
 func (s *ShardedServer) batchExecLocked(sh *shardState, env batchMsg, op BatchOp) (int, any) {
 	client, now := batchClient(env, op), batchNow(env, op)
+	if herr := s.movedErr(client); herr != nil {
+		return herr.status, herr.msg
+	}
 	switch op.Op {
 	case OpSlot:
 		if herr := s.slotLocked(sh, client); herr != nil {

@@ -281,14 +281,6 @@ func (c *caller) post(now simclock.Time, path string, in any, key string, out an
 // Net returns the accumulated transport-resilience counters.
 func (c *caller) Net() NetCounters { return c.net }
 
-// SetMeter attaches a radio-energy meter after construction; retries
-// are then charged as transfers owned by RetryOwner. The meter must not
-// be shared with a concurrently-used radio (Device and its meter are
-// single-threaded).
-//
-// Deprecated: pass WithMeter to NewDevice / NewCoordinator instead.
-func (c *caller) SetMeter(m *radio.Radio) { c.meter = m }
-
 // RetryEnergyJ returns the joules retries have cost so far (zero
 // without a meter). The final radio tail is charged by Flush at the
 // meter's owner; call the meter's Flush before the last read for exact

@@ -53,6 +53,15 @@ const (
 	opBatch       = "batch"
 	opPeriodStart = "period_start"
 	opPeriodEnd   = "period_end"
+
+	// Live-migration records (see migrate.go): an extraction (body names
+	// the epoch and clients — replay re-extracts, since the engine state
+	// at the record's log position equals the live-time state), an
+	// adoption (body is the full blob — the state arrived over the wire
+	// and exists nowhere else locally), and an epoch commit.
+	opMigrateOut    = "migrate_out"
+	opMigrateIn     = "migrate_in"
+	opMigrateCommit = "migrate_commit"
 )
 
 // periodKey identifies one period round: its virtual instant plus the
@@ -227,6 +236,18 @@ type transportSnapshot struct {
 	PeriodDedup     []dedupRecord     `json:"period_dedup,omitempty"`
 	PeriodSweep     int64             `json:"period_sweep"`
 	PeriodEndRounds int64             `json:"period_end_rounds"`
+
+	// Live-migration bookkeeping (see migrate.go): clients handed away,
+	// uncommitted extraction blobs, and adopted epochs.
+	Moved   []int           `json:"moved,omitempty"`
+	Outbox  []outboxRecord  `json:"outbox,omitempty"`
+	Applied []uint64        `json:"applied,omitempty"`
+}
+
+// outboxRecord is one uncommitted extraction blob, keyed by epoch.
+type outboxRecord struct {
+	Epoch uint64          `json:"epoch"`
+	Blob  json.RawMessage `json:"blob"`
 }
 
 // shardSnapshot is one shard's transport-layer state: staged bundles,
@@ -245,12 +266,15 @@ type stagedShelf struct {
 }
 
 // dedupRecord is one idempotency-window entry in serializable form.
+// Client is the owning client id (negative for entries not scoped to a
+// client), carried so migration can move a client's window with it.
 type dedupRecord struct {
 	Key         string `json:"key"`
 	PayloadHash uint64 `json:"payload_hash"`
 	Status      int    `json:"status"`
 	Body        []byte `json:"body"`
 	At          int64  `json:"at"`
+	Client      int    `json:"client,omitempty"`
 }
 
 // dedupEntriesSnapshot serializes a dedup map sorted by key; the
@@ -258,7 +282,7 @@ type dedupRecord struct {
 func dedupEntriesSnapshot(entries map[string]dedupEntry) []dedupRecord {
 	out := make([]dedupRecord, 0, len(entries))
 	for k, e := range entries {
-		out = append(out, dedupRecord{Key: k, PayloadHash: e.payloadHash, Status: e.status, Body: e.body, At: int64(e.at)})
+		out = append(out, dedupRecord{Key: k, PayloadHash: e.payloadHash, Status: e.status, Body: e.body, At: int64(e.at), Client: e.client})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -293,7 +317,7 @@ func dedupEntriesRestore(recs []dedupRecord) map[string]dedupEntry {
 	}
 	m := make(map[string]dedupEntry, len(recs))
 	for _, r := range recs {
-		m[r.Key] = dedupEntry{payloadHash: r.PayloadHash, status: r.Status, body: r.Body, at: simclock.Time(r.At)}
+		m[r.Key] = dedupEntry{payloadHash: r.PayloadHash, status: r.Status, body: r.Body, at: simclock.Time(r.At), client: r.Client}
 	}
 	return m
 }
@@ -308,6 +332,20 @@ func (s *ShardedServer) writeSnapshotLocked(w io.Writer) error {
 		PeriodSweep:     s.periodSweep.Load(),
 		PeriodEndRounds: s.periodEndRounds.Load(),
 	}
+	s.migMu.RLock()
+	for c := range s.moved {
+		snap.Moved = append(snap.Moved, c)
+	}
+	sort.Ints(snap.Moved)
+	for epoch, blob := range s.outbox {
+		snap.Outbox = append(snap.Outbox, outboxRecord{Epoch: epoch, Blob: blob})
+	}
+	sort.Slice(snap.Outbox, func(i, j int) bool { return snap.Outbox[i].Epoch < snap.Outbox[j].Epoch })
+	for epoch := range s.applied {
+		snap.Applied = append(snap.Applied, epoch)
+	}
+	sort.Slice(snap.Applied, func(i, j int) bool { return snap.Applied[i] < snap.Applied[j] })
+	s.migMu.RUnlock()
 	for i, sh := range s.shards {
 		est, err := sh.srv.Snapshot()
 		if err != nil {
@@ -357,6 +395,25 @@ func (s *ShardedServer) restoreSnapshot(r io.Reader) error {
 	s.periodSweep.Store(snap.PeriodSweep)
 	s.periodEndRounds.Store(snap.PeriodEndRounds)
 	s.lastSnapRound.Store(snap.PeriodEndRounds)
+	s.moved, s.outbox, s.applied = nil, nil, nil
+	for _, c := range snap.Moved {
+		if s.moved == nil {
+			s.moved = make(map[int]bool, len(snap.Moved))
+		}
+		s.moved[c] = true
+	}
+	for _, rec := range snap.Outbox {
+		if s.outbox == nil {
+			s.outbox = make(map[uint64][]byte, len(snap.Outbox))
+		}
+		s.outbox[rec.Epoch] = rec.Blob
+	}
+	for _, epoch := range snap.Applied {
+		if s.applied == nil {
+			s.applied = make(map[uint64]bool, len(snap.Applied))
+		}
+		s.applied[epoch] = true
+	}
 	return nil
 }
 
@@ -393,6 +450,24 @@ func (s *ShardedServer) applyWALRecord(rec wal.Record) error {
 		sh.dedup.sweep(cutoff)
 		s.periodDedup.sweep(cutoff)
 		s.periodSweep.Store(int64(cutoff))
+	case opMigrateOut:
+		var msg migrateOutMsg
+		if err := json.Unmarshal(rec.Body, &msg); err != nil {
+			return fmt.Errorf("transport: wal migrate_out body: %w", err)
+		}
+		if _, err := s.migrateOut(msg.Epoch, msg.Clients); err != nil {
+			return fmt.Errorf("transport: wal migrate_out replay: %w", err)
+		}
+	case opMigrateIn:
+		if err := s.migrateIn(rec.Body); err != nil {
+			return fmt.Errorf("transport: wal migrate_in replay: %w", err)
+		}
+	case opMigrateCommit:
+		var msg migrateCommitMsg
+		if err := json.Unmarshal(rec.Body, &msg); err != nil {
+			return fmt.Errorf("transport: wal migrate_commit body: %w", err)
+		}
+		s.migrateCommit(msg.Epoch)
 	default:
 		var env batchMsg
 		if err := json.Unmarshal(rec.Body, &env); err != nil {

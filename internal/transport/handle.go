@@ -56,8 +56,11 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 //   - decode parses the request into Req and returns the payload bytes
 //     used for idempotency fingerprinting (nil for non-deduped
 //     endpoints). Returning ok=false means decode already wrote a 4xx.
-//   - prep resolves the dedup store and virtual timestamp; a nil store
-//     means the endpoint executes without dedup (idempotent reads).
+//   - prep resolves the dedup store, virtual timestamp and owning
+//     client id (negative for requests not scoped to one client); a nil
+//     store means the endpoint executes without dedup (idempotent
+//     reads). The client id stamps dedup entries so live migration can
+//     hand a client's idempotency window to its new owner.
 //   - exec runs the endpoint and returns the typed reply or an
 //     *httpError. It receives the request's (validated) idempotency key
 //     — empty for unkeyed requests — so mutating executors can stamp
@@ -65,7 +68,7 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 //     the dedup window uses.
 func handle[Req, Resp any](
 	decode func(w http.ResponseWriter, r *http.Request) (Req, []byte, bool),
-	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time),
+	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time, int),
 	exec func(req Req, key string) (Resp, *httpError),
 ) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +80,7 @@ func handle[Req, Resp any](
 		// fingerprint) and decoded (which copies), so recycling it once
 		// the response is written is safe.
 		defer putBodyBuf(payload)
-		ds, now := prep(r, req)
+		ds, now, clientID := prep(r, req)
 		run := func(key string) (int, any) {
 			resp, herr := exec(req, key)
 			if herr != nil {
@@ -94,7 +97,7 @@ func handle[Req, Resp any](
 			writeJSON(w, v)
 			return
 		}
-		serveIdempotent(w, r, ds, payload, now, run)
+		serveIdempotent(w, r, ds, payload, now, clientID, run)
 	}
 }
 
@@ -119,8 +122,8 @@ func noReq(http.ResponseWriter, *http.Request) (struct{}, []byte, bool) {
 }
 
 // noDedup is the prep for idempotent reads: no dedup store, no
-// timestamp.
-func noDedup(*http.Request, struct{}) (*dedupStore, simclock.Time) { return nil, 0 }
+// timestamp, no owning client.
+func noDedup(*http.Request, struct{}) (*dedupStore, simclock.Time, int) { return nil, 0, -1 }
 
 // versionMiddleware enforces the protocol version contract: the
 // server's version is echoed on every response (including errors), and

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Both /v1/health shapes — a single adserverd node and the routing
+// tier's merged cluster view — are one typed DTO, and its wire bytes
+// are part of the public contract: operators' probes parse these fields
+// by name and dashboards alert on them. These goldens pin the exact
+// encoding (field order, omitempty behavior, nesting) so an accidental
+// tag rename or a field that starts leaking into the single-node shape
+// fails loudly here instead of in someone's monitoring.
+func TestHealthReplyGoldenBytes(t *testing.T) {
+	t.Run("single-node", func(t *testing.T) {
+		reply := HealthReply{
+			Status:      "ok",
+			NodeID:      "node0",
+			MaxOpenBook: 3,
+			Shards: []ShardHealth{
+				{Shard: 0, OpenBook: 2, StagedAds: 5, DedupKeys: 7, Shedding: false, Requests: 41},
+			},
+			RequestsTotal:      41,
+			ShedTotal:          0,
+			ReplayedTotal:      1,
+			WALEnabled:         true,
+			ReplayedOps:        12,
+			SnapshotAgePeriods: 2,
+			LastFsyncOK:        true,
+		}
+		const want = `{"status":"ok","node_id":"node0","max_open_book":3,` +
+			`"shards":[{"shard":0,"open_book":2,"staged_ads":5,"dedup_keys":7,"shedding":false,"requests":41}],` +
+			`"requests_total":41,"shed_total":0,"replayed_total":1,` +
+			`"wal_enabled":true,"replayed_ops":12,"snapshot_age_periods":2,"last_fsync_ok":true}`
+		golden(t, reply, want)
+	})
+
+	t.Run("merged-cluster", func(t *testing.T) {
+		detail := &HealthReply{
+			Status:        "ok",
+			NodeID:        "node0",
+			RequestsTotal: 9,
+			WALEnabled:    true,
+			LastFsyncOK:   true,
+		}
+		reply := HealthReply{
+			Status:        "degraded",
+			RequestsTotal: 9,
+			WALEnabled:    true,
+			LastFsyncOK:   true,
+			NodesDown:     1,
+			Nodes: []NodeHealth{
+				{Node: 0, URL: "http://127.0.0.1:8480", State: "active", Down: false, Detail: detail},
+				{Node: 1, URL: "http://127.0.0.1:8490", State: "drained", Down: true},
+			},
+		}
+		const want = `{"status":"degraded",` +
+			`"requests_total":9,"shed_total":0,"replayed_total":0,` +
+			`"wal_enabled":true,"replayed_ops":0,"snapshot_age_periods":0,"last_fsync_ok":true,` +
+			`"nodes_down":1,"nodes":[` +
+			`{"node":0,"url":"http://127.0.0.1:8480","state":"active","down":false,` +
+			`"detail":{"status":"ok","node_id":"node0","requests_total":9,"shed_total":0,"replayed_total":0,` +
+			`"wal_enabled":true,"replayed_ops":0,"snapshot_age_periods":0,"last_fsync_ok":true}},` +
+			`{"node":1,"url":"http://127.0.0.1:8490","state":"drained","down":true}]}`
+		golden(t, reply, want)
+	})
+}
+
+func golden(t *testing.T, v any, want string) {
+	t.Helper()
+	got, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("health wire bytes changed:\n got %s\nwant %s", got, want)
+	}
+	// The golden must round-trip: decoding its own bytes reproduces the
+	// value, so a probe can unmarshal either shape into HealthReply.
+	var back HealthReply
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("golden bytes do not decode: %v", err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != want {
+		t.Fatalf("golden bytes do not round-trip:\n got %s\nwant %s", again, want)
+	}
+}

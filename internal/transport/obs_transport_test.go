@@ -202,11 +202,8 @@ func TestFunctionalOptions(t *testing.T) {
 		t.Fatalf("client_attempts_total %d want >= 1", got)
 	}
 
-	// Deprecated wrappers still construct working callers.
-	if _, err := NewDeviceHTTP(4, 8, ts.URL, hc); err != nil {
-		t.Fatal(err)
-	}
-	co := NewCoordinatorHTTP(ts.URL, hc)
+	// Coordinators take the same options.
+	co := NewCoordinator(ts.URL, WithHTTPClient(hc))
 	if _, err := co.Health(); err != nil {
 		t.Fatal(err)
 	}

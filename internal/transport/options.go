@@ -96,24 +96,6 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(o *options) { o.registry = reg }
 }
 
-// NewDeviceHTTP creates a device talking to the server at baseURL with
-// an explicit HTTP client (nil hc keeps the DefaultTimeout default).
-//
-// Deprecated: use NewDevice with WithHTTPClient. Kept so pre-options
-// callers compile unchanged.
-func NewDeviceHTTP(id, cacheCap int, baseURL string, hc *http.Client) (*Device, error) {
-	return NewDevice(id, cacheCap, baseURL, WithHTTPClient(hc))
-}
-
-// NewCoordinatorHTTP creates a period driver with an explicit HTTP
-// client (nil hc keeps the DefaultTimeout default).
-//
-// Deprecated: use NewCoordinator with WithHTTPClient. Kept so
-// pre-options callers compile unchanged.
-func NewCoordinatorHTTP(baseURL string, hc *http.Client) *Coordinator {
-	return NewCoordinator(baseURL, WithHTTPClient(hc))
-}
-
 // clientMetrics is the pre-resolved handle set for client-side
 // instrumentation. The zero value (all nil) is the disabled state: obs
 // metrics no-op through nil receivers, so uninstrumented devices pay a

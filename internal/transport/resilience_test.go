@@ -366,11 +366,10 @@ func TestGracefulDegradationAndDeferredReports(t *testing.T) {
 // exactly zero.
 func TestRetryEnergyCharged(t *testing.T) {
 	ts, _, _ := newResilienceStack(t, 2, nil)
-	clean, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()))
+	clean, err := NewDevice(0, 32, ts.URL, WithHTTPClient(ts.Client()), WithMeter(radio.New(radio.Profile3G())))
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean.SetMeter(radio.New(radio.Profile3G()))
 	if err := clean.ObserveSlot(simclock.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -380,11 +379,10 @@ func TestRetryEnergyCharged(t *testing.T) {
 
 	plan := &faults.Plan{Seed: 7, Default: faults.Rule{Drop: 1, MaxFaults: 2}}
 	hc := &http.Client{Transport: plan.RoundTripper(nil)}
-	faulty, err := NewDevice(1, 32, ts.URL, WithHTTPClient(hc))
+	faulty, err := NewDevice(1, 32, ts.URL, WithHTTPClient(hc), WithMeter(radio.New(radio.Profile3G())))
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty.SetMeter(radio.New(radio.Profile3G()))
 	if err := faulty.ObserveSlot(simclock.Minute); err != nil {
 		t.Fatal(err)
 	}

@@ -185,15 +185,31 @@ type ShardHealth struct {
 	Requests int64 `json:"requests"`
 }
 
-// HealthReply is the /v1/health response: "ok", or "shedding" when any
-// shard's open book exceeds the configured bound. The totals mirror the
-// key registry gauges so a health probe sees load without parsing the
-// full /v1/metrics exposition.
+// NodeHealth is one node's slice of a merged cluster health reply: its
+// member id and base URL, the member lifecycle state ("active",
+// "drained"), whether the router currently considers it down, and — for
+// reachable nodes — the node's own HealthReply.
+type NodeHealth struct {
+	Node   int          `json:"node"`
+	URL    string       `json:"url"`
+	State  string       `json:"state,omitempty"`
+	Down   bool         `json:"down"`
+	Detail *HealthReply `json:"detail,omitempty"`
+}
+
+// HealthReply is the one typed /v1/health payload for every deployment
+// shape. A single node answers status, per-shard load, the key registry
+// totals and durability state. A cluster router answers the same type
+// with the totals summed across nodes, Nodes carrying each member's
+// reply, NodesDown counting unreachable members, and Shards empty (the
+// per-shard view lives inside each node's Detail). Status is "ok",
+// "shedding" when any shard's open book exceeds its bound, or
+// "degraded" when a cluster member is down.
 type HealthReply struct {
 	Status      string        `json:"status"`
 	NodeID      string        `json:"node_id,omitempty"`
 	MaxOpenBook int           `json:"max_open_book,omitempty"`
-	Shards      []ShardHealth `json:"shards"`
+	Shards      []ShardHealth `json:"shards,omitempty"`
 
 	RequestsTotal int64 `json:"requests_total"`
 	ShedTotal     int64 `json:"shed_total"`
@@ -206,4 +222,8 @@ type HealthReply struct {
 	ReplayedOps        int64 `json:"replayed_ops"`
 	SnapshotAgePeriods int64 `json:"snapshot_age_periods"`
 	LastFsyncOK        bool  `json:"last_fsync_ok"`
+
+	// Cluster shape (merged replies only; empty on a single node).
+	NodesDown int          `json:"nodes_down,omitempty"`
+	Nodes     []NodeHealth `json:"nodes,omitempty"`
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -26,6 +27,8 @@ var v1Endpoints = []string{
 	"/v1/period/start", "/v1/period/end", "/v1/bundle", "/v1/slot",
 	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch",
 	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
+	"/v1/admin/migrate/out", "/v1/admin/migrate/in",
+	"/v1/admin/migrate/commit", "/v1/admin/clients",
 }
 
 // ShardedServer serves the transport protocol over N independent
@@ -64,6 +67,25 @@ type ShardedServer struct {
 	// MaxBatchOps bounds the sub-operations one POST /v1/batch envelope
 	// may carry; zero means DefaultMaxBatchOps. Set before serving.
 	MaxBatchOps int
+
+	// AdminToken, when non-empty, gates the /v1/admin/* endpoints behind
+	// a shared bearer token (Authorization: Bearer <token>). Set before
+	// serving; the client-facing protocol is unaffected.
+	AdminToken string
+
+	// Live migration state (see migrate.go). adminMu serializes whole
+	// migration operations; migMu guards the maps and is always the
+	// innermost lock (acquired after shard locks, never before). moved
+	// marks clients handed to another node — their requests are refused
+	// with 421 so nothing mutates state the new owner already took.
+	// outbox keeps each extraction's blob until the epoch commits, and
+	// applied remembers adopted epochs; both make the transfer endpoints
+	// idempotent across retries and crash recovery.
+	adminMu sync.Mutex
+	migMu   sync.RWMutex
+	moved   map[int]bool
+	outbox  map[uint64][]byte
+	applied map[uint64]bool
 
 	// periodDedup dedups the coordinator's period start/end calls,
 	// which fan out to every shard and so cannot live in one shard's
@@ -134,12 +156,16 @@ type shardState struct {
 
 // dedupEntry is one remembered mutating request: the payload hash
 // guards against key reuse, the stored response is replayed verbatim on
-// a retry.
+// a retry. client records which client the request was scoped to
+// (negative for none) so live migration can carry the entry to the
+// client's new owner — a retry that straddles a handoff still replays
+// instead of double-executing.
 type dedupEntry struct {
 	payloadHash uint64
 	status      int
 	body        []byte
 	at          simclock.Time
+	client      int
 }
 
 // dedupStore is an idempotency-key window. Its mutex is held across
@@ -204,10 +230,12 @@ func validIdemKey(key string) bool {
 // stored response byte-for-byte, a key reused with a different payload
 // is rejected with 409, and a malformed key is rejected with 400 before
 // exec runs. Requests without a key execute without dedup. Responses
-// that asked the client to come back later (429) are not stored, so the
-// retry re-executes once the shard is healthy. exec receives the
-// validated key so the durability layer can stamp its WAL records.
-func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, exec func(key string) (int, any)) {
+// that asked the client to go elsewhere (429 back off, 421 moved) are
+// not stored, so the retry re-executes against a healthy — or correct —
+// owner. exec receives the validated key so the durability layer can
+// stamp its WAL records; clientID stamps the stored entry for live
+// migration (see migrate.go).
+func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, clientID int, exec func(key string) (int, any)) {
 	key := r.Header.Get(idempotencyKeyHeader)
 	if key != "" && !validIdemKey(key) {
 		http.Error(w, "malformed Idempotency-Key", http.StatusBadRequest)
@@ -260,11 +288,11 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 		return
 	}
 	status, body := run()
-	if status != http.StatusTooManyRequests {
+	if status != http.StatusTooManyRequests && status != http.StatusMisdirectedRequest {
 		if ds.entries == nil {
 			ds.entries = make(map[string]dedupEntry)
 		}
-		ds.entries[key] = dedupEntry{payloadHash: ph, status: status, body: body, at: now}
+		ds.entries[key] = dedupEntry{payloadHash: ph, status: status, body: body, at: now, client: clientID}
 	}
 	write(status, body, false)
 }
@@ -384,10 +412,10 @@ func (s *ShardedServer) shardFor(clientID int) *shardState {
 
 // clientPrep resolves a client-scoped request's dedup scope and counts
 // it against its shard.
-func (s *ShardedServer) clientPrep(clientID int, nowNS int64) (*dedupStore, simclock.Time) {
+func (s *ShardedServer) clientPrep(clientID int, nowNS int64) (*dedupStore, simclock.Time, int) {
 	sh := s.shardFor(clientID)
 	sh.requests.Inc()
-	return &sh.dedup, simclock.Time(nowNS)
+	return &sh.dedup, simclock.Time(nowNS), clientID
 }
 
 // Handler returns the HTTP handler implementing the protocol: the
@@ -398,14 +426,14 @@ func (s *ShardedServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/period/start", handle(
 		jsonReq[periodMsg],
-		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time) {
-			return &s.periodDedup, simclock.Time(m.NowNS)
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int) {
+			return &s.periodDedup, simclock.Time(m.NowNS), -1
 		},
 		s.execPeriodStart))
 	periodEnd := handle(
 		jsonReq[periodMsg],
-		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time) {
-			return &s.periodDedup, simclock.Time(m.NowNS)
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int) {
+			return &s.periodDedup, simclock.Time(m.NowNS), -1
 		},
 		s.execPeriodEnd)
 	mux.HandleFunc("POST /v1/period/end", func(w http.ResponseWriter, r *http.Request) {
@@ -420,26 +448,26 @@ func (s *ShardedServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/bundle", handle(
 		s.decodeBundle,
-		func(_ *http.Request, q bundleReq) (*dedupStore, simclock.Time) {
+		func(_ *http.Request, q bundleReq) (*dedupStore, simclock.Time, int) {
 			return s.clientPrep(q.client, q.nowNS)
 		},
 		s.execBundle))
 	mux.HandleFunc("POST /v1/slot", handle(
 		jsonReq[slotMsg],
-		func(_ *http.Request, m slotMsg) (*dedupStore, simclock.Time) {
+		func(_ *http.Request, m slotMsg) (*dedupStore, simclock.Time, int) {
 			return s.clientPrep(m.Client, m.NowNS)
 		},
 		s.execSlot))
 	mux.HandleFunc("POST /v1/report", handle(
 		jsonReq[reportMsg],
-		func(_ *http.Request, m reportMsg) (*dedupStore, simclock.Time) {
+		func(_ *http.Request, m reportMsg) (*dedupStore, simclock.Time, int) {
 			return s.clientPrep(m.Client, m.NowNS)
 		},
 		s.execReport))
 	mux.HandleFunc("GET /v1/cancelled", handle(s.decodeCancelled, noDedupCancelled, s.execCancelled))
 	mux.HandleFunc("POST /v1/ondemand", handle(
 		jsonReq[onDemandMsg],
-		func(_ *http.Request, m onDemandMsg) (*dedupStore, simclock.Time) {
+		func(_ *http.Request, m onDemandMsg) (*dedupStore, simclock.Time, int) {
 			return s.clientPrep(m.Client, m.NowNS)
 		},
 		s.execOnDemand))
@@ -448,7 +476,24 @@ func (s *ShardedServer) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", handle(noReq, noDedup, s.execStats))
 	mux.HandleFunc("GET /v1/health", handle(noReq, noDedup, s.execHealth))
 	mux.Handle("GET /v1/metrics", s.reg.Handler())
+	mux.HandleFunc("POST /v1/admin/migrate/out", s.admin(handle(jsonReq[migrateOutMsg], noDedupAdmin[migrateOutMsg], s.execMigrateOut)))
+	mux.HandleFunc("POST /v1/admin/migrate/in", s.admin(handle(jsonReq[json.RawMessage], noDedupAdmin[json.RawMessage], s.execMigrateIn)))
+	mux.HandleFunc("POST /v1/admin/migrate/commit", s.admin(handle(jsonReq[migrateCommitMsg], noDedupAdmin[migrateCommitMsg], s.execMigrateCommit)))
+	mux.HandleFunc("GET /v1/admin/clients", s.admin(handle(noReq, noDedup, s.execAdminClients)))
 	return obs.Middleware(s.reg, versionMiddleware(mux), v1Endpoints...)
+}
+
+// admin gates an /v1/admin/* handler behind the shared bearer token
+// (no-op when AdminToken is unset). Admin calls are node-to-node or
+// operator traffic; devices never see these paths.
+func (s *ShardedServer) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.AdminToken != "" && r.Header.Get("Authorization") != "Bearer "+s.AdminToken {
+			writeErr(w, http.StatusUnauthorized, "missing or invalid admin token")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // shedding reports whether a shard is over its open-book bound. Callers
@@ -658,6 +703,9 @@ func (s *ShardedServer) execBundle(q bundleReq, key string) (BundleReply, *httpE
 	sh := s.shardFor(q.client)
 	sh.stagedMu.Lock()
 	defer sh.stagedMu.Unlock()
+	if herr := s.movedErr(q.client); herr != nil {
+		return BundleReply{}, herr
+	}
 	reply := s.bundleStagedLocked(sh, q.client)
 	s.walAppend(sh, OpBundle, key, singleOpEnv(q.client, q.nowNS, BatchOp{Op: OpBundle, Key: key}))
 	return reply, nil
@@ -684,6 +732,9 @@ func (s *ShardedServer) execSlot(msg slotMsg, key string) (struct{}, *httpError)
 
 // slotLocked observes a slot firing; sh.mu must be held.
 func (s *ShardedServer) slotLocked(sh *shardState, client int) *httpError {
+	if herr := s.movedErr(client); herr != nil {
+		return herr
+	}
 	if s.shedding(sh) {
 		sh.shed.Inc()
 		return errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
@@ -699,6 +750,9 @@ func (s *ShardedServer) execReport(msg reportMsg, key string) (struct{}, *httpEr
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if herr := s.movedErr(msg.Client); herr != nil {
+		return struct{}{}, herr
+	}
 	herr := s.reportLocked(sh, msg.Impression, msg.NowNS)
 	// Logged even when rejected: a failed report still mutates state
 	// (the claim table learns the id before billing can refuse it) and
@@ -751,7 +805,13 @@ func (s *ShardedServer) decodeCancelled(w http.ResponseWriter, r *http.Request) 
 
 // noDedupCancelled: cancellation queries are idempotent reads; any key
 // the client sends is ignored rather than stored.
-func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time) { return nil, 0 }
+func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time, int) {
+	return nil, 0, -1
+}
+
+// noDedupAdmin: migration transfer endpoints are idempotent by epoch
+// (outbox/applied in migrate.go), so no key-based dedup applies.
+func noDedupAdmin[Req any](*http.Request, Req) (*dedupStore, simclock.Time, int) { return nil, 0, -1 }
 
 func (s *ShardedServer) execCancelled(q cancelledReq, _ string) (CancelledReply, *httpError) {
 	ids, herr := parseIDList(q.ids)
@@ -812,6 +872,9 @@ func (s *ShardedServer) onDemandLocked(sh *shardState, msg onDemandMsg) (OnDeman
 		cats[i] = trace.Category(c)
 	}
 	now := simclock.Time(msg.NowNS)
+	if herr := s.movedErr(msg.Client); herr != nil {
+		return OnDemandReply{}, herr
+	}
 	if s.shedding(sh) {
 		// Fresh sales grow the open book; shed them until it drains.
 		// The client's fallback is its cache or a house ad.
