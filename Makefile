@@ -19,6 +19,27 @@ race:
 obs:
 	go test -race -count=1 ./internal/obs
 
+# Stream tier: the streaming (lazy-trace, event-driven) replay. Lazy
+# derivation properties (UserAt == Generate byte-for-byte, order- and
+# concurrency-independence, the UserAt fuzz seeds), the wake-heap
+# ordering invariants, the light-RNG stream split, and the streaming
+# differential suite: a streaming replay must match the materialized
+# replay on every accounting observable — fault-free and under seeded
+# chaos, on both the sequential and the batched wire. The bounded-
+# memory regression (100k devices under a pinned heap budget) rides in
+# the same run.
+stream:
+	go test -count=1 -run 'TestUserAt|TestStreamConcurrent|TestStreamMetadata|TestValidateRejects|FuzzUserAt' ./internal/trace
+	go test -count=1 -run 'TestWakeHeap|TestLightRand' ./internal/simclock
+	go test -count=1 -timeout 30m -run 'TestStream' ./internal/sim
+
+# Mega: a million simulated devices with the diurnal two-peak load
+# through the sharded serving path — the headline streaming run. Lazy
+# trace derivation keeps the heap bounded; expect minutes of wall time
+# on one core (see README "Million-device runs" for the envelope).
+mega:
+	go run ./cmd/adloadgen -users 1000000 -days 1 -shards 4 -batched -energy -lean
+
 # Throughput scaling of the sharded serving path (1 vs 2 vs 4 shards),
 # the wake-up round-trip comparison (sequential vs batched wire), the
 # cluster routing tier's proxy overhead (1 vs 3 nodes), and the live
@@ -27,6 +48,7 @@ obs:
 bench:
 	go test -bench 'ShardedServing|WakeUp' -benchtime 2s -run '^$$' ./internal/transport
 	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 2s -run '^$$' ./internal/cluster
+	go test -bench 'StreamingReplay' -benchtime 1x -run '^$$' ./internal/sim
 
 # The serving-path benchmark sweep piped through tools/benchjson. Shared
 # by benchsnap (record a new BENCH_<n>.json trajectory point) and
@@ -35,7 +57,8 @@ bench:
 # machine-sensitive, so the gate is run deliberately, on one machine.
 BENCH_SWEEP = go test -bench 'SequentialServing|BatchCodec|ShardedServing|WakeUp' -benchtime 1s -run '^$$' ./internal/transport && \
 	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal && \
-	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 1s -run '^$$' ./internal/cluster
+	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 1s -run '^$$' ./internal/cluster && \
+	go test -bench 'StreamingReplay' -benchtime 2x -run '^$$' ./internal/sim
 
 benchsnap:
 	{ $(BENCH_SWEEP); } | go run ./tools/benchjson -snap
@@ -108,8 +131,13 @@ migrate:
 	go test -count=1 -run 'TestMigration' ./internal/sim
 
 # Aggregate correctness gate: every functional tier in one command.
-# (race, obs and the benchmark tiers stay separate — they are about
-# schedules and machines, not logic.)
-verify: test batch chaos crash cluster migrate
+# (The benchmark tiers stay separate — they are about machines, not
+# logic.)
+verify: test batch chaos crash cluster migrate stream
 
-.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster migrate verify
+# Everything: the functional gate plus the race-detector tiers. This is
+# the pre-merge command; `verify` alone used to silently skip race and
+# obs, which let schedule-dependent regressions through.
+verify-full: verify race obs
+
+.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster migrate stream mega verify verify-full

@@ -393,7 +393,7 @@ func (b *clusterBackend) finish(res *Result) error {
 	if rerr != nil {
 		return fmt.Errorf("sim: node restart: %w", rerr)
 	}
-	span := b.env.pop.Span
+	span := b.env.span
 	res.CampaignBilled = make(map[auction.CampaignID]float64, b.env.cfg.Demand.Campaigns)
 	for _, nd := range b.nodes {
 		nd.mu.Lock()

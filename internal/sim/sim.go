@@ -218,6 +218,35 @@ type Result struct {
 	// (retries, backoff, cache hit/miss, deferred depth, retry energy).
 	Obs       *obs.Registry
 	ClientObs *obs.Registry
+
+	// StreamPeriods is the streaming replay's per-period load report
+	// (RunTransportStream; nil elsewhere): one row per simulated period
+	// with the client-observed request-latency quantiles, so a diurnal
+	// run exposes its peak-hour tail directly.
+	StreamPeriods []StreamPeriodStat
+}
+
+// StreamPeriodStat is one period of a streaming replay as the device
+// fleet experienced it: how many clients woke up, how many requests
+// they issued, how long the period took in wall time, and the latency
+// distribution of the individual requests.
+type StreamPeriodStat struct {
+	Index     int // period index from trace start
+	HourOfDay int // simulated hour at the period's open
+	Wakeups   int64
+	Ops       int64
+	WallNS    int64
+	P50NS     float64
+	P95NS     float64
+	P99NS     float64
+}
+
+// OpsPerSec is the period's client-side request throughput in wall time.
+func (s StreamPeriodStat) OpsPerSec() float64 {
+	if s.WallNS <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / (float64(s.WallNS) / 1e9)
 }
 
 // AdEnergyPerUserDay returns the headline metric: joules of ad energy
@@ -513,34 +542,40 @@ func buildTimeline(u *trace.User, cat *trace.Catalog, refresh time.Duration) []t
 func topCategories(users []*trace.User, cat *trace.Catalog) map[int][]trace.Category {
 	out := make(map[int][]trace.Category, len(users))
 	for _, u := range users {
-		counts := map[trace.Category]int{}
-		for _, s := range u.Sessions {
-			counts[cat.App(s.App).Category]++
-		}
-		type kv struct {
-			c trace.Category
-			n int
-		}
-		var all []kv
-		for c, n := range counts {
-			all = append(all, kv{c, n})
-		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].n != all[j].n {
-				return all[i].n > all[j].n
-			}
-			return all[i].c < all[j].c
-		})
-		top := make([]trace.Category, 0, 3)
-		for i, e := range all {
-			if i == 3 {
-				break
-			}
-			top = append(top, e.c)
-		}
-		out[u.ID] = top
+		out[u.ID] = topCategoriesOf(u, cat)
 	}
 	return out
+}
+
+// topCategoriesOf is the per-user form: the streaming replay computes
+// hints one transiently-derived user at a time.
+func topCategoriesOf(u *trace.User, cat *trace.Catalog) []trace.Category {
+	counts := map[trace.Category]int{}
+	for _, s := range u.Sessions {
+		counts[cat.App(s.App).Category]++
+	}
+	type kv struct {
+		c trace.Category
+		n int
+	}
+	var all []kv
+	for c, n := range counts {
+		all = append(all, kv{c, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].c < all[j].c
+	})
+	top := make([]trace.Category, 0, 3)
+	for i, e := range all {
+		if i == 3 {
+			break
+		}
+		top = append(top, e.c)
+	}
+	return top
 }
 
 // Compare runs the same configuration under several modes and renders

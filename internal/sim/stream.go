@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/predict"
+	"repro/internal/radio"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// RunTransportStream is the bounded-memory form of RunTransportWith: it
+// replays the same trace through the same serving backends (single
+// process or cluster, sequential or batched wire) without ever holding
+// the population in memory. Traces are derived lazily from the
+// generator's per-client seeds (trace.Stream), and an event-driven
+// scheduler — a min-heap of 16-byte next-wakeup entries per worker —
+// replaces the materialized per-user period walk: a client's trace is
+// re-derived transiently for each period it is active in and discarded
+// as soon as its events are replayed. Resident state is what a real
+// fleet would hold anyway (one transport.Device per client, the server
+// pool) plus the wake heap, so population size stops being a memory
+// ceiling.
+//
+// Outcomes are pinned equal to RunTransportWith under the order-free
+// serving contract (see RunTransport): per-device request sequences are
+// identical — UserAt is bit-identical to Generate, so the derived
+// timelines are too — and cross-device interleaving does not affect
+// monetary results there. The stream differential tier asserts ledger,
+// violation, per-client counter and campaign-spend equality on both
+// wire modes, fault-free and under partition-free chaos.
+//
+// Beyond the materialized replay it adds two streaming-only options:
+// Energy (per-device radios charge app/ad transfer bytes, mirroring
+// sim.Run's energy model on the HTTP path) and Lean (drop O(population)
+// result fields). Every run reports per-period client-observed load and
+// latency quantiles in Result.StreamPeriods, which is how a
+// million-device diurnal run surfaces its peak-hour tail.
+func RunTransportStream(cfg Config, o TransportOpts) (*Result, error) {
+	env, err := newStreamEnv(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	var back serving
+	if o.Nodes > 0 {
+		back, err = newClusterBackend(env)
+	} else {
+		back, err = newSingleBackend(env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer back.close()
+	res, err := driveStream(env, back)
+	if err != nil {
+		return nil, err
+	}
+	if err := back.finish(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// newStreamEnv prepares a replayEnv whose trace side is lazy: no
+// Population is materialized. One parallel init sweep derives each
+// client once to record its first wake-up and intern its targeting
+// hints (the server asks for hints every period, so those must not cost
+// a trace derivation per ask); everything else is derived on demand.
+func newStreamEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Plan != nil {
+		if err := o.Plan.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case cfg.Population != nil:
+		return nil, fmt.Errorf("sim: streaming replay derives traces lazily; a materialized Population wants RunTransportWith")
+	case o.Nodes == 0 && o.Shards < 1:
+		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", o.Shards)
+	case o.Nodes < 0:
+		return nil, fmt.Errorf("sim: negative node count %d", o.Nodes)
+	case o.Nodes > 0 && o.Shards > 1:
+		return nil, fmt.Errorf("sim: cluster nodes each run one shard; got shards=%d with nodes=%d", o.Shards, o.Nodes)
+	case cfg.Core.Delivery != core.DeliverScheduled:
+		return nil, fmt.Errorf("sim: transport replay supports scheduled delivery only")
+	case cfg.ChurnProb > 0 || cfg.ReportLossProb > 0:
+		return nil, fmt.Errorf("sim: transport replay does not support failure injection")
+	case o.Crashes != nil && o.WALDir == "":
+		return nil, fmt.Errorf("sim: a crash schedule requires a WAL directory")
+	case len(o.Migrations) > 0 && o.Nodes == 0:
+		return nil, fmt.Errorf("sim: migration steps require cluster mode (Nodes > 0)")
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	st, err := trace.NewStream(cfg.TraceCfg)
+	if err != nil {
+		return nil, err
+	}
+	n := st.Users()
+	if cfg.MaxUsers > 0 && cfg.MaxUsers < n {
+		n = cfg.MaxUsers
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = trace.NewCatalog(trace.DefaultCatalog())
+	}
+	warmupEnd := simclock.Time(cfg.WarmupDays) * simclock.Day
+	if warmupEnd > st.Span() {
+		return nil, fmt.Errorf("sim: warm-up %d days exceeds trace span %v", cfg.WarmupDays, st.Span())
+	}
+	period := cfg.Core.Server.Period
+
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+
+	env := &replayEnv{
+		cfg: cfg, o: o, ids: ids, cat: cat,
+		span: st.Span(), days: st.Days(),
+		warmupEnd: warmupEnd, period: period, workers: workers, plan: o.Plan,
+		stream: st, firstWake: make([]simclock.Time, n),
+	}
+
+	// Init sweep: derive each client once, transiently, to learn when it
+	// first does anything and which ad categories target it. Hint slices
+	// are interned — real populations share a handful of top-category
+	// combinations — so the resident hint table is a uint32 per client
+	// plus a few dozen small slices, not a map of slices per client.
+	comboOf := make([]uint32, n)
+	var mu sync.Mutex
+	comboIdx := map[string]uint32{}
+	var combos [][]trace.Category
+	if err := eachDevice(workers, workers, func(w int) error {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		for id := lo; id < hi; id++ {
+			u := st.UserAt(id)
+			tl := buildTimeline(u, cat, cfg.RefreshInterval)
+			if len(tl) == 0 {
+				env.firstWake[id] = -1
+			} else {
+				env.firstWake[id] = tl[0].at
+			}
+			top := topCategoriesOf(u, cat)
+			var sb strings.Builder
+			for _, c := range top {
+				sb.WriteString(string(c))
+				sb.WriteByte(0)
+			}
+			key := sb.String()
+			mu.Lock()
+			ci, ok := comboIdx[key]
+			if !ok {
+				ci = uint32(len(combos))
+				comboIdx[key] = ci
+				combos = append(combos, top)
+			}
+			mu.Unlock()
+			comboOf[id] = ci
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	env.hints = func(id int) []trace.Category {
+		if id < 0 || id >= n {
+			return nil
+		}
+		return combos[comboOf[id]]
+	}
+	env.oracle = func(id int) []int {
+		return trace.SlotsPerPeriod(st.UserAt(id), cat, cfg.RefreshInterval, period, env.span)
+	}
+	env.initMakePool()
+	return env, nil
+}
+
+// driveStream is driveDevices with the period walk replaced by the
+// event-driven scheduler. The client population is sharded into
+// contiguous ranges, one per worker; each worker owns a WakeHeap whose
+// entries are (next event time, client id). Within a period, a worker
+// pops every client due before the boundary, re-derives that client's
+// trace, replays its events up to the boundary, and pushes the client
+// back with its next event time — so a device inactive for a period
+// costs nothing and no timeline outlives its period.
+func driveStream(env *replayEnv, back serving) (*Result, error) {
+	cfg, o, plan, workers := env.cfg, env.o, env.plan, env.workers
+	st := env.stream
+	n := len(env.ids)
+	baseURL := back.url()
+
+	baseRT := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}
+	defer baseRT.CloseIdleConnections()
+	rt := http.RoundTripper(baseRT)
+	if plan != nil {
+		rt = plan.RoundTripper(baseRT)
+	}
+	hc := &http.Client{Transport: rt}
+
+	clientReg := obs.NewRegistry()
+	devices := make([]*transport.Device, n)
+	var meters []*radio.Radio // transport retry meters; chaos runs only
+	if plan != nil {
+		meters = make([]*radio.Radio, n)
+	}
+	var energy []*radio.Radio // app/ad transfer radios; Energy runs only
+	if o.Energy {
+		energy = make([]*radio.Radio, n)
+	}
+	for i := 0; i < n; i++ {
+		opts := []transport.Option{transport.WithHTTPClient(hc), transport.WithRegistry(clientReg)}
+		if plan != nil {
+			meters[i] = radio.New(radio.Profile3G())
+			opts = append(opts, transport.WithMeter(meters[i]))
+		}
+		if o.Batched {
+			opts = append(opts, transport.WithBatching())
+		}
+		if o.BinaryBatch {
+			opts = append(opts, transport.WithBinaryBatch())
+		}
+		d, err := transport.NewDevice(i, cfg.Core.CacheCap, baseURL, opts...)
+		if err != nil {
+			return nil, err
+		}
+		d.NoRescue = cfg.Core.NoRescue || cfg.Core.Mode == core.ModeOnDemand
+		devices[i] = d
+		if o.Energy {
+			energy[i] = radio.New(cfg.Radio)
+		}
+	}
+
+	// Seed each worker's heap with its range's first wake-ups. Clients
+	// with empty traces never enter a heap: they still fetch bundles
+	// (the server plans for every member) but cost nothing per period.
+	if workers > n {
+		workers = n
+	}
+	heaps := make([]simclock.WakeHeap, workers)
+	for w := 0; w < workers; w++ {
+		for id := w * n / workers; id < (w+1)*n/workers; id++ {
+			if at := env.firstWake[id]; at >= 0 {
+				heaps[w].Push(simclock.Wake{At: at, ID: id})
+			}
+		}
+	}
+	env.firstWake = nil // consumed; do not hold it for the whole run
+
+	owner := func(at simclock.Time, kind string) radio.Owner {
+		if at < env.warmupEnd {
+			return "warmup"
+		}
+		return radio.Owner(kind)
+	}
+
+	coord := transport.NewCoordinator(baseURL, transport.WithHTTPClient(hc), transport.WithRegistry(clientReg))
+	res := &Result{Mode: cfg.Core.Mode, Delivery: cfg.Core.Delivery, Users: n,
+		Obs: back.registry(), ClientObs: clientReg}
+	prefetching := cfg.Core.Mode != core.ModeOnDemand
+	period := env.period
+
+	periodsTotal := int(env.span / simclock.Time(period))
+	res.StreamPeriods = make([]StreamPeriodStat, 0, periodsTotal)
+	for pi := 0; pi <= periodsTotal; pi++ {
+		now := simclock.Time(pi) * simclock.Time(period)
+		if pi > 0 {
+			prev := predict.PeriodOf(now-simclock.Time(period), period)
+			if _, err := coord.EndPeriod(now, prev.Index, prev.OfDay, prev.Weekend); err != nil {
+				return nil, err
+			}
+		}
+		if pi == periodsTotal {
+			break
+		}
+		selling := now >= env.warmupEnd
+		p := predict.PeriodOf(now, period)
+		wallStart := time.Now()
+		lat := obs.NewRegistry().Histogram("stream_req_latency_ns")
+		var ops atomic.Int64
+		if selling && prefetching {
+			reply, err := coord.StartPeriod(now, p.Index, p.OfDay, p.Weekend)
+			if err != nil {
+				return nil, err
+			}
+			res.SoldTotal += int64(reply.Sold)
+			res.ReplicaTotal += int64(reply.Replicas)
+			res.PlacedTotal += int64(reply.Placed)
+			res.Periods++
+			if err := eachDevice(n, workers, func(i int) error {
+				t0 := time.Now()
+				got, err := devices[i].FetchBundle(now)
+				if err != nil {
+					return err
+				}
+				lat.Observe(time.Since(t0).Nanoseconds())
+				ops.Add(1)
+				if energy != nil && got > 0 {
+					energy[i].Transfer(now, int64(got)*cfg.AdBytes, owner(now, "ads"))
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Membership changes race this period's replay, exactly as on the
+		// materialized path.
+		var migErr error
+		var migWg sync.WaitGroup
+		if mig, ok := back.(migrator); ok {
+			migWg.Add(1)
+			go func(pi int) {
+				defer migWg.Done()
+				migErr = mig.migrate(pi)
+			}(pi)
+		}
+		end := now + simclock.Time(period)
+		var wakeups atomic.Int64
+		if err := eachDevice(workers, workers, func(w int) error {
+			h := &heaps[w]
+			for h.Len() > 0 && h.Peek().At < end {
+				wk := h.Pop()
+				wakeups.Add(1)
+				// Transient derivation: this client's trace exists only for
+				// the duration of this wake-up.
+				tl := buildTimeline(st.UserAt(wk.ID), env.cat, cfg.RefreshInterval)
+				i := sort.Search(len(tl), func(i int) bool { return tl[i].at >= wk.At })
+				d := devices[wk.ID]
+				for ; i < len(tl) && tl[i].at < end; i++ {
+					ev := tl[i]
+					if !ev.slot {
+						if energy != nil {
+							energy[wk.ID].Transfer(ev.at, ev.bytes, owner(ev.at, "app"))
+						}
+						continue
+					}
+					t0 := time.Now()
+					if !selling {
+						if err := d.ObserveSlot(ev.at); err != nil {
+							return err
+						}
+					} else {
+						out, err := d.HandleSlot(ev.at, ev.cats)
+						if err != nil {
+							return err
+						}
+						if energy != nil {
+							if out.Fetched {
+								energy[wk.ID].Transfer(ev.at, cfg.AdBytes*int64(1+out.TopUpAds), owner(ev.at, "ads"))
+							} else if out.CacheHit && cfg.ReportBytes > 0 {
+								energy[wk.ID].Transfer(ev.at, cfg.ReportBytes, owner(ev.at, "ads"))
+							}
+						}
+					}
+					lat.Observe(time.Since(t0).Nanoseconds())
+					ops.Add(1)
+				}
+				if i < len(tl) {
+					h.Push(simclock.Wake{At: tl[i].at, ID: wk.ID})
+				}
+			}
+			return nil
+		}); err != nil {
+			migWg.Wait()
+			return nil, err
+		}
+		migWg.Wait()
+		if migErr != nil {
+			return nil, migErr
+		}
+		if o.Batched && selling {
+			if err := eachDevice(n, workers, func(i int) error {
+				devices[i].FlushDeferred(end)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		res.StreamPeriods = append(res.StreamPeriods, StreamPeriodStat{
+			Index:     pi,
+			HourOfDay: int((now % simclock.Day) / simclock.Hour),
+			Wakeups:   wakeups.Load(),
+			Ops:       ops.Load(),
+			WallNS:    time.Since(wallStart).Nanoseconds(),
+			P50NS:     lat.Quantile(0.50),
+			P95NS:     lat.Quantile(0.95),
+			P99NS:     lat.Quantile(0.99),
+		})
+	}
+
+	if plan != nil || o.Batched {
+		if err := eachDevice(n, workers, func(i int) error {
+			devices[i].FlushDeferred(env.span)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Days = env.days - cfg.WarmupDays
+	if !o.Lean {
+		res.PerClient = make(map[int]client.Counters, n)
+	}
+	for i, d := range devices {
+		c := d.Counters()
+		if res.PerClient != nil {
+			res.PerClient[i] = c
+		}
+		res.Counters.SlotsServed += c.SlotsServed
+		res.Counters.CacheHits += c.CacheHits
+		res.Counters.OnDemandFetches += c.OnDemandFetches
+		res.Counters.BundleFetches += c.BundleFetches
+		res.Counters.BundledAds += c.BundledAds
+		res.Counters.DroppedOverflow += c.DroppedOverflow
+		res.Counters.DroppedExpired += c.DroppedExpired
+		res.Net.Add(d.Net())
+	}
+	res.Net.Add(coord.Net())
+	if plan != nil {
+		for i, d := range devices {
+			meters[i].Flush()
+			res.RetryEnergyJ += d.RetryEnergyJ()
+		}
+		res.FaultsInjected = plan.InjectedTotal()
+	}
+	if energy != nil {
+		for _, r := range energy {
+			r.Flush()
+			adJ := r.UsageOf("ads").TotalJ()
+			res.AdEnergyJ += adJ
+			res.AppEnergyJ += r.UsageOf("app").TotalJ()
+			if !o.Lean && res.Days > 0 {
+				res.PerUserAdJPerDay.Add(adJ / float64(res.Days))
+			}
+		}
+	}
+	return res, nil
+}

@@ -143,6 +143,16 @@ type TransportOpts struct {
 	// mode kills are node-scoped: the single-process harness observes
 	// as node 0, a cluster node observes as its own index.
 	Crashes *faults.CrashSchedule
+	// Energy attaches a per-device radio (the Config's Radio profile) on
+	// the streaming path and charges app and ad transfer bytes through
+	// it, filling the Result's energy fields the same way the in-process
+	// simulator does. RunTransportStream only; the materialized replay
+	// rejects it (its energy story is sim.Run's).
+	Energy bool
+	// Lean drops the O(population) Result fields — PerClient and the
+	// per-user energy sample — so a million-device streaming run's
+	// result stays small. RunTransportStream only.
+	Lean bool
 	// Migrations schedules live membership changes mid-run (cluster
 	// mode only). Each step fires during the slot-replay phase of its
 	// period, concurrently with device traffic, exercising the router's
@@ -166,18 +176,36 @@ type MigrationStep struct {
 // replayEnv is everything a transport replay prepares before a serving
 // backend exists: the trace, the client population and its derived
 // predictor inputs, and the pool factory both backends build their
-// engines from.
+// engines from. Two constructors fill it: newReplayEnv materializes the
+// whole population up front (pop/users set, stream nil), newStreamEnv
+// derives traces lazily (stream/firstWake set, pop/users nil). The
+// serving backends only touch the fields both paths provide.
 type replayEnv struct {
 	cfg       Config
 	o         TransportOpts
-	pop       *trace.Population
-	users     []*trace.User
+	pop       *trace.Population // nil on the streaming path
+	users     []*trace.User     // nil on the streaming path
 	ids       []int
 	cat       *trace.Catalog
+	span      simclock.Time
+	days      int
 	warmupEnd simclock.Time
 	period    time.Duration
 	workers   int
 	plan      *faults.Plan
+
+	// hints and oracle feed the server's per-client targeting hints and
+	// the oracle predictor series. The streaming path backs hints with
+	// interned init-sweep data (the server asks for them every period)
+	// and oracle with a transient per-id trace derivation.
+	hints  func(id int) []trace.Category
+	oracle func(id int) []int
+
+	// stream and firstWake exist only on the streaming path: the lazy
+	// trace source and each client's earliest timeline event (-1 when
+	// the client's trace is empty).
+	stream    *trace.Stream
+	firstWake []simclock.Time
 
 	// makePool builds a pool of `shards` engines over the given member
 	// clients. Each shard sees an identical campaign set with a full
@@ -185,6 +213,22 @@ type replayEnv struct {
 	// crash harness rebuilding after a kill — regenerates the exact
 	// same demand before recovery overwrites its mutable state.
 	makePool func(shards int, members []int) (*shard.Pool, error)
+}
+
+// initMakePool installs the pool factory once hints and oracle are set;
+// both constructors share it so the serving engines are built
+// identically whichever path prepared the env.
+func (env *replayEnv) initMakePool() {
+	cfg := env.cfg
+	env.makePool = func(shards int, members []int) (*shard.Pool, error) {
+		rng := simclock.NewRand(cfg.Seed).Stream("sim")
+		return shard.New(shards, cfg.Core.Server, members,
+			func(int) (*auction.Exchange, error) {
+				return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
+			},
+			func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, env.oracle) },
+			func(id int) []trace.Category { return env.hints(id) })
+	}
 }
 
 // migrator is the optional serving extension for backends that can
@@ -240,6 +284,8 @@ func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 		return nil, fmt.Errorf("sim: a crash schedule requires a WAL directory")
 	case len(o.Migrations) > 0 && o.Nodes == 0:
 		return nil, fmt.Errorf("sim: migration steps require cluster mode (Nodes > 0)")
+	case o.Energy || o.Lean:
+		return nil, fmt.Errorf("sim: Energy and Lean are streaming-replay options (RunTransportStream)")
 	}
 	workers := o.Workers
 	if workers < 1 {
@@ -274,24 +320,18 @@ func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 		ids[i] = u.ID
 		byID[u.ID] = u
 	}
-	oracleSeries := func(id int) []int {
-		return trace.SlotsPerPeriod(byID[id], cat, cfg.RefreshInterval, period, pop.Span)
-	}
 	hintsOf := topCategories(users, cat)
 
 	env := &replayEnv{
 		cfg: cfg, o: o, pop: pop, users: users, ids: ids, cat: cat,
+		span: pop.Span, days: pop.Days(),
 		warmupEnd: warmupEnd, period: period, workers: workers, plan: o.Plan,
 	}
-	env.makePool = func(shards int, members []int) (*shard.Pool, error) {
-		rng := simclock.NewRand(cfg.Seed).Stream("sim")
-		return shard.New(shards, cfg.Core.Server, members,
-			func(int) (*auction.Exchange, error) {
-				return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
-			},
-			func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, oracleSeries) },
-			func(id int) []trace.Category { return hintsOf[id] })
+	env.oracle = func(id int) []int {
+		return trace.SlotsPerPeriod(byID[id], cat, cfg.RefreshInterval, period, env.span)
 	}
+	env.hints = func(id int) []trace.Category { return hintsOf[id] }
+	env.initMakePool()
 	return env, nil
 }
 
@@ -495,7 +535,7 @@ func (b *singleBackend) finish(res *Result) error {
 	if gerr != nil {
 		return fmt.Errorf("sim: crash restart: %w", gerr)
 	}
-	span := b.env.pop.Span
+	span := b.env.span
 	for i := 0; i < pool.Shards(); i++ {
 		pool.Shard(i).Exchange().SweepExpired(span + simclock.Week)
 	}
@@ -531,7 +571,7 @@ func (b *singleBackend) close() {
 // settles the server-side ones.
 func driveDevices(env *replayEnv, back serving) (*Result, error) {
 	cfg, o, plan, workers := env.cfg, env.o, env.plan, env.workers
-	users, pop := env.users, env.pop
+	users := env.users
 	baseURL := back.url()
 
 	baseRT := &http.Transport{
@@ -580,7 +620,7 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 	cursors := make([]int, len(users)) // next timeline index per device
 	period := env.period
 
-	periodsTotal := int(pop.Span / simclock.Time(period))
+	periodsTotal := int(env.span / simclock.Time(period))
 	for pi := 0; pi <= periodsTotal; pi++ {
 		now := simclock.Time(pi) * simclock.Time(period)
 		if pi > 0 {
@@ -674,14 +714,14 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 	// under the original keys and timestamps.
 	if plan != nil || o.Batched {
 		if err := eachDevice(len(devices), workers, func(i int) error {
-			devices[i].FlushDeferred(pop.Span)
+			devices[i].FlushDeferred(env.span)
 			return nil
 		}); err != nil {
 			return nil, err
 		}
 	}
 
-	res.Days = pop.Days() - cfg.WarmupDays
+	res.Days = env.days - cfg.WarmupDays
 	res.PerClient = make(map[int]client.Counters, len(devices))
 	for i, d := range devices {
 		c := d.Counters()

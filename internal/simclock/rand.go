@@ -13,12 +13,25 @@ import (
 // across users and components.
 type Rand struct {
 	*rand.Rand
-	seed int64
+	seed  int64
+	light bool
 }
 
-// NewRand returns a stream seeded with the given root seed.
+// NewRand returns a stream seeded with the given root seed, backed by
+// the stdlib generator (~5 KB of state). Population-scale fleets that
+// need one stream per entity want NewLightRand instead.
 func NewRand(seed int64) *Rand {
 	return &Rand{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// NewLightRand returns a stream backed by a 8-byte splitmix64 state
+// instead of the stdlib source's ~5 KB lagged-Fibonacci table. The
+// draw sequence differs from NewRand's for the same seed, so a light
+// stream is for decorrelation at fleet scale (per-device retry jitter,
+// one generator per million clients), not for reproducing sequences
+// pinned against NewRand. Streams derived from it stay light.
+func NewLightRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(&splitmix64{state: uint64(seed)}), seed: seed, light: true}
 }
 
 // Seed returns the seed this stream was created with.
@@ -26,7 +39,8 @@ func (r *Rand) Seed() int64 { return r.seed }
 
 // Stream derives an independent sub-stream identified by name. The
 // derivation hashes (seed, name) so that adding a new consumer of
-// randomness does not perturb existing streams.
+// randomness does not perturb existing streams. The sub-stream uses
+// the same generator kind as its parent.
 func (r *Rand) Stream(name string) *Rand {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -36,7 +50,7 @@ func (r *Rand) Stream(name string) *Rand {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(name))
-	return NewRand(int64(h.Sum64()))
+	return r.derive(int64(h.Sum64()))
 }
 
 // StreamN derives an independent sub-stream identified by (name, n),
@@ -54,8 +68,33 @@ func (r *Rand) StreamN(name string, n int) *Rand {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(name))
-	return NewRand(int64(h.Sum64()))
+	return r.derive(int64(h.Sum64()))
 }
+
+func (r *Rand) derive(seed int64) *Rand {
+	if r.light {
+		return NewLightRand(seed)
+	}
+	return NewRand(seed)
+}
+
+// splitmix64 is a compact rand.Source64 (Vigna's SplitMix64): 8 bytes
+// of state, full 2^64 period, passes BigCrush. It exists so that a
+// million simulated devices can each carry an independent jitter stream
+// without the stdlib source's per-instance table.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // Exp draws from an exponential distribution with the given mean.
 func (r *Rand) Exp(mean float64) float64 {

@@ -138,3 +138,47 @@ func TestZipfRanksSkewed(t *testing.T) {
 		t.Fatalf("Zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
 	}
 }
+
+// Light streams must be deterministic per seed, decorrelated across
+// seeds, and stay light through Stream derivation — the contract that
+// lets every device in a million-client fleet carry one.
+func TestLightRandStreams(t *testing.T) {
+	a := NewLightRand(7).Stream("jitter")
+	b := NewLightRand(7).Stream("jitter")
+	c := NewLightRand(8).Stream("jitter")
+	var sameAB, sameAC int
+	for i := 0; i < 64; i++ {
+		x, y, z := a.Int63(), b.Int63(), c.Int63()
+		if x == y {
+			sameAB++
+		}
+		if x == z {
+			sameAC++
+		}
+	}
+	if sameAB != 64 {
+		t.Fatalf("same seed diverged: %d/64 draws equal", sameAB)
+	}
+	if sameAC == 64 {
+		t.Fatal("different seeds produced identical draws")
+	}
+	if !NewLightRand(1).Stream("x").StreamN("y", 3).light {
+		t.Fatal("derived stream lost lightness")
+	}
+	if NewRand(1).Stream("x").light {
+		t.Fatal("heavy stream became light")
+	}
+	// Sanity on the distribution helpers over the light source.
+	r := NewLightRand(42)
+	var sum float64
+	for i := 0; i < 10_000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10_000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("suspicious uniform mean %v", mean)
+	}
+}

@@ -1,0 +1,83 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The heap must drain any insertion order into (At, ID) order — the
+// property the streaming scheduler's determinism rests on.
+func TestWakeHeapDrainsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		in := make([]Wake, n)
+		for i := range in {
+			// Small time range on purpose: collisions exercise the ID
+			// tiebreaker.
+			in[i] = Wake{At: Time(rng.Intn(16)) * Second, ID: i}
+		}
+		var h WakeHeap
+		for _, w := range rng.Perm(n) {
+			h.Push(in[w])
+		}
+		want := append([]Wake(nil), in...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].At != want[j].At {
+				return want[i].At < want[j].At
+			}
+			return want[i].ID < want[j].ID
+		})
+		if h.Len() != n {
+			t.Fatalf("trial %d: len %d, want %d", trial, h.Len(), n)
+		}
+		for i, w := range want {
+			if got := h.Peek(); got != w {
+				t.Fatalf("trial %d: peek %d = %+v, want %+v", trial, i, got, w)
+			}
+			if got := h.Pop(); got != w {
+				t.Fatalf("trial %d: pop %d = %+v, want %+v", trial, i, got, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: %d leftovers", trial, h.Len())
+		}
+	}
+}
+
+// Interleaved pushes and pops — the scheduler's actual access pattern:
+// pop a device, replay its period, push its next wake-up — must keep
+// the min property at every step and lose no entries.
+func TestWakeHeapInterleaved(t *testing.T) {
+	var h WakeHeap
+	rng := rand.New(rand.NewSource(99))
+	pushed := map[Wake]int{}
+	popped := map[Wake]int{}
+	for step := 0; step < 5000; step++ {
+		if h.Len() == 0 || rng.Intn(3) > 0 {
+			w := Wake{At: Time(rng.Intn(1000)), ID: step}
+			h.Push(w)
+			pushed[w]++
+		} else {
+			w := h.Pop()
+			popped[w]++
+			if h.Len() > 0 {
+				if top := h.Peek(); top.At < w.At || (top.At == w.At && top.ID < w.ID) {
+					t.Fatalf("step %d: heap order broken: popped %+v but %+v remained", step, w, top)
+				}
+			}
+		}
+	}
+	for h.Len() > 0 {
+		popped[h.Pop()]++
+	}
+	if len(pushed) != len(popped) {
+		t.Fatalf("entry sets differ: %d pushed vs %d popped", len(pushed), len(popped))
+	}
+	for w, n := range pushed {
+		if popped[w] != n {
+			t.Fatalf("wake %+v pushed %d times, popped %d", w, n, popped[w])
+		}
+	}
+}

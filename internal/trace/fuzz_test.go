@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/simclock"
 )
 
 // Fuzz targets for the on-disk parsers: whatever the bytes, the loaders
@@ -54,6 +57,74 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("round trip of accepted population failed: %v", err)
 		}
 	})
+}
+
+// FuzzUserAt hammers the lazy generator with arbitrary configurations:
+// whatever the parameters, UserAt must either be rejected by Validate
+// or return a trace satisfying every session invariant (ordered,
+// non-overlapping, positive durations, inside the span) — and must be
+// identical to the user Generate materializes at the same index. Sizes
+// are folded into a small range so a fuzz case stays cheap while signs,
+// zeros and non-finite floats still reach the validator.
+func FuzzUserAt(f *testing.F) {
+	d := DefaultGenConfig()
+	f.Add(int64(1), 10, 3, 5, d.SessionsPerDayMedian, d.UserSpreadSigma, d.SessionMedianSec,
+		d.SessionSigma, d.MaxSessionSec, d.Regularity, d.WeekendFactor, d.ZipfExponent, d.FracIPhone)
+	f.Add(int64(-7), 0, 0, 0, 0.0, -1.0, 0.0, 0.0, -1.0, 2.0, -0.5, 0.0, 1.5)
+	f.Add(int64(99), 5, 1, 9, 1e9, 50.0, 1e12, 30.0, 1e12, 1.0, 0.0, 9.0, 0.5)
+	f.Add(int64(3), 7, 2, -1, math.NaN(), 0.7, 60.0, 1.1, 1800.0, math.Inf(1), 1.15, 1.3, 0.97)
+
+	f.Fuzz(func(t *testing.T, seed int64, users, days, id int,
+		median, spread, sessMedian, sessSigma, maxSess, reg, weekend, zipf, frac float64) {
+		cfg := GenConfig{
+			Seed:                 seed,
+			Users:                users % 64,
+			Days:                 days % 6,
+			SessionsPerDayMedian: fold(median, 64),
+			UserSpreadSigma:      fold(spread, 4),
+			SessionMedianSec:     fold(sessMedian, 4000),
+			SessionSigma:         fold(sessSigma, 4),
+			MaxSessionSec:        fold(maxSess, 8000),
+			Regularity:           reg,
+			WeekendFactor:        weekend,
+			ZipfExponent:         zipf,
+			FracIPhone:           frac,
+		}
+		if cfg.Validate() != nil {
+			if _, err := UserAt(cfg, id); err == nil {
+				t.Fatalf("invalid config accepted: %+v", cfg)
+			}
+			return
+		}
+		u, err := UserAt(cfg, id)
+		if err != nil {
+			if id >= 0 && id < cfg.Users {
+				t.Fatalf("in-range id %d rejected: %v", id, err)
+			}
+			return
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("generated user violates invariants: %v", err)
+		}
+		span := simclock.Time(cfg.Days) * simclock.Day
+		for i, s := range u.Sessions {
+			if s.Start < 0 || s.End() > span {
+				t.Fatalf("session %d outside span [0, %v): start %v end %v", i, span, s.Start, s.End())
+			}
+		}
+		if u.ID != id {
+			t.Fatalf("user carries id %d, asked for %d", u.ID, id)
+		}
+	})
+}
+
+// fold maps an arbitrary finite float into (-lim, lim) without erasing
+// NaN/Inf (those must reach the validator untouched).
+func fold(v, lim float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	return math.Mod(v, lim)
 }
 
 func FuzzReadCSV(f *testing.F) {

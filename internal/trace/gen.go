@@ -70,6 +70,27 @@ func DefaultGenConfig() GenConfig {
 
 // Validate checks the configuration.
 func (c GenConfig) Validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"SessionsPerDayMedian", c.SessionsPerDayMedian},
+		{"UserSpreadSigma", c.UserSpreadSigma},
+		{"SessionMedianSec", c.SessionMedianSec},
+		{"SessionSigma", c.SessionSigma},
+		{"MaxSessionSec", c.MaxSessionSec},
+		{"Regularity", c.Regularity},
+		{"WeekendFactor", c.WeekendFactor},
+		{"ZipfExponent", c.ZipfExponent},
+		{"FracIPhone", c.FracIPhone},
+	} {
+		// NaN slips through ordered range checks (every comparison is
+		// false) and then wedges Poisson sampling in an endless loop, so
+		// reject non-finite parameters up front.
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("trace: %s must be finite, got %v", p.name, p.v)
+		}
+	}
 	switch {
 	case c.Users <= 0:
 		return fmt.Errorf("trace: Users must be positive, got %d", c.Users)
@@ -98,22 +119,21 @@ var baseDiurnalWeights = [24]float64{
 }
 
 // Generate synthesizes a population per the configuration. The result
-// is deterministic for a given configuration (including seed).
+// is deterministic for a given configuration (including seed), and is
+// exactly a materialized Stream: per-user derivation is lazy and
+// order-free, so Generate(cfg).Users[id] == Stream.UserAt(id) byte for
+// byte (see stream.go).
 func Generate(cfg GenConfig) (*Population, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewStream(cfg)
+	if err != nil {
 		return nil, err
 	}
-	cat := cfg.Catalog
-	if cat == nil {
-		cat = NewCatalog(DefaultCatalog())
-	}
-	root := simclock.NewRand(cfg.Seed).Stream("tracegen")
 	pop := &Population{
 		Users: make([]*User, cfg.Users),
-		Span:  simclock.Time(cfg.Days) * simclock.Day,
+		Span:  s.Span(),
 	}
 	for i := 0; i < cfg.Users; i++ {
-		pop.Users[i] = generateUser(cfg, cat, root.StreamN("user", i), i)
+		pop.Users[i] = s.UserAt(i)
 	}
 	return pop, nil
 }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// The lazy generator's core contract: UserAt(cfg, id) is bit-identical
+// to Generate(cfg).Users[id], for every user, under any visit order,
+// with repeated visits, across independent Stream instances.
+func TestUserAtMatchesGenerate(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Users = 60
+	cfg.Days = 6
+	cfg.Seed = 42
+
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrambled visit order, every id visited twice: laziness must be
+	// order-free and side-effect-free.
+	order := rand.New(rand.NewSource(3)).Perm(cfg.Users)
+	order = append(order, order...)
+	for _, id := range order {
+		got := st.UserAt(id)
+		if !reflect.DeepEqual(got, pop.Users[id]) {
+			t.Fatalf("UserAt(%d) diverges from Generate:\n lazy:        %+v\n materialized: %+v",
+				id, got, pop.Users[id])
+		}
+	}
+
+	// A fresh stream visiting only one late id must agree too — deriving
+	// user N-1 without touching users 0..N-2.
+	st2, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := cfg.Users - 1
+	if !reflect.DeepEqual(st2.UserAt(last), pop.Users[last]) {
+		t.Fatalf("cold UserAt(%d) diverges from Generate", last)
+	}
+
+	// And the checked package-level form.
+	u, err := UserAt(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u, pop.Users[17]) {
+		t.Fatal("package-level UserAt diverges from Generate")
+	}
+}
+
+// Streams must be safe for concurrent derivation: a parallel sweep has
+// to produce the same users as a serial one.
+func TestStreamConcurrentDerivation(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Users = 32
+	cfg.Days = 3
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, cfg.Users)
+	for id := 0; id < cfg.Users; id++ {
+		go func(id int) {
+			if !reflect.DeepEqual(st.UserAt(id), pop.Users[id]) {
+				errc <- fmt.Errorf("concurrent UserAt(%d) diverged", id)
+				return
+			}
+			errc <- nil
+		}(id)
+	}
+	for i := 0; i < cfg.Users; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamMetadata(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Users = 5
+	cfg.Days = 4
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users() != 5 || st.Days() != 4 {
+		t.Fatalf("metadata: %d users, %d days", st.Users(), st.Days())
+	}
+	if st.Span() != 4*simclock.Day {
+		t.Fatalf("span %v", st.Span())
+	}
+	if st.Catalog() == nil || st.Catalog().Len() == 0 {
+		t.Fatal("no catalog")
+	}
+	if st.Config().Users != 5 {
+		t.Fatalf("config echo: %+v", st.Config())
+	}
+}
+
+func TestUserAtValidation(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Users = 0
+	if _, err := UserAt(cfg, 0); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewStream(cfg); err == nil {
+		t.Fatal("invalid config accepted by NewStream")
+	}
+	cfg = DefaultGenConfig()
+	cfg.Users = 3
+	if _, err := UserAt(cfg, 3); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := UserAt(cfg, -1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stream.UserAt out of range did not panic")
+		}
+	}()
+	st.UserAt(3)
+}
+
+// Non-finite generator parameters must be rejected, not sampled: NaN
+// passes every ordered range check and then wedges Poisson sampling.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := func(mut func(*GenConfig)) GenConfig {
+		cfg := DefaultGenConfig()
+		mut(&cfg)
+		return cfg
+	}
+	bad := []GenConfig{
+		nan(func(c *GenConfig) { c.Regularity = math.NaN() }),
+		nan(func(c *GenConfig) { c.SessionsPerDayMedian = math.Inf(1) }),
+		nan(func(c *GenConfig) { c.WeekendFactor = math.NaN() }),
+		nan(func(c *GenConfig) { c.MaxSessionSec = math.Inf(1) }),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: non-finite config accepted", i)
+		}
+	}
+}

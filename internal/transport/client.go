@@ -147,7 +147,7 @@ func newCaller(baseURL, keyPrefix string, defaultSeed int64, o options) caller {
 		http:      hc,
 		base:      strings.TrimRight(baseURL, "/"),
 		Retry:     retry,
-		jitter:    simclock.NewRand(seed).Stream("transport-retry"),
+		jitter:    simclock.NewLightRand(seed).Stream("transport-retry"),
 		keyPrefix: keyPrefix,
 		meter:     o.meter,
 		cm:        newClientMetrics(o.registry),
