@@ -56,6 +56,7 @@ bench:
 # committed point). Not part of tier-1: benchmark numbers are
 # machine-sensitive, so the gate is run deliberately, on one machine.
 BENCH_SWEEP = go test -bench 'SequentialServing|BatchCodec|ShardedServing|WakeUp' -benchtime 1s -run '^$$' ./internal/transport && \
+	go test -bench 'TenantAdmission' -benchtime 1s -run '^$$' ./internal/tenant && \
 	go test -bench 'GroupCommit' -benchtime 1s -run '^$$' ./internal/wal && \
 	go test -bench 'ClusterRoundTrip|MigrationHandoff' -benchtime 1s -run '^$$' ./internal/cluster && \
 	go test -bench 'StreamingReplay' -benchtime 2x -run '^$$' ./internal/sim
@@ -130,14 +131,31 @@ migrate:
 	go test -count=1 -run 'TestHealthReplyGolden' ./internal/transport
 	go test -count=1 -run 'TestMigration' ./internal/sim
 
+# Tenant tier: multi-tenant isolation. The tenant registry unit suite
+# (range attribution, token-bucket refill monotonicity, validation),
+# the transport-level admission contract (429 + pressure-scaled
+# Retry-After from both the token bucket and the per-tenant open-book
+# bound, wire/envelope tenant mismatch 403s, config-epoch idempotency,
+# per-tenant ledger views partitioning the aggregate, APB2 codec
+# equivalence, the client's Retry-After backoff floor), and the
+# noisy-neighbor differential suite: a victim tenant beside a flooding
+# aggressor must match its solo baseline exactly — ledger, SLA
+# violations, per-device counters, and a bounded slot p99 — fault-free,
+# under seeded chaos, through the cluster router, and across a kill on
+# the config-epoch WAL record itself.
+tenant:
+	go test -count=1 ./internal/tenant
+	go test -count=1 -run 'TestTenant|TestRetryAfterSecs|TestConfigEpoch|TestLedgerTenantViews|TestBatchTenantCodec|TestClientRetryAfterFloor|TestHealthReplyGolden' ./internal/transport
+	go test -count=1 -timeout 30m -run 'TestTenant' ./internal/sim
+
 # Aggregate correctness gate: every functional tier in one command.
 # (The benchmark tiers stay separate — they are about machines, not
 # logic.)
-verify: test batch chaos crash cluster migrate stream
+verify: test batch chaos crash cluster migrate stream tenant
 
 # Everything: the functional gate plus the race-detector tiers. This is
 # the pre-merge command; `verify` alone used to silently skip race and
 # obs, which let schedule-dependent regressions through.
 verify-full: verify race obs
 
-.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster migrate stream mega verify verify-full
+.PHONY: test race obs bench benchsnap benchgate chaos batch crash cluster migrate stream tenant mega verify verify-full

@@ -18,6 +18,7 @@
 //	adloadgen                           # 1M devices, 1 day, 6h periods
 //	adloadgen -users 100000 -shards 2   # smaller sweep
 //	adloadgen -nodes 3 -users 500000    # through the cluster router
+//	adloadgen -target http://127.0.0.1:8480 -users 100000  # drive a live deployment
 //	adloadgen -json > run.json          # machine-readable result
 package main
 
@@ -47,6 +48,7 @@ func main() {
 		mode     = flag.String("mode", "naive", "delivery mode: ondemand | naive | predictive | oracle")
 		shards   = flag.Int("shards", 4, "server shard count (single-process)")
 		nodes    = flag.Int("nodes", 0, "cluster node count (0 = single process)")
+		target   = flag.String("target", "", "base URL of an already-running server or router (e.g. http://127.0.0.1:8480); drives it instead of booting one in-process")
 		workers  = flag.Int("workers", 0, "device worker goroutines (0 = GOMAXPROCS)")
 		batched  = flag.Bool("batched", true, "use the coalesced batch wire")
 		binary   = flag.Bool("binary", false, "use the binary batch codec (implies -batched)")
@@ -78,9 +80,15 @@ func main() {
 		BinaryBatch: *binary,
 		Energy:      *energy,
 		Lean:        *lean,
+		TargetURL:   *target,
 	}
 	if *nodes > 0 {
 		o.Shards = 0
+	}
+	if *target != "" {
+		// The external deployment decides its own topology; the generator
+		// only drives devices at it.
+		o.Shards, o.Nodes = 0, 0
 	}
 
 	start := time.Now()

@@ -42,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -61,6 +62,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/shard"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -91,6 +93,7 @@ func main() {
 		impBase   = flag.Int64("imp-base", 0, "impression-id namespace floor for this node (give each elastic-cluster node a disjoint block, e.g. node i gets (i+1)<<40)")
 		clNode    = flag.Int("cluster-node", 0, "with -cluster-size: this node's member index in the routing ring")
 		clSize    = flag.Int("cluster-size", 0, "boot owning only the clients the routing ring places on member -cluster-node among this many members (a joiner passes the pre-join size and its new index, owning none); 0 owns the whole id space")
+		tenantsFl = flag.String("tenants", "", "JSON file with the boot tenant table ([{id, lo, hi, rate_per_sec, burst, max_open_book}, ...]); empty serves the legacy single tenant")
 	)
 	flag.Parse()
 	if *routeNode != "" {
@@ -104,6 +107,26 @@ func main() {
 	demand := auction.DefaultDemand()
 	demand.Campaigns = *campaigns
 	demand.CPMMedianUSD = *cpm
+
+	// The boot tenant table is parsed before demand generation: each
+	// named tenant gets its own synthetic campaign namespace (ids offset
+	// per tenant, tagged with the tenant), mirroring how a real
+	// deployment scopes demand per publisher — without it, tenanted
+	// clients would have no campaigns to buy.
+	var tenantReg *tenant.Registry
+	var tenantCfgs []tenant.Config
+	if *tenantsFl != "" {
+		data, err := os.ReadFile(*tenantsFl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &tenantCfgs); err != nil {
+			log.Fatalf("-tenants %s: %v", *tenantsFl, err)
+		}
+		if tenantReg, err = tenant.NewRegistry(1, tenantCfgs); err != nil {
+			log.Fatalf("-tenants %s: %v", *tenantsFl, err)
+		}
+	}
 
 	cfg := adserver.DefaultConfig()
 	cfg.Period = *period
@@ -132,6 +155,14 @@ func main() {
 	// the demand pool is split across shards, not duplicated.
 	mkExchange := func(int) (*auction.Exchange, error) {
 		cs := demand.Generate(simclock.NewRand(*seed))
+		for ti, tc := range tenantCfgs {
+			set := demand.Generate(simclock.NewRand(*seed + int64(ti) + 1))
+			for i := range set {
+				set[i].ID += auction.CampaignID((ti + 1) * demand.Campaigns)
+				set[i].Tenant = tc.ID
+			}
+			cs = append(cs, set...)
+		}
 		for i := range cs {
 			cs[i].BudgetUSD /= float64(*shards)
 		}
@@ -178,6 +209,14 @@ func main() {
 	ss.MaxBatchOps = *maxBatch
 	ss.SetNodeID(*nodeID)
 	ss.AdminToken = *adminTok
+
+	// The boot tenant table must be installed before WAL recovery:
+	// replayed config epochs stack on top of the same initial registry
+	// the live run had, exactly like the shard layout must match.
+	if tenantReg != nil {
+		ss.SetTenants(tenantReg)
+		fmt.Printf("adserverd: %d tenant(s) under admission control (epoch 1)\n", len(tenantCfgs))
+	}
 
 	// Durability: every mutating operation is logged before its response
 	// is acknowledged, and boot recovers whatever the directory holds —

@@ -184,6 +184,13 @@ type Server struct {
 	// the serving state).
 	lastForecast float64
 
+	// Multi-tenant serving state (see tenant.go): client→tenant
+	// attribution, plus per-tenant pending heaps and top-up cursors for
+	// named tenants (the legacy tenant "" keeps pending/rescueCursor).
+	tenantOf      func(clientID int) string
+	tenantPending map[string]*pendingHeap
+	tenantCursor  map[string]int
+
 	// ops holds the streaming monitoring metrics behind their own lock
 	// so snapshots never contend with the serving path.
 	ops opsMetrics
@@ -335,11 +342,17 @@ func (s *Server) Config() Config { return s.cfg }
 // Exchange returns the underlying exchange (for ledger inspection).
 func (s *Server) Exchange() *auction.Exchange { return s.ex }
 
-// OpenBook returns the number of entries in the pending-impression heap:
-// sold impressions awaiting display. Claimed and expired entries are
-// removed lazily, so this is an upper bound on the truly open book —
-// good enough as a load-shedding signal.
-func (s *Server) OpenBook() int { return len(s.pending) }
+// OpenBook returns the number of entries across all pending-impression
+// heaps: sold impressions awaiting display. Claimed and expired entries
+// are removed lazily, so this is an upper bound on the truly open book
+// — good enough as a load-shedding signal.
+func (s *Server) OpenBook() int {
+	n := len(s.pending)
+	for _, h := range s.tenantPending {
+		n += len(*h)
+	}
+	return n
+}
 
 // Predictor returns the predictor of one client (nil if unknown),
 // so tests and the simulator can inspect forecasts.
@@ -347,14 +360,52 @@ func (s *Server) Predictor(clientID int) predict.Predictor { return s.predictors
 
 // StartPeriod runs the prefetch round for the period beginning at now:
 // forecast, admission, sale, replication, bundling. Clients with empty
-// bundles are omitted from the result.
+// bundles are omitted from the result. Under tenancy the round runs
+// once per tenant group — each tenant's forecasts admit only that
+// tenant's inventory, sold to that tenant's campaigns and replicated
+// onto that tenant's clients.
 func (s *Server) StartPeriod(now simclock.Time, p predict.Period) ([]Bundle, PeriodStats) {
 	var stats PeriodStats
 	s.curPeriod = p
 	defer func() { s.lastForecast = stats.PredictedSlots }()
 
-	cands := make([]*overbook.Candidate, 0, len(s.clientIDs))
-	for _, id := range s.clientIDs {
+	bundles := make(map[int]*Bundle)
+	built := false
+	if s.tenantOf == nil {
+		built = s.startGroup(now, p, s.clientIDs, "", nil, &stats, bundles)
+	} else {
+		for _, g := range s.tenantGroups() {
+			tenant := g.tenant
+			allow := func(c auction.CampaignID) bool {
+				camp, ok := s.ex.Campaign(c)
+				return ok && camp.Tenant == tenant
+			}
+			if s.startGroup(now, p, g.clients, tenant, allow, &stats, bundles) {
+				built = true
+			}
+		}
+	}
+	if !built {
+		return nil, stats
+	}
+	out := make([]Bundle, 0, len(bundles))
+	for _, b := range bundles {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out, stats
+}
+
+// startGroup runs one tenant's forecast/admission/sale/replication
+// round, accumulating into the shared stats and bundle map. It reports
+// whether the round reached the bundling stage (sold anything), which
+// preserves the legacy nil-vs-empty reply distinction.
+func (s *Server) startGroup(now simclock.Time, p predict.Period, clientIDs []int,
+	tenant string, allow func(auction.CampaignID) bool,
+	stats *PeriodStats, bundles map[int]*Bundle) bool {
+
+	cands := make([]*overbook.Candidate, 0, len(clientIDs))
+	for _, id := range clientIDs {
 		pred := s.predictors[id]
 		est := pred.Predict(p)
 		stats.PredictedSlots += est.Slots
@@ -372,15 +423,15 @@ func (s *Server) StartPeriod(now simclock.Time, p predict.Period) ([]Bundle, Per
 	}
 
 	admitted := overbook.AdmissionCount(candValues(cands), s.cfg.Overbook)
-	stats.Admitted = admitted
+	stats.Admitted += admitted
 	if admitted == 0 {
-		return nil, stats
+		return false
 	}
 
-	sold := s.ex.SellSlots(now, admitted, s.aggregateHints(), s.cfg.Deadline())
-	stats.Sold = len(sold)
+	sold := s.ex.SellSlotsFiltered(now, admitted, s.aggregateHintsOf(clientIDs), s.cfg.Deadline(), allow)
+	stats.Sold += len(sold)
 	if len(sold) == 0 {
-		return nil, stats
+		return false
 	}
 
 	planner, err := overbook.NewPlanner(s.cfg.Overbook, cands)
@@ -389,9 +440,9 @@ func (s *Server) StartPeriod(now simclock.Time, p predict.Period) ([]Bundle, Per
 		panic(err)
 	}
 	day := now.DayIndex()
-	bundles := make(map[int]*Bundle)
+	pendingOf := s.heapOf(tenant)
 	for _, imp := range sold {
-		heap.Push(&s.pending, pendingImp{id: imp.ID, deadline: imp.Deadline})
+		heap.Push(pendingOf, pendingImp{id: imp.ID, deadline: imp.Deadline})
 		s.impCampaign[imp.ID] = imp.Campaign
 		holders, _ := planner.PlanOne()
 		// Frequency caps: drop holders already saturated with this
@@ -423,13 +474,7 @@ func (s *Server) StartPeriod(now simclock.Time, p predict.Period) ([]Bundle, Per
 			})
 		}
 	}
-
-	out := make([]Bundle, 0, len(bundles))
-	for _, b := range bundles {
-		out = append(out, *b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
-	return out, stats
+	return true
 }
 
 func candValues(cands []*overbook.Candidate) []overbook.Candidate {
@@ -440,16 +485,16 @@ func candValues(cands []*overbook.Candidate) []overbook.Candidate {
 	return out
 }
 
-// aggregateHints unions all clients' category hints (prefetched
+// aggregateHintsOf unions the given clients' category hints (prefetched
 // inventory is sold against the population's category mix, since the
 // exact app a predicted slot will open in is unknown).
-func (s *Server) aggregateHints() []trace.Category {
+func (s *Server) aggregateHintsOf(clientIDs []int) []trace.Category {
 	if s.hints == nil {
 		return nil
 	}
 	seen := map[trace.Category]bool{}
 	var out []trace.Category
-	for _, id := range s.clientIDs {
+	for _, id := range clientIDs {
 		for _, c := range s.hints(id) {
 			if !seen[c] {
 				seen[c] = true
@@ -496,29 +541,30 @@ func (s *Server) CancellationKnown(id auction.ImpressionID, at simclock.Time) bo
 // so there is no report latency). ok is false when nothing is pending.
 func (s *Server) RescueOpen(now simclock.Time, clientID int) (auction.ImpressionID, bool) {
 	day := now.DayIndex()
+	h := s.heapOf(s.tenantOfClient(clientID))
 	// Skimmed entries that are valid but frequency-capped for this
 	// client are pushed back after the scan.
 	var skipped []pendingImp
 	defer func() {
 		for _, e := range skipped {
-			heap.Push(&s.pending, e)
+			heap.Push(h, e)
 		}
 	}()
-	for len(s.pending) > 0 {
-		top := s.pending[0]
+	for len(*h) > 0 {
+		top := (*h)[0]
 		if _, claimed := s.claims[top.id]; claimed {
-			heap.Pop(&s.pending)
+			heap.Pop(h)
 			continue
 		}
 		if now.After(top.deadline) {
-			heap.Pop(&s.pending) // expired; the sweep will record it
+			heap.Pop(h) // expired; the sweep will record it
 			continue
 		}
 		if !s.underCap(clientID, s.impCampaign[top.id], day) {
-			skipped = append(skipped, heap.Pop(&s.pending).(pendingImp))
+			skipped = append(skipped, heap.Pop(h).(pendingImp))
 			continue
 		}
-		heap.Pop(&s.pending)
+		heap.Pop(h)
 		s.claims[top.id] = now
 		s.countCap(clientID, s.impCampaign[top.id], day)
 		if err := s.ex.RecordDisplay(top.id, now); err != nil {
@@ -541,7 +587,9 @@ func (s *Server) RescueOpen(now simclock.Time, clientID int) (auction.Impression
 // displays (revenue loss), while a copy of a thinly-replicated ad
 // genuinely improves its odds.
 func (s *Server) TopUp(now simclock.Time, clientID int) []client.CachedAd {
-	if s.cfg.TopUpCap <= 0 || len(s.pending) == 0 {
+	tenant := s.tenantOfClient(clientID)
+	h := s.heapOf(tenant)
+	if s.cfg.TopUpCap <= 0 || len(*h) == 0 {
 		return nil
 	}
 	pred, ok := s.predictors[clientID]
@@ -557,11 +605,12 @@ func (s *Server) TopUp(now simclock.Time, clientID int) []client.CachedAd {
 		return nil
 	}
 	out := make([]client.CachedAd, 0, want)
-	n := len(s.pending)
+	n := len(*h)
+	cursor := s.cursorOf(tenant)
 	day := now.DayIndex()
 	take := func(maxHolders int) {
 		for i := 0; i < n && len(out) < want; i++ {
-			e := s.pending[(s.rescueCursor+i)%n]
+			e := (*h)[(cursor+i)%n]
 			if _, claimed := s.claims[e.id]; claimed {
 				continue
 			}
@@ -599,7 +648,7 @@ func (s *Server) TopUp(now simclock.Time, clientID int) []client.CachedAd {
 	if len(out) < want {
 		take(1 << 30)
 	}
-	s.rescueCursor = (s.rescueCursor + want) % max(n, 1)
+	s.setCursor(tenant, (cursor+want)%max(n, 1))
 	return out
 }
 
@@ -616,7 +665,13 @@ func max(a, b int) int {
 // they have saturated today. ok is false when no campaign bid.
 func (s *Server) OnDemandSell(now simclock.Time, clientID int, hints []trace.Category) (auction.Impression, bool) {
 	day := now.DayIndex()
+	tenant := s.tenantOfClient(clientID)
 	sold := s.ex.SellSlotsFiltered(now, 1, hints, s.cfg.Deadline(), func(c auction.CampaignID) bool {
+		if s.tenantOf != nil {
+			if camp, ok := s.ex.Campaign(c); !ok || camp.Tenant != tenant {
+				return false
+			}
+		}
 		return s.underCap(clientID, c, day)
 	})
 	if len(sold) == 0 {

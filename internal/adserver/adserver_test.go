@@ -223,7 +223,7 @@ func TestAggregateHints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s.aggregateHints()
+	got := s.aggregateHintsOf(s.clientIDs)
 	if len(got) != 3 {
 		t.Fatalf("hints %v", got)
 	}

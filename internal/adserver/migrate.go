@@ -148,6 +148,18 @@ func (s *Server) ExtractClients(ids []int) ([]ClientState, error) {
 	}
 	s.pending = kept
 	heap.Init(&s.pending)
+	for _, h := range s.tenantPending {
+		keptT := (*h)[:0]
+		for _, p := range *h {
+			if cs, ok := movedImp[p.id]; ok {
+				cs.Pending = append(cs.Pending, pendingEntry{ID: p.id, Deadline: p.deadline})
+			} else {
+				keptT = append(keptT, p)
+			}
+		}
+		*h = keptT
+		heap.Init(h)
+	}
 
 	// Frequency-cap history for the moving clients, all days.
 	var fkeys []freqKey
@@ -236,11 +248,18 @@ func (s *Server) AdoptClients(states []ClientState) error {
 			s.impCampaign[ic.ID] = ic.Campaign
 		}
 		for _, p := range cs.Pending {
-			s.pending = append(s.pending, pendingImp{id: p.ID, deadline: p.Deadline})
+			// Route to the owning tenant's heap: the impression id's
+			// namespace identifies the tenant regardless of which client
+			// carried it over.
+			h := s.heapOf(s.ex.TenantOfImpression(p.ID))
+			*h = append(*h, pendingImp{id: p.ID, deadline: p.Deadline})
 		}
 	}
 	sort.Ints(s.clientIDs)
 	heap.Init(&s.pending)
+	for _, h := range s.tenantPending {
+		heap.Init(h)
+	}
 	return nil
 }
 

@@ -32,6 +32,22 @@ type State struct {
 	LastForecast   float64         `json:"last_forecast"`
 	Ops            opsState        `json:"ops"`
 	Predictors     json.RawMessage `json:"predictors"`
+
+	// Per-tenant open books (tenant.go); omitted for single-tenant
+	// servers so legacy snapshots stay byte-identical. Heap arrays are
+	// verbatim, like Pending.
+	TenantPending []tenantPendingState `json:"tenant_pending,omitempty"`
+	TenantCursors []tenantCursorState  `json:"tenant_cursors,omitempty"`
+}
+
+type tenantPendingState struct {
+	Tenant  string         `json:"tenant"`
+	Pending []pendingEntry `json:"pending"`
+}
+
+type tenantCursorState struct {
+	Tenant string `json:"tenant"`
+	Cursor int    `json:"cursor"`
 }
 
 type claimEntry struct {
@@ -115,6 +131,30 @@ func (s *Server) Snapshot() (*State, error) {
 		}
 		return a.Day < b.Day
 	})
+	var tenants []string
+	for t, h := range s.tenantPending {
+		if len(*h) > 0 {
+			tenants = append(tenants, t)
+		}
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		tp := tenantPendingState{Tenant: t}
+		for _, p := range *s.tenantPending[t] {
+			tp.Pending = append(tp.Pending, pendingEntry{ID: p.id, Deadline: p.deadline})
+		}
+		st.TenantPending = append(st.TenantPending, tp)
+	}
+	tenants = tenants[:0]
+	for t, c := range s.tenantCursor {
+		if c != 0 {
+			tenants = append(tenants, t)
+		}
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		st.TenantCursors = append(st.TenantCursors, tenantCursorState{Tenant: t, Cursor: s.tenantCursor[t]})
+	}
 	s.ops.mu.Lock()
 	st.Ops = opsState{Rounds: s.ops.rounds, ErrP50: s.ops.errP50.State(), ErrP95: s.ops.errP95.State()}
 	s.ops.mu.Unlock()
@@ -152,6 +192,24 @@ func (s *Server) Restore(st *State) error {
 	}
 	s.curPeriod = st.CurPeriod
 	s.rescueCursor = st.RescueCursor
+	s.tenantPending = nil
+	for _, tp := range st.TenantPending {
+		h := make(pendingHeap, 0, len(tp.Pending))
+		for _, p := range tp.Pending {
+			h = append(h, pendingImp{id: p.ID, deadline: p.Deadline})
+		}
+		if s.tenantPending == nil {
+			s.tenantPending = make(map[string]*pendingHeap, len(st.TenantPending))
+		}
+		s.tenantPending[tp.Tenant] = &h
+	}
+	s.tenantCursor = nil
+	for _, tc := range st.TenantCursors {
+		if s.tenantCursor == nil {
+			s.tenantCursor = make(map[string]int, len(st.TenantCursors))
+		}
+		s.tenantCursor[tc.Tenant] = tc.Cursor
+	}
 	s.impCampaign = make(map[auction.ImpressionID]auction.CampaignID, len(st.ImpCampaigns))
 	for _, ic := range st.ImpCampaigns {
 		s.impCampaign[ic.ID] = ic.Campaign

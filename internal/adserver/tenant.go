@@ -1,0 +1,99 @@
+package adserver
+
+import "sort"
+
+// Multi-tenant serving: each publisher (tenant) gets its own pending
+// heap, rescue cursor, and StartPeriod admission round, so one tenant's
+// open book and forecasts never influence another's rescues, top-ups,
+// or sales. The legacy tenant ("") keeps the original Server fields and
+// snapshot encoding, so a single-tenant deployment is byte-for-byte
+// unchanged.
+
+// SetTenancy installs the client→tenant attribution. nil restores the
+// legacy single-tenant behavior. Call between requests only (the server
+// is externally locked, like every other method).
+func (s *Server) SetTenancy(tenantOf func(clientID int) string) {
+	s.tenantOf = tenantOf
+}
+
+// tenantOfClient maps a client id to its tenant ("" = legacy).
+func (s *Server) tenantOfClient(id int) string {
+	if s.tenantOf == nil {
+		return ""
+	}
+	return s.tenantOf(id)
+}
+
+// heapOf returns the pending heap holding one tenant's open book,
+// creating it on first use. The legacy tenant keeps the original field.
+func (s *Server) heapOf(tenant string) *pendingHeap {
+	if tenant == "" {
+		return &s.pending
+	}
+	h, ok := s.tenantPending[tenant]
+	if !ok {
+		if s.tenantPending == nil {
+			s.tenantPending = make(map[string]*pendingHeap)
+		}
+		h = new(pendingHeap)
+		s.tenantPending[tenant] = h
+	}
+	return h
+}
+
+// cursorOf and setCursor access one tenant's top-up rotation cursor.
+func (s *Server) cursorOf(tenant string) int {
+	if tenant == "" {
+		return s.rescueCursor
+	}
+	return s.tenantCursor[tenant]
+}
+
+func (s *Server) setCursor(tenant string, v int) {
+	if tenant == "" {
+		s.rescueCursor = v
+		return
+	}
+	if s.tenantCursor == nil {
+		s.tenantCursor = make(map[string]int)
+	}
+	s.tenantCursor[tenant] = v
+}
+
+// OpenBookOf returns one tenant's pending-heap size: the tenant's sold
+// impressions awaiting display (lazily pruned, like OpenBook).
+func (s *Server) OpenBookOf(tenant string) int {
+	if tenant == "" {
+		return len(s.pending)
+	}
+	if h := s.tenantPending[tenant]; h != nil {
+		return len(*h)
+	}
+	return 0
+}
+
+// tenantGroup is one tenant's slice of the client population.
+type tenantGroup struct {
+	tenant  string
+	clients []int
+}
+
+// tenantGroups partitions the sorted client ids by tenant; the legacy
+// group ("") sorts first. Tenants with no clients get no group — their
+// inventory is only sold on demand.
+func (s *Server) tenantGroups() []tenantGroup {
+	idx := make(map[string]int)
+	var groups []tenantGroup
+	for _, id := range s.clientIDs {
+		t := s.tenantOf(id)
+		i, ok := idx[t]
+		if !ok {
+			i = len(groups)
+			idx[t] = i
+			groups = append(groups, tenantGroup{tenant: t})
+		}
+		groups[i].clients = append(groups[i].clients, id)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].tenant < groups[j].tenant })
+	return groups
+}

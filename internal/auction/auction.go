@@ -63,6 +63,13 @@ type Campaign struct {
 	// materialize on — so the ad server enforces it at replica
 	// assignment and on-demand sale time via SellSlots' allow filter.
 	FreqCapPerUserDay int
+
+	// Tenant scopes the campaign to one publisher's namespace. Empty is
+	// the legacy single-publisher deployment. The ad server only sells a
+	// tenant's inventory to that tenant's campaigns, and the exchange
+	// mints the tenant's impression ids from a disjoint namespace so one
+	// tenant's traffic never perturbs another's id sequence or ledger.
+	Tenant string `json:"Tenant,omitempty"`
 }
 
 // perImp returns the campaign's per-impression bid.
@@ -154,6 +161,14 @@ type Exchange struct {
 	// settledPrice remembers prices of settled impressions so late
 	// duplicate displays can still be valued as revenue loss.
 	settledPrice map[ImpressionID]float64
+
+	// Multi-tenant state (see tenant.go): distinct campaign tenants in
+	// sorted order, per-tenant impression-id cursors, per-tenant ledger
+	// views, and open-impression counts keyed by tenant ("" = legacy).
+	tenants      []string
+	tenantNext   map[string]ImpressionID
+	tenantLedger map[string]*Ledger
+	openCnt      map[string]int
 }
 
 // NewExchange creates an exchange over the campaign set with the given
@@ -179,6 +194,7 @@ func NewExchange(campaigns []Campaign, reserveUSD float64) (*Exchange, error) {
 		e.order = append(e.order, c.ID)
 	}
 	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+	e.initTenants()
 	return e, nil
 }
 
@@ -266,9 +282,8 @@ func (e *Exchange) sellOne(now simclock.Time, hints []trace.Category, deadlineCa
 	if deadlineCap > 0 && (deadline == 0 || deadline > deadlineCap) {
 		deadline = deadlineCap
 	}
-	e.nextID++
 	imp := Impression{
-		ID:       e.nextID,
+		ID:       e.mintID(best.c.Tenant),
 		Campaign: best.c.ID,
 		PriceUSD: price,
 		SoldAt:   now,
@@ -278,8 +293,13 @@ func (e *Exchange) sellOne(now simclock.Time, hints []trace.Category, deadlineCa
 	best.committedUSD += price
 	e.ledger.Sold++
 	e.ledger.PotentialUSD += price
+	if tl := e.tenantLedger[best.c.Tenant]; tl != nil {
+		tl.Sold++
+		tl.PotentialUSD += price
+	}
 	stored := imp
 	e.open[imp.ID] = &stored
+	e.openCnt[best.c.Tenant]++
 	return imp, true
 }
 
@@ -298,6 +318,10 @@ func (e *Exchange) RecordDisplay(id ImpressionID, at simclock.Time) error {
 			// Value: we no longer know the price cheaply unless we keep it;
 			// see settledPrice map below.
 			e.ledger.FreeUSD += e.settledPrice[id]
+			if tl := e.ledgerOfID(id); tl != nil {
+				tl.FreeShows++
+				tl.FreeUSD += e.settledPrice[id]
+			}
 			return nil
 		}
 		return fmt.Errorf("auction: display report for unknown impression %d", id)
@@ -307,6 +331,10 @@ func (e *Exchange) RecordDisplay(id ImpressionID, at simclock.Time) error {
 		// but the eyeballs were given away for free.
 		e.ledger.FreeShows++
 		e.ledger.FreeUSD += imp.PriceUSD
+		if tl := e.ledgerOfID(id); tl != nil {
+			tl.FreeShows++
+			tl.FreeUSD += imp.PriceUSD
+		}
 		return nil
 	}
 	s := e.states[imp.Campaign]
@@ -314,6 +342,10 @@ func (e *Exchange) RecordDisplay(id ImpressionID, at simclock.Time) error {
 	s.billedCount++
 	e.ledger.Billed++
 	e.ledger.BilledUSD += imp.PriceUSD
+	if tl := e.ledgerOfID(id); tl != nil {
+		tl.Billed++
+		tl.BilledUSD += imp.PriceUSD
+	}
 	e.settle(id, imp.PriceUSD)
 	return nil
 }
@@ -334,6 +366,10 @@ func (e *Exchange) RecordExpiry(id ImpressionID) {
 	}
 	e.ledger.Violations++
 	e.ledger.ViolatedUSD += imp.PriceUSD
+	if tl := e.ledgerOfID(id); tl != nil {
+		tl.Violations++
+		tl.ViolatedUSD += imp.PriceUSD
+	}
 	e.settle(id, imp.PriceUSD)
 }
 
@@ -373,6 +409,9 @@ func (e *Exchange) SweepExpired(now simclock.Time) int {
 }
 
 func (e *Exchange) settle(id ImpressionID, price float64) {
+	if _, ok := e.open[id]; ok {
+		e.openCnt[e.TenantOfImpression(id)]--
+	}
 	delete(e.open, id)
 	e.settled[id] = true
 	if e.settledPrice == nil {

@@ -46,6 +46,7 @@ func (e *Exchange) ExtractImpressions(open, settled []ImpressionID) (ImpressionT
 		}
 		tr.Open = append(tr.Open, *imp)
 		delete(e.open, id)
+		e.openCnt[e.TenantOfImpression(id)]--
 	}
 	sortedIDs = append(sortedIDs[:0], settled...)
 	sort.Slice(sortedIDs, func(i, j int) bool { return sortedIDs[i] < sortedIDs[j] })
@@ -81,6 +82,7 @@ func (e *Exchange) AbsorbImpressions(tr ImpressionTransfer) error {
 		}
 		stored := imp
 		e.open[imp.ID] = &stored
+		e.openCnt[e.TenantOfImpression(imp.ID)]++
 	}
 	for _, st := range tr.Settled {
 		if _, dup := e.open[st.ID]; dup || e.settled[st.ID] {
@@ -114,5 +116,12 @@ func (e *Exchange) StatusOf(id ImpressionID) (open, settled bool) {
 func (e *Exchange) SeedImpressionIDs(base ImpressionID) {
 	if e.nextID < base {
 		e.nextID = base
+	}
+	// Tenant cursors carry the same node offset inside their own high
+	// namespace, so two nodes' same-tenant sales stay disjoint too.
+	for i, t := range e.tenants {
+		if floor := ImpressionID(i+1)<<tenantIDShift + base; e.tenantNext[t] < floor {
+			e.tenantNext[t] = floor
+		}
 	}
 }

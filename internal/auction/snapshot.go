@@ -27,14 +27,31 @@ type SettledImpression struct {
 	PriceUSD float64      `json:"price_usd"`
 }
 
-// ExchangeState is the exchange's complete serializable state.
+// TenantCursor is one tenant's impression-id cursor.
+type TenantCursor struct {
+	Tenant string       `json:"tenant"`
+	Next   ImpressionID `json:"next"`
+}
+
+// TenantLedgerState is one tenant's ledger view.
+type TenantLedgerState struct {
+	Tenant string `json:"tenant"`
+	Ledger Ledger `json:"ledger"`
+}
+
+// ExchangeState is the exchange's complete serializable state. The
+// tenant fields are omitted for single-tenant exchanges so legacy
+// snapshots stay byte-identical.
 type ExchangeState struct {
-	Reserve   float64            `json:"reserve"`
-	NextID    ImpressionID       `json:"next_id"`
-	Ledger    Ledger             `json:"ledger"`
-	Campaigns []CampaignSnapshot `json:"campaigns"`
-	Open      []Impression       `json:"open"`
+	Reserve   float64             `json:"reserve"`
+	NextID    ImpressionID        `json:"next_id"`
+	Ledger    Ledger              `json:"ledger"`
+	Campaigns []CampaignSnapshot  `json:"campaigns"`
+	Open      []Impression        `json:"open"`
 	Settled   []SettledImpression `json:"settled"`
+
+	TenantNext    []TenantCursor      `json:"tenant_next,omitempty"`
+	TenantLedgers []TenantLedgerState `json:"tenant_ledgers,omitempty"`
 }
 
 // Snapshot captures the exchange's full state. Slices are sorted by id
@@ -66,6 +83,10 @@ func (e *Exchange) Snapshot() ExchangeState {
 		st.Settled = append(st.Settled, SettledImpression{ID: id, PriceUSD: e.settledPrice[id]})
 	}
 	sort.Slice(st.Settled, func(i, j int) bool { return st.Settled[i].ID < st.Settled[j].ID })
+	for _, t := range e.tenants {
+		st.TenantNext = append(st.TenantNext, TenantCursor{Tenant: t, Next: e.tenantNext[t]})
+		st.TenantLedgers = append(st.TenantLedgers, TenantLedgerState{Tenant: t, Ledger: *e.tenantLedger[t]})
+	}
 	return st
 }
 
@@ -109,5 +130,25 @@ func (e *Exchange) Restore(st ExchangeState) error {
 	e.open = open
 	e.settled = settled
 	e.settledPrice = settledPrice
+	// The tenant namespace order derives from the campaign set, then the
+	// snapshot's cursors/ledgers overlay it and the open counts are
+	// recounted from the restored open book.
+	e.initTenants()
+	for _, tc := range st.TenantNext {
+		if _, ok := e.tenantNext[tc.Tenant]; !ok {
+			return fmt.Errorf("auction: restore: cursor for unknown tenant %q", tc.Tenant)
+		}
+		e.tenantNext[tc.Tenant] = tc.Next
+	}
+	for _, tl := range st.TenantLedgers {
+		dst, ok := e.tenantLedger[tl.Tenant]
+		if !ok {
+			return fmt.Errorf("auction: restore: ledger for unknown tenant %q", tl.Tenant)
+		}
+		*dst = tl.Ledger
+	}
+	for id := range e.open {
+		e.openCnt[e.TenantOfImpression(id)]++
+	}
 	return nil
 }

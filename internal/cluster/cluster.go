@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -517,7 +518,7 @@ var clusterEndpoints = []string{
 	"/v1/report", "/v1/cancelled", "/v1/ondemand", "/v1/batch",
 	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
 	"/v1/admin/nodes", "/v1/admin/nodes/add", "/v1/admin/nodes/drain",
-	"/v1/admin/nodes/remove", "/v1/admin/plan",
+	"/v1/admin/nodes/remove", "/v1/admin/plan", "/v1/admin/config",
 }
 
 // Handler returns the routing tier's HTTP handler. It serves the same
@@ -542,6 +543,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/nodes/remove", rt.adminAuth(rt.handleAdminRemove))
 	mux.HandleFunc("POST /v1/admin/rebalance", rt.adminAuth(rt.handleAdminRebalance))
 	mux.HandleFunc("GET /v1/admin/plan", rt.adminAuth(rt.handleAdminPlan))
+	mux.HandleFunc("POST /v1/admin/config", rt.adminAuth(rt.handleAdminConfig))
 	return obs.Middleware(rt.reg, mux, clusterEndpoints...)
 }
 
@@ -554,9 +556,11 @@ type proxied struct {
 
 // forwardHeaders are the request headers the router relays to nodes:
 // the idempotency identity, the retry attempt, the protocol version
-// negotiation, and the body codec.
+// negotiation, the body codec, and the tenant declaration (so a node's
+// wire-tenant guard sees the same identity a direct client presents).
 var forwardHeaders = []string{
 	"Idempotency-Key", "X-Retry-Attempt", transport.VersionHeader, "Content-Type",
+	transport.TenantHeader,
 }
 
 // relayHeaders are the response headers relayed back to the client.
@@ -904,6 +908,8 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}(i, n)
 	}
 	wg.Wait()
+	tenants := make(map[string]*transport.TenantHealth)
+	var tenantOrder []string
 	for _, nh := range reply.Nodes {
 		if nh.Down {
 			reply.NodesDown++
@@ -924,7 +930,40 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 			if d.SnapshotAgePeriods > reply.SnapshotAgePeriods {
 				reply.SnapshotAgePeriods = d.SnapshotAgePeriods
 			}
+			// Tenant sections merge by id: counters and ledgers sum
+			// across members, the config fields (bounds, rates) are
+			// identical cluster-wide so the first reachable member's
+			// values stand. The merged epoch is the highest installed
+			// one — during a rolling config push it names the config
+			// at least one member is already serving.
+			if d.ConfigEpoch > reply.ConfigEpoch {
+				reply.ConfigEpoch = d.ConfigEpoch
+			}
+			for _, th := range d.Tenants {
+				m, ok := tenants[th.Tenant]
+				if !ok {
+					cp := th
+					tenants[th.Tenant] = &cp
+					tenantOrder = append(tenantOrder, th.Tenant)
+					continue
+				}
+				m.OpenBook += th.OpenBook
+				m.Admitted += th.Admitted
+				m.Shed += th.Shed
+				m.Ledger.Sold += th.Ledger.Sold
+				m.Ledger.BilledUSD += th.Ledger.BilledUSD
+				m.Ledger.Billed += th.Ledger.Billed
+				m.Ledger.FreeUSD += th.Ledger.FreeUSD
+				m.Ledger.FreeShows += th.Ledger.FreeShows
+				m.Ledger.Violations += th.Ledger.Violations
+				m.Ledger.ViolatedUSD += th.Ledger.ViolatedUSD
+				m.Ledger.PotentialUSD += th.Ledger.PotentialUSD
+			}
 		}
+	}
+	sort.Strings(tenantOrder)
+	for _, id := range tenantOrder {
+		reply.Tenants = append(reply.Tenants, *tenants[id])
 	}
 	if reply.Status == "ok" {
 		for _, nh := range reply.Nodes {

@@ -35,6 +35,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -495,6 +496,55 @@ func (rt *Router) handleAdminPlan(w http.ResponseWriter, r *http.Request) {
 		moves = []Move{}
 	}
 	writeAdminJSON(w, PlanReply{Moves: moves})
+}
+
+// handleAdminConfig pushes a tenant-config epoch to every non-removed
+// member: the same body, fanned out one node at a time, each node
+// validating, WAL-logging and installing it idempotently (an epoch a
+// member already has is acknowledged without re-applying). The push is
+// quiesced against rebalances but not against client traffic — each
+// node swaps its registry atomically between requests, which is the
+// consistency the config protocol promises (per-node atomicity, not a
+// cluster-wide barrier). The reply reports the highest member epoch and
+// whether any member applied the push fresh. A member down past
+// patience fails the push with 503; re-POSTing the same epoch after its
+// rejoin converges the stragglers.
+func (rt *Router) handleAdminConfig(w http.ResponseWriter, r *http.Request) {
+	rt.rebalanceMu.RLock()
+	defer rt.rebalanceMu.RUnlock()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	r.Body.Close()
+	if err != nil {
+		http.Error(w, "cluster: reading request body", http.StatusBadRequest)
+		return
+	}
+	var merged transport.ConfigReply
+	for _, n := range rt.fanoutMembers() {
+		p, up := rt.forward(n, http.MethodPost, "/v1/admin/config", rt.adminHeader(), body)
+		if !up {
+			rt.unavailableErr(w, n.idx)
+			return
+		}
+		if p.status < 200 || p.status > 299 {
+			writeProxied(w, p)
+			return
+		}
+		var cr transport.ConfigReply
+		if err := json.Unmarshal(p.body, &cr); err != nil {
+			http.Error(w, fmt.Sprintf("cluster: member %d config reply: %v", n.idx, err), http.StatusBadGateway)
+			return
+		}
+		if cr.Epoch > merged.Epoch {
+			merged.Epoch = cr.Epoch
+		}
+		if cr.Tenants > merged.Tenants {
+			merged.Tenants = cr.Tenants
+		}
+		if cr.Applied {
+			merged.Applied = true
+		}
+	}
+	writeAdminJSON(w, merged)
 }
 
 // adminNodeArg decodes the {"node": N} body the drain/remove endpoints

@@ -347,24 +347,42 @@ type batchOpsID struct {
 }
 
 // binBatchMagic is the binary batch request frame's magic (the
-// transport codec's "APB1"). The fault layer mirrors just enough of the
-// frame to walk it for identities, so a sub-op's chaos draw does not
-// depend on which codec carried it — the property the binary-vs-JSON
-// chaos differential rests on. A cross-package test pins this walker
-// against the transport encoder.
-const binBatchMagic = "APB1"
+// transport codec's "APB1"); binBatchMagic2 is the tenant-carrying
+// variant ("APB2", a u8-length tenant id between the timestamp and the
+// op count). The fault layer mirrors just enough of the frames to walk
+// them for identities, so a sub-op's chaos draw does not depend on
+// which codec carried it — the property the binary-vs-JSON chaos
+// differential rests on. A cross-package test pins this walker against
+// the transport encoder.
+const (
+	binBatchMagic  = "APB1"
+	binBatchMagic2 = "APB2"
+)
 
 // binBatchWalk parses a binary batch frame and reports the sub-op
 // idempotency keys plus the envelope's default client id and timestamp.
 // ok is false for anything that is not a complete well-formed frame.
 func binBatchWalk(body []byte) (keys []string, client int, now int64, ok bool) {
-	if len(body) < 4+8+8+2 || string(body[:4]) != binBatchMagic {
+	if len(body) < 4+8+8+2 {
+		return nil, 0, 0, false
+	}
+	tenanted := string(body[:4]) == binBatchMagic2
+	if !tenanted && string(body[:4]) != binBatchMagic {
 		return nil, 0, 0, false
 	}
 	client = int(int64(binary.LittleEndian.Uint64(body[4:])))
 	now = int64(binary.LittleEndian.Uint64(body[12:]))
-	nops := int(binary.LittleEndian.Uint16(body[20:]))
-	off := 22
+	off := 20
+	if tenanted {
+		tl := int(body[off])
+		off++
+		if off+tl+2 > len(body) {
+			return nil, 0, 0, false
+		}
+		off += tl // tenant id: identity lives in the sub-op keys, skip it
+	}
+	nops := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
 	take := func(n int) ([]byte, bool) {
 		if off+n > len(body) {
 			return nil, false

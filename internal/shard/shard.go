@@ -82,6 +82,41 @@ func New(n int, cfg adserver.Config, clientIDs []int,
 // Shards returns the number of shards.
 func (p *Pool) Shards() int { return len(p.shards) }
 
+// SetTenancy installs the client→tenant attribution on every shard
+// (nil restores legacy single-tenant serving). Call between requests
+// only, like the other mutating methods.
+func (p *Pool) SetTenancy(tenantOf func(clientID int) string) {
+	for _, s := range p.shards {
+		s.SetTenancy(tenantOf)
+	}
+}
+
+// LedgerOf returns one tenant's ledger view summed across shards.
+func (p *Pool) LedgerOf(tenant string) auction.Ledger {
+	var total auction.Ledger
+	for _, s := range p.shards {
+		l := s.Exchange().LedgerOf(tenant)
+		total.Sold += l.Sold
+		total.BilledUSD += l.BilledUSD
+		total.Billed += l.Billed
+		total.FreeUSD += l.FreeUSD
+		total.FreeShows += l.FreeShows
+		total.Violations += l.Violations
+		total.ViolatedUSD += l.ViolatedUSD
+		total.PotentialUSD += l.PotentialUSD
+	}
+	return total
+}
+
+// OpenBookOf returns one tenant's open book summed across shards.
+func (p *Pool) OpenBookOf(tenant string) int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.OpenBookOf(tenant)
+	}
+	return n
+}
+
 // Shard returns shard i (for tests and per-shard inspection).
 func (p *Pool) Shard(i int) *adserver.Server { return p.shards[i] }
 

@@ -204,6 +204,9 @@ func (b *clusterBackend) buildNode(nd *simNode) error {
 	}
 	ts := transport.NewShardedServer(pool)
 	ts.SetNodeID(fmt.Sprintf("node%d", nd.idx))
+	if err := setTenants(ts, o.Tenants); err != nil {
+		return err
+	}
 	var l *wal.Log
 	if nd.walDir != "" {
 		var hook func(wal.Record)
@@ -395,6 +398,9 @@ func (b *clusterBackend) finish(res *Result) error {
 	}
 	span := b.env.span
 	res.CampaignBilled = make(map[auction.CampaignID]float64, b.env.cfg.Demand.Campaigns)
+	if len(b.env.o.Tenants) > 0 {
+		res.TenantLedgers = make(map[string]auction.Ledger, len(b.env.o.Tenants))
+	}
 	for _, nd := range b.nodes {
 		nd.mu.Lock()
 		pool := nd.pool
@@ -419,6 +425,13 @@ func (b *clusterBackend) finish(res *Result) error {
 					res.CampaignBilled[id] += billed
 				}
 			}
+		}
+		for _, tc := range b.env.o.Tenants {
+			tl := res.TenantLedgers[tc.ID]
+			for s := 0; s < pool.Shards(); s++ {
+				addLedgers(&tl, pool.Shard(s).Exchange().LedgerOf(tc.ID))
+			}
+			res.TenantLedgers[tc.ID] = tl
 		}
 	}
 	return nil

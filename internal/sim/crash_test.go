@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/tenant"
 	"repro/internal/wal"
 )
 
@@ -228,6 +229,50 @@ func countWALRecords(t *testing.T, dir string) int {
 		total += int(res.Records)
 	}
 	return total
+}
+
+// TestCrashOnConfigEpochRecord extends the kill matrix to the config
+// hot-reload path: the process is killed on the first config-epoch WAL
+// record — the instant between the reload becoming durable and its ack
+// — and must recover to exactly the post-reload table (the harness's
+// posting retry is answered idempotently by the replayed epoch). The
+// tenant limits are non-binding, so the recovered run must equal a
+// baseline that hot-reloaded without being killed, on every accounting
+// observable.
+func TestCrashOnConfigEpochRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay with kill/restart")
+	}
+	cfg := crashConfig()
+	table := []tenant.Config{{ID: "pubA", Lo: 0, Hi: 1 << 16}}
+	epochs := []ConfigEpochStep{
+		{Period: 8, Epoch: 2, Tenants: []tenant.Config{
+			{ID: "pubA", Lo: 0, Hi: 1 << 16, RatePerSec: 1e6, Burst: 1e6},
+		}},
+	}
+	for _, batched := range []bool{false, true} {
+		wire := "sequential"
+		if batched {
+			wire = "batched"
+		}
+		base, err := RunTransportWith(cfg, TransportOpts{
+			Shards: 2, Workers: 4, Batched: batched, Tenants: table, ConfigEpochs: epochs})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", wire, err)
+		}
+		sched := faults.NewCrashSchedule(faults.CrashPoint{Op: "config_epoch", After: 1})
+		res, err := RunTransportWith(cfg, TransportOpts{
+			Shards: 2, Workers: 4, Batched: batched, Tenants: table, ConfigEpochs: epochs,
+			WALDir: t.TempDir(), SnapshotEvery: 2, Crashes: sched,
+		})
+		if err != nil {
+			t.Fatalf("%s config-epoch kill: %v", wire, err)
+		}
+		if res.Restarts != 1 || sched.Fired() != 1 {
+			t.Fatalf("%s: config-epoch kill did not fire: restarts %d fired %d", wire, res.Restarts, sched.Fired())
+		}
+		assertCrashEquivalence(t, wire+" config-epoch kill", base, res)
+	}
 }
 
 // TestCrashGroupCommitFsync runs the kill/restart matrix with real

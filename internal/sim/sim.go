@@ -219,6 +219,18 @@ type Result struct {
 	Obs       *obs.Registry
 	ClientObs *obs.Registry
 
+	// Multi-tenant outcomes of a registry-backed transport run (zero
+	// elsewhere). TenantLedgers is each named tenant's ledger view summed
+	// across shards and nodes; TenantSlotP99NS each tenant's
+	// client-observed HandleSlot p99 in nanoseconds (the legacy tenant
+	// appears under "" when any device is unowned). FloodAdmitted and
+	// FloodShed count the noisy-neighbor load source's accepted and
+	// rate-limited requests (TransportOpts.Flood).
+	TenantLedgers   map[string]auction.Ledger
+	TenantSlotP99NS map[string]float64
+	FloodAdmitted   int64
+	FloodShed       int64
+
 	// StreamPeriods is the streaming replay's per-period load report
 	// (RunTransportStream; nil elsewhere): one row per simulated period
 	// with the client-observed request-latency quantiles, so a diurnal

@@ -16,6 +16,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -53,9 +54,12 @@ func RunTransportStream(cfg Config, o TransportOpts) (*Result, error) {
 		return nil, err
 	}
 	var back serving
-	if o.Nodes > 0 {
+	switch {
+	case o.TargetURL != "":
+		back, err = newTargetBackend(env)
+	case o.Nodes > 0:
 		back, err = newClusterBackend(env)
-	} else {
+	default:
 		back, err = newSingleBackend(env)
 	}
 	if err != nil {
@@ -89,7 +93,11 @@ func newStreamEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 	switch {
 	case cfg.Population != nil:
 		return nil, fmt.Errorf("sim: streaming replay derives traces lazily; a materialized Population wants RunTransportWith")
-	case o.Nodes == 0 && o.Shards < 1:
+	case o.Flood != nil || len(o.ConfigEpochs) > 0:
+		return nil, fmt.Errorf("sim: Flood and ConfigEpochs are materialized-replay options (RunTransportWith)")
+	case o.TargetURL != "" && (o.Nodes > 0 || o.WALDir != "" || o.Crashes != nil || o.Plan != nil || len(o.Migrations) > 0):
+		return nil, fmt.Errorf("sim: TargetURL drives an external deployment; in-process backend options do not apply")
+	case o.TargetURL == "" && o.Nodes == 0 && o.Shards < 1:
 		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", o.Shards)
 	case o.Nodes < 0:
 		return nil, fmt.Errorf("sim: negative node count %d", o.Nodes)
@@ -219,6 +227,13 @@ func driveStream(env *replayEnv, back serving) (*Result, error) {
 	hc := &http.Client{Transport: rt}
 
 	clientReg := obs.NewRegistry()
+	var tenantReg *tenant.Registry
+	if len(o.Tenants) > 0 {
+		var err error
+		if tenantReg, err = tenant.NewRegistry(1, o.Tenants); err != nil {
+			return nil, err
+		}
+	}
 	devices := make([]*transport.Device, n)
 	var meters []*radio.Radio // transport retry meters; chaos runs only
 	if plan != nil {
@@ -239,6 +254,9 @@ func driveStream(env *replayEnv, back serving) (*Result, error) {
 		}
 		if o.BinaryBatch {
 			opts = append(opts, transport.WithBinaryBatch())
+		}
+		if t := tenantReg.TenantOf(i); t != tenant.Legacy {
+			opts = append(opts, transport.WithTenant(t))
 		}
 		d, err := transport.NewDevice(i, cfg.Core.CacheCap, baseURL, opts...)
 		if err != nil {

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/faults"
+	"repro/internal/tenant"
+)
+
+// tenantConfig shrinks transportConfig like the crash matrix does: the
+// noisy-neighbor tier runs each scenario as a solo/combined pair, so
+// the per-run cost is paid twice.
+func tenantConfig() Config {
+	cfg := transportConfig()
+	cfg.TraceCfg.Users = 24
+	cfg.MaxUsers = 24
+	cfg.TraceCfg.Days = 3
+	return cfg
+}
+
+// tenantTable is the two-publisher admission contract the tier runs
+// under: pubA — the victim — owns every trace client, unlimited; pubB —
+// the aggressor — owns the flood id range under a tight token bucket
+// and its own open-book bound.
+func tenantTable(rate, burst float64, maxOpen int) []tenant.Config {
+	return []tenant.Config{
+		{ID: "pubA", Lo: 0, Hi: 1 << 16},
+		{ID: "pubB", Lo: FloodClientBase, Hi: FloodClientBase + 1024,
+			RatePerSec: rate, Burst: burst, MaxOpenBook: maxOpen},
+	}
+}
+
+// tenantFlood is the aggressor load: 8 synthetic devices, 30 on-demand
+// requests each per selling period — roughly 10x what pubB's bucket
+// (0.002/s over a 4h period, burst 4) will admit.
+func tenantFlood() *FloodSpec {
+	return &FloodSpec{Tenant: "pubB", Devices: 8, PerPeriod: 30}
+}
+
+// assertVictimIsolation is the tier's core acceptance: the victim
+// tenant's books under a flooding neighbor must be EXACTLY the solo
+// baseline's — ledger, SLA violations, per-device and aggregate client
+// counters — and its client-observed slot p99 must stay within a tight
+// multiple of solo. Per-tenant campaign namespaces and per-tenant
+// serving groups make the equality exact, not approximate: no flood
+// request can touch a victim campaign, impression or client.
+func assertVictimIsolation(t *testing.T, label string, solo, noisy *Result) {
+	t.Helper()
+	soloA, ok := solo.TenantLedgers["pubA"]
+	if !ok || soloA.Sold == 0 || soloA.Billed == 0 {
+		t.Fatalf("%s: inert solo victim ledger: %+v", label, soloA)
+	}
+	if got, want := LedgerJSON(noisy.TenantLedgers["pubA"]), LedgerJSON(soloA); got != want {
+		t.Fatalf("%s: victim ledger diverged under flood:\n solo:  %s\n noisy: %s", label, want, got)
+	}
+	if soloA.Violations != noisy.TenantLedgers["pubA"].Violations {
+		t.Fatalf("%s: victim SLA violations differ: %d solo vs %d noisy",
+			label, soloA.Violations, noisy.TenantLedgers["pubA"].Violations)
+	}
+	if solo.Counters != noisy.Counters {
+		t.Fatalf("%s: victim aggregate counters differ:\n solo:  %+v\n noisy: %+v",
+			label, solo.Counters, noisy.Counters)
+	}
+	for id, sc := range solo.PerClient {
+		if nc := noisy.PerClient[id]; nc != sc {
+			t.Fatalf("%s: victim client %d counters differ:\n solo:  %+v\n noisy: %+v", label, id, sc, nc)
+		}
+	}
+	// The latency bound is deliberately generous in absolute terms (the
+	// runs are wall-clock measurements on a shared machine) but tight
+	// relative to the flood's 10x pressure: an unisolated server would
+	// blow through it immediately.
+	soloP99, noisyP99 := solo.TenantSlotP99NS["pubA"], noisy.TenantSlotP99NS["pubA"]
+	if soloP99 <= 0 || noisyP99 <= 0 {
+		t.Fatalf("%s: missing victim p99 (solo %v, noisy %v)", label, soloP99, noisyP99)
+	}
+	if limit := 2*soloP99 + 5e6; noisyP99 > limit {
+		t.Fatalf("%s: victim slot p99 %.0fns under flood exceeds 2x solo + 5ms (%.0fns)",
+			label, noisyP99, limit)
+	}
+}
+
+// assertFloodContained checks the aggressor side of the run: the
+// admission controller must have shed most of the flood, and whatever
+// it admitted must be visible only in pubB's own books. The named
+// views must partition the aggregate ledger exactly (every trace
+// client belongs to pubA, every flood client to pubB — the legacy
+// slice is empty).
+func assertFloodContained(t *testing.T, label string, noisy *Result) {
+	t.Helper()
+	if noisy.FloodAdmitted == 0 || noisy.FloodShed == 0 {
+		t.Fatalf("%s: flood not exercised: admitted %d shed %d", label, noisy.FloodAdmitted, noisy.FloodShed)
+	}
+	if noisy.FloodShed < noisy.FloodAdmitted {
+		t.Fatalf("%s: a 10x flood should shed more than it lands: admitted %d shed %d",
+			label, noisy.FloodAdmitted, noisy.FloodShed)
+	}
+	pubB := noisy.TenantLedgers["pubB"]
+	if pubB.Sold == 0 {
+		t.Fatalf("%s: admitted flood left no aggressor sales", label)
+	}
+	var sum auction.Ledger
+	for _, l := range noisy.TenantLedgers {
+		addLedgers(&sum, l)
+	}
+	if got, want := LedgerJSON(sum), LedgerJSON(noisy.Ledger); got != want {
+		t.Fatalf("%s: tenant views do not partition the aggregate ledger:\n views: %s\n total: %s", label, got, want)
+	}
+}
+
+func TestTenantNoisyNeighborIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay, solo + flooded")
+	}
+	cfg := tenantConfig()
+	table := tenantTable(0.002, 4, 48)
+	solo, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 4, Tenants: table})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	noisy, err := RunTransportWith(cfg, TransportOpts{Shards: 2, Workers: 4, Tenants: table, Flood: tenantFlood()})
+	if err != nil {
+		t.Fatalf("noisy: %v", err)
+	}
+	assertVictimIsolation(t, "fault-free", solo, noisy)
+	assertFloodContained(t, "fault-free", noisy)
+}
+
+// TestTenantNoisyNeighborChaos reruns the isolation scenario under the
+// seeded chaos plan: wire faults hit the victim fleet identically in
+// the solo and flooded runs (fault decisions are pure hashes of request
+// identity), so victim equality must survive chaos too.
+func TestTenantNoisyNeighborChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP chaos replay, solo + flooded")
+	}
+	cfg := tenantConfig()
+	table := tenantTable(0.002, 4, 48)
+	solo, err := RunTransportWith(cfg, TransportOpts{
+		Shards: 2, Workers: 4, Tenants: table, Plan: chaosPlan(77, false)})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	noisy, err := RunTransportWith(cfg, TransportOpts{
+		Shards: 2, Workers: 4, Tenants: table, Plan: chaosPlan(77, false), Flood: tenantFlood()})
+	if err != nil {
+		t.Fatalf("noisy: %v", err)
+	}
+	assertVictimIsolation(t, "chaos", solo, noisy)
+	assertFloodContained(t, "chaos", noisy)
+}
+
+// TestTenantNoisyNeighborConfigEpochKill is the full robustness
+// scenario: the aggressor floods, a config epoch retightens its quota
+// mid-run, and the process is killed on the config WAL record itself.
+// The recovered process must converge to exactly the new table (the
+// posting retry is answered idempotently) and the victim must still be
+// indistinguishable from its solo baseline.
+func TestTenantNoisyNeighborConfigEpochKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTTP replay with kill/restart, solo + flooded")
+	}
+	cfg := tenantConfig()
+	table := tenantTable(0.002, 4, 48)
+	// Epoch 2 halves the aggressor's refill rate mid-run. The victim's
+	// entry is identical in both epochs, so the reload (and the bucket
+	// reset a kill implies for pubB) cannot touch pubA's outcomes.
+	epochs := []ConfigEpochStep{{Period: 10, Epoch: 2, Tenants: tenantTable(0.001, 4, 48)}}
+	solo, err := RunTransportWith(cfg, TransportOpts{
+		Shards: 2, Workers: 4, Tenants: table, ConfigEpochs: epochs})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	sched := faults.NewCrashSchedule(faults.CrashPoint{Op: "config_epoch", After: 1})
+	noisy, err := RunTransportWith(cfg, TransportOpts{
+		Shards: 2, Workers: 4, Tenants: table, ConfigEpochs: epochs, Flood: tenantFlood(),
+		WALDir: t.TempDir(), SnapshotEvery: 3, Crashes: sched,
+	})
+	if err != nil {
+		t.Fatalf("noisy: %v", err)
+	}
+	if noisy.Restarts != 1 || sched.Fired() != 1 {
+		t.Fatalf("config-epoch kill did not fire: restarts %d fired %d", noisy.Restarts, sched.Fired())
+	}
+	assertVictimIsolation(t, "config-epoch kill", solo, noisy)
+	assertFloodContained(t, "config-epoch kill", noisy)
+}
+
+// TestTenantClusterVictimIsolation runs the isolation pair through the
+// multi-node routing tier: per-tenant isolation must hold when the
+// victim fleet and the flood are spread across cluster nodes and the
+// per-tenant health/ledger views are router-merged.
+func TestTenantClusterVictimIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node HTTP replay, solo + flooded")
+	}
+	cfg := tenantConfig()
+	table := tenantTable(0.002, 4, 48)
+	solo, err := RunTransportCluster(cfg, 3, 4, TransportOpts{Tenants: table})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	noisy, err := RunTransportCluster(cfg, 3, 4, TransportOpts{Tenants: table, Flood: tenantFlood()})
+	if err != nil {
+		t.Fatalf("noisy: %v", err)
+	}
+	assertVictimIsolation(t, "cluster", solo, noisy)
+	assertFloodContained(t, "cluster", noisy)
+}

@@ -1,12 +1,17 @@
 package sim
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auction"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/shard"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -162,7 +168,60 @@ type TransportOpts struct {
 	// node mints impression ids from its own namespace so state can move
 	// between nodes without colliding.
 	Migrations []MigrationStep
+	// Tenants, when non-empty, runs the replay multi-tenant: every
+	// serving incarnation is given a tenant.Registry built from this
+	// table at epoch 1 — installed before WAL recovery, so a logged
+	// config epoch supersedes it — and each named tenant gets its own
+	// campaign set (cfg.Demand regenerated from a tenant-keyed seed
+	// stream, ids offset past the legacy set). Devices owned by a named
+	// tenant declare it on the wire (transport.WithTenant), and the
+	// replay records per-tenant latency and ledger views in the Result.
+	Tenants []tenant.Config
+	// ConfigEpochs schedules crash-safe tenant-config hot reloads: at
+	// the opening of each step's period the harness POSTs
+	// /v1/admin/config with the step's full table, retrying until
+	// acknowledged — a process killed on the config WAL record recovers
+	// and answers the retry idempotently. Step epochs must be >= 2 (the
+	// boot registry holds epoch 1) and strictly increasing in schedule
+	// order.
+	ConfigEpochs []ConfigEpochStep
+	// Flood attaches a noisy-neighbor load source (see FloodSpec); the
+	// tenant-isolation tier measures victim SLA against it.
+	Flood *FloodSpec
+	// TargetURL, when non-empty, drives the replay against an external
+	// serving deployment at that base URL (adloadgen -target) instead of
+	// building a backend in-process. In-process backend options (Shards,
+	// Nodes, WALDir, Crashes, Plan, Migrations) do not apply.
+	TargetURL string
 }
+
+// ConfigEpochStep schedules one tenant-config hot reload: at the
+// opening of period Period — before that period's selling round — the
+// replay pushes the full tenant table under Epoch to the serving side's
+// admin config endpoint.
+type ConfigEpochStep struct {
+	Period  int
+	Epoch   uint64
+	Tenants []tenant.Config
+}
+
+// FloodSpec is the noisy-neighbor load source: Devices synthetic
+// clients — ids from FloodClientBase up, outside any trace population —
+// owned by Tenant, each issuing PerPeriod on-demand requests per
+// selling period, concurrently with the victim fleet's slot replay.
+// Flood requests carry no idempotency keys and are never retried; their
+// accepted and rate-limited outcomes land in Result.FloodAdmitted and
+// Result.FloodShed.
+type FloodSpec struct {
+	Tenant    string
+	Devices   int
+	PerPeriod int
+}
+
+// FloodClientBase is the first flood client id — far above any trace
+// population, so a flood tenant's [Lo, Hi) range covers its synthetic
+// fleet without overlapping real clients.
+const FloodClientBase = 1 << 20
 
 // MigrationStep is one scheduled membership change: during period
 // Period's slot replay, either join one new node (AddNode) or drain —
@@ -219,12 +278,31 @@ type replayEnv struct {
 // both constructors share it so the serving engines are built
 // identically whichever path prepared the env.
 func (env *replayEnv) initMakePool() {
-	cfg := env.cfg
+	cfg, tenants := env.cfg, env.o.Tenants
 	env.makePool = func(shards int, members []int) (*shard.Pool, error) {
 		rng := simclock.NewRand(cfg.Seed).Stream("sim")
+		// The legacy campaign set keeps ids 0..Campaigns-1 and no tenant
+		// tag, so a multi-tenant run's aggregate books stay comparable
+		// with a single-tenant run's. Each named tenant then gets its own
+		// full set from a tenant-keyed stream, ids offset past every set
+		// before it. Generation is pure, so a solo run and a combined run
+		// with the same tenant table instantiate identical demand — the
+		// noisy-neighbor equality assertions lean on exactly that.
+		demand := func() []auction.Campaign {
+			all := cfg.Demand.Generate(rng.Stream("demand"))
+			for ti, tc := range tenants {
+				set := cfg.Demand.Generate(rng.Stream("demand:" + tc.ID))
+				for i := range set {
+					set[i].ID += auction.CampaignID((ti + 1) * cfg.Demand.Campaigns)
+					set[i].Tenant = tc.ID
+				}
+				all = append(all, set...)
+			}
+			return all
+		}
 		return shard.New(shards, cfg.Core.Server, members,
 			func(int) (*auction.Exchange, error) {
-				return auction.NewExchange(cfg.Demand.Generate(rng.Stream("demand")), cfg.Reserve)
+				return auction.NewExchange(demand(), cfg.Reserve)
 			},
 			func(id int) predict.Predictor { return transportPredictor(cfg.Core, id, env.oracle) },
 			func(id int) []trace.Category { return env.hints(id) })
@@ -270,7 +348,7 @@ func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 		}
 	}
 	switch {
-	case o.Nodes == 0 && o.Shards < 1:
+	case o.TargetURL == "" && o.Nodes == 0 && o.Shards < 1:
 		return nil, fmt.Errorf("sim: transport needs at least one shard, got %d", o.Shards)
 	case o.Nodes < 0:
 		return nil, fmt.Errorf("sim: negative node count %d", o.Nodes)
@@ -286,6 +364,10 @@ func newReplayEnv(cfg Config, o TransportOpts) (*replayEnv, error) {
 		return nil, fmt.Errorf("sim: migration steps require cluster mode (Nodes > 0)")
 	case o.Energy || o.Lean:
 		return nil, fmt.Errorf("sim: Energy and Lean are streaming-replay options (RunTransportStream)")
+	case o.TargetURL != "" && (o.Nodes > 0 || o.WALDir != "" || o.Crashes != nil || o.Plan != nil || len(o.Migrations) > 0):
+		return nil, fmt.Errorf("sim: TargetURL drives an external deployment; in-process backend options do not apply")
+	case o.Flood != nil && (o.Flood.Devices < 1 || o.Flood.PerPeriod < 1):
+		return nil, fmt.Errorf("sim: a flood spec needs Devices and PerPeriod >= 1")
 	}
 	workers := o.Workers
 	if workers < 1 {
@@ -344,9 +426,12 @@ func RunTransportWith(cfg Config, o TransportOpts) (*Result, error) {
 		return nil, err
 	}
 	var back serving
-	if o.Nodes > 0 {
+	switch {
+	case o.TargetURL != "":
+		back, err = newTargetBackend(env)
+	case o.Nodes > 0:
 		back, err = newClusterBackend(env)
-	} else {
+	default:
 		back, err = newSingleBackend(env)
 	}
 	if err != nil {
@@ -420,6 +505,9 @@ func newSingleBackend(env *replayEnv) (*singleBackend, error) {
 			return nil, nil, nil, err
 		}
 		ts := transport.NewShardedServer(pool)
+		if err := setTenants(ts, o.Tenants); err != nil {
+			return nil, nil, nil, err
+		}
 		if o.WALDir == "" {
 			return pool, ts, nil, nil
 		}
@@ -549,6 +637,16 @@ func (b *singleBackend) finish(res *Result) error {
 			}
 		}
 	}
+	if tcs := b.env.o.Tenants; len(tcs) > 0 {
+		res.TenantLedgers = make(map[string]auction.Ledger, len(tcs))
+		for _, tc := range tcs {
+			var l auction.Ledger
+			for s := 0; s < pool.Shards(); s++ {
+				addLedgers(&l, pool.Shard(s).Exchange().LedgerOf(tc.ID))
+			}
+			res.TenantLedgers[tc.ID] = l
+		}
+	}
 	return nil
 }
 
@@ -564,6 +662,55 @@ func (b *singleBackend) close() {
 		}
 	})
 }
+
+// setTenants installs a run's boot tenant registry (epoch 1) on a
+// fresh serving incarnation. Installed before WAL recovery, so a
+// higher config epoch logged by a previous incarnation supersedes it —
+// a crash-rebuilt process converges to exactly the table the dead one
+// last acknowledged, never a blend.
+func setTenants(ts *transport.ShardedServer, cfgs []tenant.Config) error {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	reg, err := tenant.NewRegistry(1, cfgs)
+	if err != nil {
+		return err
+	}
+	ts.SetTenants(reg)
+	return nil
+}
+
+// targetBackend drives an external serving deployment (adloadgen
+// -target): devices speak to the operator's own node or cluster router
+// at the given base URL, and the harness owns no server-side state.
+// finish fills Result.Ledger from the deployment's merged GET
+// /v1/ledger; restarts, campaign spend and server metrics stay with the
+// deployment's own monitoring surfaces.
+type targetBackend struct {
+	base string
+}
+
+func newTargetBackend(env *replayEnv) (*targetBackend, error) {
+	return &targetBackend{base: strings.TrimRight(env.o.TargetURL, "/")}, nil
+}
+
+func (b *targetBackend) url() string             { return b.base }
+func (b *targetBackend) registry() *obs.Registry { return nil }
+
+func (b *targetBackend) finish(res *Result) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(b.base + "/v1/ledger")
+	if err != nil {
+		return fmt.Errorf("sim: target ledger: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sim: target ledger: status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(&res.Ledger)
+}
+
+func (b *targetBackend) close() {}
 
 // driveDevices runs the replay loop against a serving backend: one
 // transport.Device per user plus the period coordinator, all over real
@@ -584,6 +731,39 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 		rt = plan.RoundTripper(baseRT)
 	}
 	hc := &http.Client{Transport: rt}
+	// The admin control plane and the flood load source bypass the fault
+	// plan's wire faults: chaos aims at the ad-serving path, and a
+	// keyless admin request would re-draw the same fault decision on
+	// every retry, never converging.
+	plainHC := &http.Client{Transport: baseRT}
+
+	// A multi-tenant run resolves each device's owner once — devices
+	// declare their tenant on the wire, and per-tenant latency
+	// histograms separate the victim's tail from the aggressor's.
+	var devTenant []string
+	var slotLat map[string]*obs.Histogram
+	if len(o.Tenants) > 0 {
+		reg, err := tenant.NewRegistry(1, o.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		latReg := obs.NewRegistry()
+		slotLat = map[string]*obs.Histogram{
+			tenant.Legacy: latReg.Histogram("slot_latency_ns", "tenant", "legacy"),
+		}
+		for _, tc := range o.Tenants {
+			slotLat[tc.ID] = latReg.Histogram("slot_latency_ns", "tenant", tc.ID)
+		}
+		devTenant = make([]string, len(users))
+		for i, u := range users {
+			devTenant[i] = reg.TenantOf(u.ID)
+		}
+	}
+	epochSteps := make(map[int][]ConfigEpochStep, len(o.ConfigEpochs))
+	for _, st := range o.ConfigEpochs {
+		epochSteps[st.Period] = append(epochSteps[st.Period], st)
+	}
+	var floodAdmitted, floodShed atomic.Int64
 
 	// One shared registry aggregates the fleet's client-side
 	// instrumentation (the series carry no per-device labels, so the
@@ -603,6 +783,9 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 		}
 		if o.BinaryBatch {
 			opts = append(opts, transport.WithBinaryBatch())
+		}
+		if devTenant != nil && devTenant[i] != tenant.Legacy {
+			opts = append(opts, transport.WithTenant(devTenant[i]))
 		}
 		d, err := transport.NewDevice(u.ID, cfg.Core.CacheCap, baseURL, opts...)
 		if err != nil {
@@ -631,6 +814,14 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 		}
 		if pi == periodsTotal {
 			break
+		}
+		// Scheduled config epochs land at the period's opening, before
+		// its selling round, so the new admission contract governs the
+		// whole period.
+		for _, st := range epochSteps[pi] {
+			if err := postTenantConfig(plainHC, baseURL, st); err != nil {
+				return nil, err
+			}
 		}
 		selling := now >= env.warmupEnd
 		p := predict.PeriodOf(now, period)
@@ -667,8 +858,18 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 			}(pi)
 		}
 		// Replay this period's slot events: devices advance concurrently,
-		// each through its own events in trace order.
+		// each through its own events in trace order. The flood, when
+		// armed, pressures the serving side at the same time — victim
+		// requests and aggressor requests contend on the same locks.
 		end := now + simclock.Time(period)
+		var floodWg sync.WaitGroup
+		if o.Flood != nil && selling {
+			floodWg.Add(1)
+			go func(now, end simclock.Time) {
+				defer floodWg.Done()
+				runFlood(plainHC, baseURL, o.Flood, now, end, &floodAdmitted, &floodShed)
+			}(now, end)
+		}
 		if err := eachDevice(len(devices), workers, func(i int) error {
 			tl := timelines[i]
 			for cursors[i] < len(tl) && tl[cursors[i]].at < end {
@@ -683,15 +884,26 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 					}
 					continue
 				}
-				if _, err := devices[i].HandleSlot(ev.at, ev.cats); err != nil {
+				if slotLat == nil {
+					if _, err := devices[i].HandleSlot(ev.at, ev.cats); err != nil {
+						return err
+					}
+					continue
+				}
+				t0 := time.Now()
+				_, err := devices[i].HandleSlot(ev.at, ev.cats)
+				slotLat[devTenant[i]].Observe(time.Since(t0).Nanoseconds())
+				if err != nil {
 					return err
 				}
 			}
 			return nil
 		}); err != nil {
+			floodWg.Wait()
 			migWg.Wait()
 			return nil, err
 		}
+		floodWg.Wait()
 		migWg.Wait()
 		if migErr != nil {
 			return nil, migErr
@@ -748,7 +960,116 @@ func driveDevices(env *replayEnv, back serving) (*Result, error) {
 		}
 		res.FaultsInjected = plan.InjectedTotal()
 	}
+	if slotLat != nil {
+		res.TenantSlotP99NS = make(map[string]float64, len(slotLat))
+		for t, h := range slotLat {
+			if h.Count() > 0 {
+				res.TenantSlotP99NS[t] = h.Quantile(0.99)
+			}
+		}
+	}
+	if o.Flood != nil {
+		res.FloodAdmitted = floodAdmitted.Load()
+		res.FloodShed = floodShed.Load()
+	}
 	return res, nil
+}
+
+// postTenantConfig pushes one scheduled config epoch until the serving
+// side acknowledges it. A kill aimed at the config WAL record aborts
+// the in-flight POST; the recovered process — which either replayed the
+// record or never made it durable — answers the retry idempotently, so
+// the loop converges on exactly the new table, never a blend.
+func postTenantConfig(hc *http.Client, baseURL string, step ConfigEpochStep) error {
+	body, err := json.Marshal(transport.ConfigMsg{Epoch: step.Epoch, Tenants: step.Tenants})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := hc.Post(baseURL+"/v1/admin/config", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		status := resp.StatusCode
+		resp.Body.Close()
+		switch status {
+		case http.StatusOK:
+			return nil
+		case http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("sim: config epoch %d: node unavailable", step.Epoch)
+			time.Sleep(10 * time.Millisecond)
+		default:
+			return fmt.Errorf("sim: config epoch %d refused: status %d", step.Epoch, status)
+		}
+	}
+	return fmt.Errorf("sim: config epoch %d never acknowledged: %w", step.Epoch, lastErr)
+}
+
+// runFlood issues one selling period's noisy-neighbor load: every
+// flood device spreads its PerPeriod on-demand requests across the
+// period's timestamps, concurrently with the victim fleet's slot
+// replay. The flood is raw pressure, not a well-behaved client — no
+// idempotency keys, no retries, errors dropped on the floor; refusals
+// are the admission controller doing its job and land in the shed
+// counter.
+func runFlood(hc *http.Client, baseURL string, f *FloodSpec, now, end simclock.Time, admitted, shed *atomic.Int64) {
+	span := int64(end - now)
+	var wg sync.WaitGroup
+	for d := 0; d < f.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := FloodClientBase + d
+			for k := 0; k < f.PerPeriod; k++ {
+				at := int64(now) + span*int64(k)/int64(f.PerPeriod)
+				body, err := json.Marshal(struct {
+					Client int   `json:"client"`
+					NowNS  int64 `json:"now_ns"`
+				}{id, at})
+				if err != nil {
+					return
+				}
+				req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/ondemand", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if f.Tenant != "" {
+					req.Header.Set(transport.TenantHeader, f.Tenant)
+				}
+				resp, err := hc.Do(req)
+				if err != nil {
+					continue // a kill mid-flood just drops load
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					admitted.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(d)
+	}
+	wg.Wait()
+}
+
+// addLedgers accumulates src into dst field by field (the sim-side twin
+// of the serving health merge).
+func addLedgers(dst *auction.Ledger, src auction.Ledger) {
+	dst.Sold += src.Sold
+	dst.Billed += src.Billed
+	dst.BilledUSD += src.BilledUSD
+	dst.FreeShows += src.FreeShows
+	dst.FreeUSD += src.FreeUSD
+	dst.Violations += src.Violations
+	dst.ViolatedUSD += src.ViolatedUSD
+	dst.PotentialUSD += src.PotentialUSD
 }
 
 // crashGate serializes the crash harness's kill/restart cycle: the

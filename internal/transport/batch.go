@@ -36,10 +36,14 @@ const DefaultMaxBatchOps = 128
 
 // batchMsg is the POST /v1/batch envelope: an ordered list of
 // sub-operations from one device wake-up. Client and NowNS are the
-// defaults every op inherits unless it overrides them.
+// defaults every op inherits unless it overrides them. Tenant, when
+// set, declares the device's tenant for the whole envelope (the batch
+// equivalent of the X-AdPrefetch-Tenant header): every sub-op's
+// effective client must belong to it, or the envelope is refused.
 type batchMsg struct {
 	Client int       `json:"client"`
 	NowNS  int64     `json:"now_ns"`
+	Tenant string    `json:"tenant,omitempty"`
 	Ops    []BatchOp `json:"ops"`
 }
 
@@ -150,6 +154,12 @@ func (s *ShardedServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(env.Ops) > limit {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ops exceeds the %d-op limit", len(env.Ops), limit))
+		return
+	}
+	if herr := s.checkEnvelopeTenant(env); herr != nil {
+		// One mismatched op refuses the whole envelope before anything
+		// executes, like any other envelope-level validation failure.
+		writeErr(w, herr.status, herr.msg)
 		return
 	}
 	results := make([]BatchOpResult, len(env.Ops))
@@ -312,7 +322,7 @@ func (s *ShardedServer) batchExecLocked(sh *shardState, env batchMsg, op BatchOp
 	}
 	switch op.Op {
 	case OpSlot:
-		if herr := s.slotLocked(sh, client); herr != nil {
+		if herr := s.slotLocked(sh, client, now); herr != nil {
 			return herr.status, herr.msg
 		}
 		return http.StatusOK, struct{}{}

@@ -101,9 +101,13 @@ var ErrUnreachable = errors.New("transport: unreachable")
 
 // StatusError is a non-2xx protocol reply. 4xx statuses are permanent
 // (retrying the same request cannot help); 5xx and 429 are retried.
+// RetryAfter carries a 429's Retry-After hint in seconds (0 when the
+// server sent none); the retry loop honors it as a floor under its own
+// exponential backoff.
 type StatusError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter int
 }
 
 func (e *StatusError) Error() string { return e.Msg }
@@ -120,6 +124,7 @@ type caller struct {
 
 	jitter     *simclock.Rand
 	keyPrefix  string
+	tenant     string
 	seq        int64
 	meter      *radio.Radio
 	lastCharge simclock.Time
@@ -149,6 +154,7 @@ func newCaller(baseURL, keyPrefix string, defaultSeed int64, o options) caller {
 		Retry:     retry,
 		jitter:    simclock.NewLightRand(seed).Stream("transport-retry"),
 		keyPrefix: keyPrefix,
+		tenant:    o.tenant,
 		meter:     o.meter,
 		cm:        newClientMetrics(o.registry),
 	}
@@ -207,15 +213,23 @@ func (c *caller) doDecode(now simclock.Time, method, path, contentType string, b
 	}
 	at := now
 	var lastErr error
+	var floor time.Duration // server-asked minimum before the next attempt
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			d := c.backoff(attempt - 1)
+			if d < floor {
+				// The server's Retry-After is a floor under the policy's own
+				// exponential backoff: come back no sooner than asked, but
+				// never sooner than the policy would have anyway.
+				d = floor
+			}
 			at = at.Add(d)
 			c.chargeRetry(at, int64(len(body))+retryOverheadBytes)
 			c.net.Retries++
 			c.cm.retries.Inc()
 			c.cm.backoffNS.Add(int64(d))
 		}
+		floor = 0
 		c.net.Attempts++
 		c.cm.attempts.Inc()
 		err := c.send(method, path, contentType, body, key, attempt, decode)
@@ -228,6 +242,7 @@ func (c *caller) doDecode(now simclock.Time, method, path, contentType string, b
 			if se.Status == http.StatusTooManyRequests {
 				c.net.Shed++ // shed: back off and retry
 				c.cm.shed.Inc()
+				floor = time.Duration(se.RetryAfter) * time.Second
 			} else if se.Status < 500 {
 				return err // definitive protocol answer; retrying cannot help
 			}
@@ -252,6 +267,9 @@ func (c *caller) send(method, path, contentType string, body []byte, key string,
 	}
 	if key != "" {
 		req.Header.Set(idempotencyKeyHeader, key)
+	}
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
 	}
 	req.Header.Set(attemptHeader, strconv.Itoa(attempt))
 	version := strconv.Itoa(ProtocolVersion)
@@ -597,9 +615,11 @@ func readJSON(path string, resp *http.Response, out any) error {
 	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		return &StatusError{
-			Status: resp.StatusCode,
-			Msg:    fmt.Sprintf("transport: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg))),
+			Status:     resp.StatusCode,
+			Msg:        fmt.Sprintf("transport: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg))),
+			RetryAfter: ra,
 		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -620,9 +640,11 @@ func readBatchReply(resp *http.Response, out *BatchReply) error {
 	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		return &StatusError{
-			Status: resp.StatusCode,
-			Msg:    fmt.Sprintf("transport: /v1/batch: %s: %s", resp.Status, strings.TrimSpace(string(msg))),
+			Status:     resp.StatusCode,
+			Msg:        fmt.Sprintf("transport: /v1/batch: %s: %s", resp.Status, strings.TrimSpace(string(msg))),
+			RetryAfter: ra,
 		}
 	}
 	if isBinaryBatch(resp.Header.Get("Content-Type")) {

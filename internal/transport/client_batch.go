@@ -64,7 +64,7 @@ func (d *Device) sendBatch(now simclock.Time, ops []BatchOp) ([]BatchOpResult, e
 		}
 	}
 	var reply BatchReply
-	if _, err := d.postBatch(now, batchMsg{Client: d.ID, NowNS: int64(now), Ops: ops}, d.nextKey(), &reply); err != nil {
+	if _, err := d.postBatch(now, batchMsg{Client: d.ID, NowNS: int64(now), Tenant: d.tenant, Ops: ops}, d.nextKey(), &reply); err != nil {
 		return nil, err
 	}
 	if len(reply.Results) != len(ops) {
@@ -94,7 +94,7 @@ func (d *Device) sendBatch(now simclock.Time, ops []BatchOp) ([]BatchOpResult, e
 		for j, i := range retry {
 			sub[j] = ops[i]
 		}
-		env := batchMsg{Client: d.ID, NowNS: int64(at), Ops: sub}
+		env := batchMsg{Client: d.ID, NowNS: int64(at), Tenant: d.tenant, Ops: sub}
 		d.chargeRetry(at, int64(d.envelopeLen(env))+retryOverheadBytes)
 		d.net.Retries++
 		d.cm.retries.Inc()

@@ -22,9 +22,10 @@ import (
 //
 // Request frame (all integers little-endian):
 //
-//	magic "APB1"
+//	magic "APB1" (or "APB2" when the envelope declares a tenant)
 //	client  int64      envelope default client id
 //	now_ns  int64      envelope default virtual timestamp
+//	tenant  uint8 len + bytes   APB2 only: the envelope tenant id
 //	nops    uint16
 //	per op:
 //	  kind    uint8    1=slot 2=report 3=ondemand 4=cancelled 5=bundle
@@ -65,7 +66,12 @@ const binVersionToken = "bin"
 
 var (
 	binReqMagic = [4]byte{'A', 'P', 'B', '1'}
-	binRepMagic = [4]byte{'A', 'P', 'R', '1'}
+	// binReqMagic2 marks the tenant-carrying frame variant: identical to
+	// APB1 except for a length-prefixed tenant id between now_ns and
+	// nops. Emitted only when the envelope names a tenant, so legacy
+	// devices and servers keep exchanging byte-identical APB1 frames.
+	binReqMagic2 = [4]byte{'A', 'P', 'B', '2'}
+	binRepMagic  = [4]byte{'A', 'P', 'R', '1'}
 )
 
 // Binary op-kind codes, in protocol order (batchOpKinds).
@@ -138,9 +144,20 @@ func appendBatchMsg(dst []byte, env batchMsg) ([]byte, error) {
 	if len(env.Ops) > 0xFFFF {
 		return dst, fmt.Errorf("binary batch: %d ops exceed the frame limit", len(env.Ops))
 	}
-	dst = append(dst, binReqMagic[:]...)
+	if len(env.Tenant) > 0xFF {
+		return dst, fmt.Errorf("binary batch: %d-byte tenant exceeds the frame limit", len(env.Tenant))
+	}
+	if env.Tenant != "" {
+		dst = append(dst, binReqMagic2[:]...)
+	} else {
+		dst = append(dst, binReqMagic[:]...)
+	}
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(env.Client))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(env.NowNS))
+	if env.Tenant != "" {
+		dst = append(dst, uint8(len(env.Tenant)))
+		dst = append(dst, env.Tenant...)
+	}
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(env.Ops)))
 	for _, op := range env.Ops {
 		kind := opKindCode(op.Op)
@@ -266,7 +283,8 @@ func decodeBatchMsg(data []byte) (batchMsg, error) {
 	if err != nil {
 		return env, err
 	}
-	if [4]byte(magic) != binReqMagic {
+	tenanted := [4]byte(magic) == binReqMagic2
+	if [4]byte(magic) != binReqMagic && !tenanted {
 		return env, fmt.Errorf("binary batch: bad magic %q", magic)
 	}
 	envClient, err := c.i64()
@@ -276,6 +294,15 @@ func decodeBatchMsg(data []byte) (batchMsg, error) {
 	env.Client = int(envClient)
 	if env.NowNS, err = c.i64(); err != nil {
 		return env, err
+	}
+	if tenanted {
+		tlen, err := c.u8()
+		if err != nil {
+			return env, err
+		}
+		if env.Tenant, err = c.str(int(tlen)); err != nil {
+			return env, err
+		}
 	}
 	nops, err := c.u16()
 	if err != nil {

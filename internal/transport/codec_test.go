@@ -16,6 +16,9 @@ import (
 // comparisons can use reflect.DeepEqual.
 func randEnv(r *rand.Rand) batchMsg {
 	env := batchMsg{Client: r.Intn(1 << 20), NowNS: r.Int63()}
+	if r.Intn(3) == 0 {
+		env.Tenant = randKey(r) // exercises the APB2 tenant frame
+	}
 	nops := 1 + r.Intn(6)
 	for i := 0; i < nops; i++ {
 		op := BatchOp{Op: batchOpKinds[r.Intn(len(batchOpKinds))]}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/adserver"
 	"repro/internal/client"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 	"repro/internal/wal"
 )
 
@@ -242,6 +243,14 @@ type transportSnapshot struct {
 	Moved   []int           `json:"moved,omitempty"`
 	Outbox  []outboxRecord  `json:"outbox,omitempty"`
 	Applied []uint64        `json:"applied,omitempty"`
+
+	// Tenant config at the checkpoint (see tenant.go): the registry is
+	// part of the durable state so a snapshot taken after a hot reload
+	// restores the reloaded config even though the config_epoch record
+	// was truncated with the log. Omitted for legacy servers, keeping
+	// pre-tenant snapshots byte-identical.
+	ConfigEpoch   uint64          `json:"config_epoch,omitempty"`
+	TenantConfigs []tenant.Config `json:"tenant_configs,omitempty"`
 }
 
 // outboxRecord is one uncommitted extraction blob, keyed by epoch.
@@ -332,6 +341,10 @@ func (s *ShardedServer) writeSnapshotLocked(w io.Writer) error {
 		PeriodSweep:     s.periodSweep.Load(),
 		PeriodEndRounds: s.periodEndRounds.Load(),
 	}
+	if reg := s.tenants.Load(); reg != nil {
+		snap.ConfigEpoch = reg.Epoch()
+		snap.TenantConfigs = reg.Tenants()
+	}
 	s.migMu.RLock()
 	for c := range s.moved {
 		snap.Moved = append(snap.Moved, c)
@@ -414,6 +427,16 @@ func (s *ShardedServer) restoreSnapshot(r io.Reader) error {
 		}
 		s.applied[epoch] = true
 	}
+	// Install the snapshot's tenant config only when it recorded one: a
+	// legacy snapshot must not clobber the registry the caller installed
+	// with SetTenants before recovering.
+	if snap.ConfigEpoch > 0 || len(snap.TenantConfigs) > 0 {
+		reg, err := tenant.NewRegistry(snap.ConfigEpoch, snap.TenantConfigs)
+		if err != nil {
+			return fmt.Errorf("transport: snapshot tenant config: %w", err)
+		}
+		s.installTenants(reg)
+	}
 	return nil
 }
 
@@ -468,6 +491,27 @@ func (s *ShardedServer) applyWALRecord(rec wal.Record) error {
 			return fmt.Errorf("transport: wal migrate_commit body: %w", err)
 		}
 		s.migrateCommit(msg.Epoch)
+	case opConfigEpoch:
+		// Must be matched before the default arm — an unknown op would
+		// otherwise be misparsed as a batch envelope. Idempotent by
+		// epoch: a record at or below the snapshot's epoch (the
+		// checkpoint already carries the reloaded config) is a no-op.
+		var msg ConfigMsg
+		if err := json.Unmarshal(rec.Body, &msg); err != nil {
+			return fmt.Errorf("transport: wal config_epoch body: %w", err)
+		}
+		var curEpoch uint64
+		if cur := s.tenants.Load(); cur != nil {
+			curEpoch = cur.Epoch()
+		}
+		if msg.Epoch <= curEpoch {
+			return nil
+		}
+		reg, err := tenant.NewRegistry(msg.Epoch, msg.Tenants)
+		if err != nil {
+			return fmt.Errorf("transport: wal config_epoch replay: %w", err)
+		}
+		s.installTenants(reg) // single-threaded during recovery
 	default:
 		var env batchMsg
 		if err := json.Unmarshal(rec.Body, &env); err != nil {

@@ -28,10 +28,13 @@ const (
 )
 
 // httpError is a handler-level protocol failure: a status code and a
-// plain-text message. nil means success.
+// plain-text message. nil means success. retryAfter, when positive,
+// overrides the Retry-After hint a 429 carries — the shed paths scale
+// it with pressure (see retryAfterSecs) instead of a flat second.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func errf(status int, format string, args ...any) *httpError {
@@ -41,8 +44,17 @@ func errf(status int, format string, args ...any) *httpError {
 // writeErr emits a plain-text error reply. 429s always carry
 // Retry-After so well-behaved clients back off before retrying.
 func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeErrRetry(w, status, 0, msg)
+}
+
+// writeErrRetry is writeErr with an explicit Retry-After hint for 429s
+// (non-positive means the flat 1s default).
+func writeErrRetry(w http.ResponseWriter, status, retryAfter int, msg string) {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	http.Error(w, msg, status)
 }
@@ -60,7 +72,9 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 //     client id (negative for requests not scoped to one client); a nil
 //     store means the endpoint executes without dedup (idempotent
 //     reads). The client id stamps dedup entries so live migration can
-//     hand a client's idempotency window to its new owner.
+//     hand a client's idempotency window to its new owner. A non-nil
+//     *httpError refuses the request before exec runs — the wire-tenant
+//     guard lives here, ahead of any state change.
 //   - exec runs the endpoint and returns the typed reply or an
 //     *httpError. It receives the request's (validated) idempotency key
 //     — empty for unkeyed requests — so mutating executors can stamp
@@ -68,7 +82,7 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 //     the dedup window uses.
 func handle[Req, Resp any](
 	decode func(w http.ResponseWriter, r *http.Request) (Req, []byte, bool),
-	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time, int),
+	prep func(r *http.Request, req Req) (*dedupStore, simclock.Time, int, *httpError),
 	exec func(req Req, key string) (Resp, *httpError),
 ) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -80,18 +94,22 @@ func handle[Req, Resp any](
 		// fingerprint) and decoded (which copies), so recycling it once
 		// the response is written is safe.
 		defer putBodyBuf(payload)
-		ds, now, clientID := prep(r, req)
-		run := func(key string) (int, any) {
+		ds, now, clientID, perr := prep(r, req)
+		if perr != nil {
+			writeErrRetry(w, perr.status, perr.retryAfter, perr.msg)
+			return
+		}
+		run := func(key string) (int, any, int) {
 			resp, herr := exec(req, key)
 			if herr != nil {
-				return herr.status, herr.msg
+				return herr.status, herr.msg, herr.retryAfter
 			}
-			return http.StatusOK, resp
+			return http.StatusOK, resp, 0
 		}
 		if ds == nil {
-			status, v := run("")
+			status, v, retryAfter := run("")
 			if status >= 400 {
-				writeErr(w, status, v.(string))
+				writeErrRetry(w, status, retryAfter, v.(string))
 				return
 			}
 			writeJSON(w, v)
@@ -123,7 +141,9 @@ func noReq(http.ResponseWriter, *http.Request) (struct{}, []byte, bool) {
 
 // noDedup is the prep for idempotent reads: no dedup store, no
 // timestamp, no owning client.
-func noDedup(*http.Request, struct{}) (*dedupStore, simclock.Time, int) { return nil, 0, -1 }
+func noDedup[Req any](*http.Request, Req) (*dedupStore, simclock.Time, int, *httpError) {
+	return nil, 0, -1, nil
+}
 
 // versionMiddleware enforces the protocol version contract: the
 // server's version is echoed on every response (including errors), and

@@ -3,6 +3,8 @@ package transport
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/auction"
 )
 
 // Both /v1/health shapes — a single adserverd node and the routing
@@ -33,6 +35,64 @@ func TestHealthReplyGoldenBytes(t *testing.T) {
 			`"shards":[{"shard":0,"open_book":2,"staged_ads":5,"dedup_keys":7,"shedding":false,"requests":41}],` +
 			`"requests_total":41,"shed_total":0,"replayed_total":1,` +
 			`"wal_enabled":true,"replayed_ops":12,"snapshot_age_periods":2,"last_fsync_ok":true}`
+		golden(t, reply, want)
+	})
+
+	// The tenanted single-node shape: config_epoch and the per-tenant
+	// sections ride behind omitempty, so the legacy golden above proves
+	// a registry-less server still emits the pre-tenant bytes exactly.
+	t.Run("single-node-tenants", func(t *testing.T) {
+		reply := HealthReply{
+			Status: "ok",
+			NodeID: "node0",
+			Shards: []ShardHealth{
+				{Shard: 0, OpenBook: 2, StagedAds: 5, DedupKeys: 7, Shedding: false, Requests: 41},
+			},
+			RequestsTotal: 41,
+			LastFsyncOK:   true,
+			ConfigEpoch:   3,
+			Tenants: []TenantHealth{
+				{Tenant: "pubA", OpenBook: 2, Ledger: auction.Ledger{Sold: 4, BilledUSD: 0.5, Billed: 3, Violations: 1, ViolatedUSD: 0.25, PotentialUSD: 0.75}},
+				{Tenant: "pubB", OpenBook: 0, MaxOpenBook: 16, RatePerSec: 0.5, Admitted: 9, Shed: 31},
+			},
+		}
+		const want = `{"status":"ok","node_id":"node0",` +
+			`"shards":[{"shard":0,"open_book":2,"staged_ads":5,"dedup_keys":7,"shedding":false,"requests":41}],` +
+			`"requests_total":41,"shed_total":0,"replayed_total":0,` +
+			`"wal_enabled":false,"replayed_ops":0,"snapshot_age_periods":0,"last_fsync_ok":true,` +
+			`"config_epoch":3,"tenants":[` +
+			`{"tenant":"pubA","open_book":2,"ledger":{"Sold":4,"BilledUSD":0.5,"Billed":3,"FreeUSD":0,"FreeShows":0,"Violations":1,"ViolatedUSD":0.25,"PotentialUSD":0.75}},` +
+			`{"tenant":"pubB","open_book":0,"max_open_book":16,"rate_per_sec":0.5,"admitted":9,"shed":31,` +
+			`"ledger":{"Sold":0,"BilledUSD":0,"Billed":0,"FreeUSD":0,"FreeShows":0,"Violations":0,"ViolatedUSD":0,"PotentialUSD":0}}]}`
+		golden(t, reply, want)
+	})
+
+	// The router-merged tenanted shape: sections merged by tenant id
+	// across members (counts summed), config_epoch the highest member
+	// epoch — the same probe schema as a single node.
+	t.Run("merged-cluster-tenants", func(t *testing.T) {
+		reply := HealthReply{
+			Status:        "ok",
+			RequestsTotal: 9,
+			LastFsyncOK:   true,
+			ConfigEpoch:   2,
+			Tenants: []TenantHealth{
+				{Tenant: "pubA", OpenBook: 5, Admitted: 12, Ledger: auction.Ledger{Sold: 6, Billed: 6, BilledUSD: 1.5, PotentialUSD: 1.5}},
+			},
+			Nodes: []NodeHealth{
+				{Node: 0, URL: "http://127.0.0.1:8480", State: "active", Down: false},
+				{Node: 1, URL: "http://127.0.0.1:8490", State: "active", Down: false},
+			},
+		}
+		const want = `{"status":"ok",` +
+			`"requests_total":9,"shed_total":0,"replayed_total":0,` +
+			`"wal_enabled":false,"replayed_ops":0,"snapshot_age_periods":0,"last_fsync_ok":true,` +
+			`"config_epoch":2,"tenants":[` +
+			`{"tenant":"pubA","open_book":5,"admitted":12,` +
+			`"ledger":{"Sold":6,"BilledUSD":1.5,"Billed":6,"FreeUSD":0,"FreeShows":0,"Violations":0,"ViolatedUSD":0,"PotentialUSD":1.5}}],` +
+			`"nodes":[` +
+			`{"node":0,"url":"http://127.0.0.1:8480","state":"active","down":false},` +
+			`{"node":1,"url":"http://127.0.0.1:8490","state":"active","down":false}]}`
 		golden(t, reply, want)
 	})
 

@@ -22,6 +22,7 @@ type options struct {
 	registry  *obs.Registry
 	batching  bool
 	binaryBat bool
+	tenant    string
 }
 
 func buildOptions(opts []Option) options {
@@ -84,6 +85,18 @@ func WithBatching() Option {
 // nothing without WithBatching — sequential endpoints always speak JSON.
 func WithBinaryBatch() Option {
 	return func(o *options) { o.binaryBat = true }
+}
+
+// WithTenant declares the device's tenant on every request: sequential
+// requests carry it in the X-AdPrefetch-Tenant header, batch envelopes
+// in the envelope's tenant field (the binary codec switches to its
+// tenant-carrying frame). Tenant attribution is authoritative from the
+// server's registry — the declaration exists so a misconfigured device
+// is refused (403) instead of silently billed to another publisher.
+// Devices without the option keep the legacy single-tenant wire format,
+// byte for byte.
+func WithTenant(id string) Option {
+	return func(o *options) { o.tenant = id }
 }
 
 // WithRegistry attaches client-side instrumentation: attempts, retries,

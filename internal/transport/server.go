@@ -52,6 +52,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 )
 
 // Server adapts a single adserver.Server to HTTP. The underlying engine
@@ -77,6 +78,10 @@ func (s *Server) Registry() *obs.Registry { return s.sh.Registry() }
 // StagedAds returns the number of staged (not yet downloaded) bundle
 // ads, for memory-bound monitoring and tests.
 func (s *Server) StagedAds() int { return s.sh.StagedAds() }
+
+// SetTenants installs a tenant registry (nil = legacy single-tenant
+// serving); see ShardedServer.SetTenants.
+func (s *Server) SetTenants(reg *tenant.Registry) { s.sh.SetTenants(reg) }
 
 // Wire DTOs.
 
@@ -222,6 +227,14 @@ type HealthReply struct {
 	ReplayedOps        int64 `json:"replayed_ops"`
 	SnapshotAgePeriods int64 `json:"snapshot_age_periods"`
 	LastFsyncOK        bool  `json:"last_fsync_ok"`
+
+	// Multi-tenant state (tenant.go; empty on legacy single-tenant
+	// servers, keeping their replies byte-identical). ConfigEpoch is the
+	// installed tenant-config epoch; Tenants carries one section per
+	// registered tenant, sorted by id. A cluster router merges the
+	// sections by tenant id and reports the highest member epoch.
+	ConfigEpoch uint64         `json:"config_epoch,omitempty"`
+	Tenants     []TenantHealth `json:"tenants,omitempty"`
 
 	// Cluster shape (merged replies only; empty on a single node).
 	NodesDown int          `json:"nodes_down,omitempty"`

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/simclock"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -29,6 +30,7 @@ var v1Endpoints = []string{
 	"/v1/ledger", "/v1/stats", "/v1/health", "/v1/metrics",
 	"/v1/admin/migrate/out", "/v1/admin/migrate/in",
 	"/v1/admin/migrate/commit", "/v1/admin/clients",
+	"/v1/admin/config",
 }
 
 // ShardedServer serves the transport protocol over N independent
@@ -102,6 +104,15 @@ type ShardedServer struct {
 	batchSaved   *obs.Counter
 	batchSubops  map[string]*obs.Counter
 	batchInvalid *obs.Counter
+
+	// Multi-tenant serving (see tenant.go). tenants is the immutable
+	// registry behind the per-tenant admission, attribution and config
+	// epochs; nil means legacy single-tenant serving. tm carries the
+	// per-tenant counters resolved for the current registry. Both are
+	// swapped together under every shard lock (SetTenants/ApplyConfig),
+	// so a request never observes a half-installed config.
+	tenants atomic.Pointer[tenant.Registry]
+	tm      atomic.Pointer[tenantMetrics]
 
 	// Durability (see durable.go). A nil wlog means the WAL is off and
 	// every durability hook is a no-op. recovering suppresses appends
@@ -235,18 +246,21 @@ func validIdemKey(key string) bool {
 // owner. exec receives the validated key so the durability layer can
 // stamp its WAL records; clientID stamps the stored entry for live
 // migration (see migrate.go).
-func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, clientID int, exec func(key string) (int, any)) {
+func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, payload []byte, now simclock.Time, clientID int, exec func(key string) (int, any, int)) {
 	key := r.Header.Get(idempotencyKeyHeader)
 	if key != "" && !validIdemKey(key) {
 		http.Error(w, "malformed Idempotency-Key", http.StatusBadRequest)
 		return
 	}
-	write := func(status int, body []byte, replayed bool) {
+	write := func(status int, body []byte, replayed bool, retryAfter int) {
 		if replayed {
 			w.Header().Set(obs.ReplayedHeader, "true")
 		}
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			if retryAfter < 1 {
+				retryAfter = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		}
 		if status >= 400 {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -256,24 +270,24 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 		w.WriteHeader(status)
 		w.Write(body)
 	}
-	run := func() (int, []byte) {
-		status, v := exec(key)
+	run := func() (int, []byte, int) {
+		status, v, retryAfter := exec(key)
 		if status >= 400 {
 			msg, _ := v.(string)
-			return status, []byte(msg + "\n")
+			return status, []byte(msg + "\n"), retryAfter
 		}
 		// marshalReply hands back shared pre-marshaled bytes for the hot
 		// constant replies; those constants are stored by reference in
 		// the dedup window and never mutated.
 		body, err := marshalReply(v)
 		if err != nil {
-			return http.StatusInternalServerError, []byte("encoding reply\n")
+			return http.StatusInternalServerError, []byte("encoding reply\n"), 0
 		}
-		return status, body
+		return status, body, retryAfter
 	}
 	if key == "" {
-		status, body := run()
-		write(status, body, false)
+		status, body, retryAfter := run()
+		write(status, body, false, retryAfter)
 		return
 	}
 	ph := requestHash(r.Method, r.URL.Path, payload)
@@ -284,17 +298,18 @@ func serveIdempotent(w http.ResponseWriter, r *http.Request, ds *dedupStore, pay
 			http.Error(w, "Idempotency-Key reused with a different request", http.StatusConflict)
 			return
 		}
-		write(e.status, e.body, true)
+		// Replays are never 429s (those are not stored), so no hint.
+		write(e.status, e.body, true, 0)
 		return
 	}
-	status, body := run()
+	status, body, retryAfter := run()
 	if status != http.StatusTooManyRequests && status != http.StatusMisdirectedRequest {
 		if ds.entries == nil {
 			ds.entries = make(map[string]dedupEntry)
 		}
 		ds.entries[key] = dedupEntry{payloadHash: ph, status: status, body: body, at: now, client: clientID}
 	}
-	write(status, body, false)
+	write(status, body, false, retryAfter)
 }
 
 // NewShardedServer adapts a shard pool to HTTP. The pool's stable
@@ -411,11 +426,15 @@ func (s *ShardedServer) shardFor(clientID int) *shardState {
 }
 
 // clientPrep resolves a client-scoped request's dedup scope and counts
-// it against its shard.
-func (s *ShardedServer) clientPrep(clientID int, nowNS int64) (*dedupStore, simclock.Time, int) {
+// it against its shard. A request declaring a tenant the client does
+// not belong to is refused here, before any handler state changes.
+func (s *ShardedServer) clientPrep(r *http.Request, clientID int, nowNS int64) (*dedupStore, simclock.Time, int, *httpError) {
+	if herr := s.checkWireTenant(r, clientID); herr != nil {
+		return nil, 0, -1, herr
+	}
 	sh := s.shardFor(clientID)
 	sh.requests.Inc()
-	return &sh.dedup, simclock.Time(nowNS), clientID
+	return &sh.dedup, simclock.Time(nowNS), clientID, nil
 }
 
 // Handler returns the HTTP handler implementing the protocol: the
@@ -426,14 +445,14 @@ func (s *ShardedServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/period/start", handle(
 		jsonReq[periodMsg],
-		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int) {
-			return &s.periodDedup, simclock.Time(m.NowNS), -1
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int, *httpError) {
+			return &s.periodDedup, simclock.Time(m.NowNS), -1, nil
 		},
 		s.execPeriodStart))
 	periodEnd := handle(
 		jsonReq[periodMsg],
-		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int) {
-			return &s.periodDedup, simclock.Time(m.NowNS), -1
+		func(_ *http.Request, m periodMsg) (*dedupStore, simclock.Time, int, *httpError) {
+			return &s.periodDedup, simclock.Time(m.NowNS), -1, nil
 		},
 		s.execPeriodEnd)
 	mux.HandleFunc("POST /v1/period/end", func(w http.ResponseWriter, r *http.Request) {
@@ -448,38 +467,39 @@ func (s *ShardedServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/bundle", handle(
 		s.decodeBundle,
-		func(_ *http.Request, q bundleReq) (*dedupStore, simclock.Time, int) {
-			return s.clientPrep(q.client, q.nowNS)
+		func(r *http.Request, q bundleReq) (*dedupStore, simclock.Time, int, *httpError) {
+			return s.clientPrep(r, q.client, q.nowNS)
 		},
 		s.execBundle))
 	mux.HandleFunc("POST /v1/slot", handle(
 		jsonReq[slotMsg],
-		func(_ *http.Request, m slotMsg) (*dedupStore, simclock.Time, int) {
-			return s.clientPrep(m.Client, m.NowNS)
+		func(r *http.Request, m slotMsg) (*dedupStore, simclock.Time, int, *httpError) {
+			return s.clientPrep(r, m.Client, m.NowNS)
 		},
 		s.execSlot))
 	mux.HandleFunc("POST /v1/report", handle(
 		jsonReq[reportMsg],
-		func(_ *http.Request, m reportMsg) (*dedupStore, simclock.Time, int) {
-			return s.clientPrep(m.Client, m.NowNS)
+		func(r *http.Request, m reportMsg) (*dedupStore, simclock.Time, int, *httpError) {
+			return s.clientPrep(r, m.Client, m.NowNS)
 		},
 		s.execReport))
-	mux.HandleFunc("GET /v1/cancelled", handle(s.decodeCancelled, noDedupCancelled, s.execCancelled))
+	mux.HandleFunc("GET /v1/cancelled", handle(s.decodeCancelled, noDedup[cancelledReq], s.execCancelled))
 	mux.HandleFunc("POST /v1/ondemand", handle(
 		jsonReq[onDemandMsg],
-		func(_ *http.Request, m onDemandMsg) (*dedupStore, simclock.Time, int) {
-			return s.clientPrep(m.Client, m.NowNS)
+		func(r *http.Request, m onDemandMsg) (*dedupStore, simclock.Time, int, *httpError) {
+			return s.clientPrep(r, m.Client, m.NowNS)
 		},
 		s.execOnDemand))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/ledger", handle(noReq, noDedup, s.execLedger))
-	mux.HandleFunc("GET /v1/stats", handle(noReq, noDedup, s.execStats))
-	mux.HandleFunc("GET /v1/health", handle(noReq, noDedup, s.execHealth))
+	mux.HandleFunc("GET /v1/ledger", handle(s.decodeLedger, noDedup[ledgerReq], s.execLedger))
+	mux.HandleFunc("GET /v1/stats", handle(noReq, noDedup[struct{}], s.execStats))
+	mux.HandleFunc("GET /v1/health", handle(noReq, noDedup[struct{}], s.execHealth))
 	mux.Handle("GET /v1/metrics", s.reg.Handler())
-	mux.HandleFunc("POST /v1/admin/migrate/out", s.admin(handle(jsonReq[migrateOutMsg], noDedupAdmin[migrateOutMsg], s.execMigrateOut)))
-	mux.HandleFunc("POST /v1/admin/migrate/in", s.admin(handle(jsonReq[json.RawMessage], noDedupAdmin[json.RawMessage], s.execMigrateIn)))
-	mux.HandleFunc("POST /v1/admin/migrate/commit", s.admin(handle(jsonReq[migrateCommitMsg], noDedupAdmin[migrateCommitMsg], s.execMigrateCommit)))
-	mux.HandleFunc("GET /v1/admin/clients", s.admin(handle(noReq, noDedup, s.execAdminClients)))
+	mux.HandleFunc("POST /v1/admin/migrate/out", s.admin(handle(jsonReq[migrateOutMsg], noDedup[migrateOutMsg], s.execMigrateOut)))
+	mux.HandleFunc("POST /v1/admin/migrate/in", s.admin(handle(jsonReq[json.RawMessage], noDedup[json.RawMessage], s.execMigrateIn)))
+	mux.HandleFunc("POST /v1/admin/migrate/commit", s.admin(handle(jsonReq[migrateCommitMsg], noDedup[migrateCommitMsg], s.execMigrateCommit)))
+	mux.HandleFunc("GET /v1/admin/clients", s.admin(handle(noReq, noDedup[struct{}], s.execAdminClients)))
+	mux.HandleFunc("POST /v1/admin/config", s.admin(handle(jsonReq[ConfigMsg], noDedup[ConfigMsg], s.execConfig)))
 	return obs.Middleware(s.reg, versionMiddleware(mux), v1Endpoints...)
 }
 
@@ -723,7 +743,7 @@ func (s *ShardedServer) execSlot(msg slotMsg, key string) (struct{}, *httpError)
 	sh := s.shardFor(msg.Client)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	herr := s.slotLocked(sh, msg.Client)
+	herr := s.slotLocked(sh, msg.Client, msg.NowNS)
 	if herr == nil {
 		s.walAppend(sh, OpSlot, key, singleOpEnv(msg.Client, msg.NowNS, BatchOp{Op: OpSlot, Key: key}))
 	}
@@ -731,13 +751,18 @@ func (s *ShardedServer) execSlot(msg slotMsg, key string) (struct{}, *httpError)
 }
 
 // slotLocked observes a slot firing; sh.mu must be held.
-func (s *ShardedServer) slotLocked(sh *shardState, client int) *httpError {
+func (s *ShardedServer) slotLocked(sh *shardState, client int, nowNS int64) *httpError {
 	if herr := s.movedErr(client); herr != nil {
 		return herr
 	}
 	if s.shedding(sh) {
 		sh.shed.Inc()
-		return errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
+		herr := errf(http.StatusTooManyRequests, "shard overloaded: slot observation shed")
+		herr.retryAfter = retryAfterSecs(sh.srv.OpenBook(), s.MaxOpenBook)
+		return herr
+	}
+	if herr := s.admitLocked(sh, client, nowNS, "slot observation"); herr != nil {
+		return herr
 	}
 	sh.srv.ObserveSlot(client)
 	return nil
@@ -802,16 +827,6 @@ func (s *ShardedServer) decodeCancelled(w http.ResponseWriter, r *http.Request) 
 	sh.requests.Inc()
 	return cancelledReq{sh: sh, ids: r.URL.Query().Get("ids"), nowNS: int64(nowNS)}, nil, true
 }
-
-// noDedupCancelled: cancellation queries are idempotent reads; any key
-// the client sends is ignored rather than stored.
-func noDedupCancelled(*http.Request, cancelledReq) (*dedupStore, simclock.Time, int) {
-	return nil, 0, -1
-}
-
-// noDedupAdmin: migration transfer endpoints are idempotent by epoch
-// (outbox/applied in migrate.go), so no key-based dedup applies.
-func noDedupAdmin[Req any](*http.Request, Req) (*dedupStore, simclock.Time, int) { return nil, 0, -1 }
 
 func (s *ShardedServer) execCancelled(q cancelledReq, _ string) (CancelledReply, *httpError) {
 	ids, herr := parseIDList(q.ids)
@@ -879,7 +894,12 @@ func (s *ShardedServer) onDemandLocked(sh *shardState, msg onDemandMsg) (OnDeman
 		// Fresh sales grow the open book; shed them until it drains.
 		// The client's fallback is its cache or a house ad.
 		sh.shed.Inc()
-		return OnDemandReply{}, errf(http.StatusTooManyRequests, "shard overloaded: on-demand sale shed")
+		herr := errf(http.StatusTooManyRequests, "shard overloaded: on-demand sale shed")
+		herr.retryAfter = retryAfterSecs(sh.srv.OpenBook(), s.MaxOpenBook)
+		return OnDemandReply{}, herr
+	}
+	if herr := s.admitLocked(sh, msg.Client, msg.NowNS, "on-demand sale"); herr != nil {
+		return OnDemandReply{}, herr
 	}
 	var reply OnDemandReply
 	if !msg.NoRescue {
@@ -897,7 +917,32 @@ func (s *ShardedServer) onDemandLocked(sh *shardState, msg onDemandMsg) (OnDeman
 	return reply, nil
 }
 
-func (s *ShardedServer) execLedger(struct{}, string) (auction.Ledger, *httpError) {
+// ledgerReq is the decoded GET /v1/ledger query. Without a tenant
+// parameter the reply is the aggregate ledger, bytes unchanged from the
+// pre-tenant protocol; ?tenant=<id> narrows it to one tenant's view
+// (the empty id names the legacy tenant's slice).
+type ledgerReq struct {
+	tenant   string
+	byTenant bool
+}
+
+func (s *ShardedServer) decodeLedger(_ http.ResponseWriter, r *http.Request) (ledgerReq, []byte, bool) {
+	var q ledgerReq
+	if vs, ok := r.URL.Query()["tenant"]; ok && len(vs) > 0 {
+		q = ledgerReq{tenant: vs[0], byTenant: true}
+	}
+	return q, nil, true
+}
+
+func (s *ShardedServer) execLedger(q ledgerReq, _ string) (auction.Ledger, *httpError) {
+	if q.byTenant {
+		if q.tenant != tenant.Legacy {
+			if _, ok := s.tenants.Load().ConfigOf(q.tenant); !ok {
+				return auction.Ledger{}, errf(http.StatusNotFound, "unknown tenant %q", q.tenant)
+			}
+		}
+		return s.ledgerOf(q.tenant), nil
+	}
 	var total auction.Ledger
 	// One shard at a time: the merged view never holds more than one
 	// lock, so a ledger scrape cannot stall the fleet.
@@ -905,14 +950,7 @@ func (s *ShardedServer) execLedger(struct{}, string) (auction.Ledger, *httpError
 		sh.mu.Lock()
 		l := sh.srv.Exchange().Ledger()
 		sh.mu.Unlock()
-		total.Sold += l.Sold
-		total.BilledUSD += l.BilledUSD
-		total.Billed += l.Billed
-		total.FreeUSD += l.FreeUSD
-		total.FreeShows += l.FreeShows
-		total.Violations += l.Violations
-		total.ViolatedUSD += l.ViolatedUSD
-		total.PotentialUSD += l.PotentialUSD
+		addLedger(&total, l)
 	}
 	return total, nil
 }
@@ -972,6 +1010,10 @@ func (s *ShardedServer) execHealth(struct{}, string) (HealthReply, *httpError) {
 			Shedding:  shedding,
 			Requests:  sh.requests.Value(),
 		})
+	}
+	if reg := s.tenants.Load(); reg != nil {
+		reply.ConfigEpoch = reg.Epoch()
+		reply.Tenants = s.tenantHealth(reg)
 	}
 	return reply, nil
 }
